@@ -1,0 +1,67 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Each bench_* executable regenerates one of the paper's tables or figures:
+// it runs the corresponding workload on simulated clusters and prints the
+// same rows/series the paper reports, with the paper's published numbers
+// alongside for comparison.  Absolute MB/s are model-calibrated, not
+// testbed-identical; EXPERIMENTS.md records the deltas.
+//
+// Benches accept an optional scale argument:
+//   bench_figX [--full]     sweep the paper's full 10 GB dataset (slow)
+// The default accesses a smaller slice so the whole suite finishes in
+// minutes; shapes are unaffected because throughput is steady-state.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "stats/table.hpp"
+#include "workloads/btio.hpp"
+#include "workloads/ior_mpi_io.hpp"
+#include "workloads/mpi_io_test.hpp"
+#include "workloads/trace.hpp"
+
+namespace ibridge::bench {
+
+inline constexpr std::int64_t kMB = 1000 * 1000;
+inline constexpr std::int64_t kGB = 1000 * kMB;
+
+struct Scale {
+  std::int64_t file_bytes = 10 * kGB;
+  std::int64_t access_bytes = 400 * kMB;  // per mpi-io-test/ior run
+  int btio_steps = 2;                     // of the class-C 40
+  std::size_t trace_requests = 2'000;
+
+  static Scale parse(int argc, char** argv) {
+    Scale s;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        s.access_bytes = 10 * kGB;
+        s.btio_steps = 40;
+        s.trace_requests = 20'000;
+      }
+    }
+    return s;
+  }
+};
+
+inline void banner(const char* id, const char* what) {
+  std::printf("\n=== %s: %s ===\n", id, what);
+}
+
+inline void footnote() {
+  std::printf(
+      "    (model-calibrated simulation; compare shapes/ratios with the "
+      "paper, see EXPERIMENTS.md)\n");
+}
+
+/// Throughput including the end-of-run write-back drain, as the paper
+/// measures ("we include ... the time for writing dirty data back").
+inline double mbps_total(const workloads::WorkloadResult& r) {
+  const double s = r.elapsed.to_seconds();
+  return s > 0 ? static_cast<double>(r.bytes) / 1e6 / s : 0.0;
+}
+
+}  // namespace ibridge::bench

@@ -1,0 +1,54 @@
+// Figure 11 — BTIO I/O time as a function of available SSD cache capacity,
+// 8 GB down to 0 GB (effectively disk-only).
+#include "bench/bench_common.hpp"
+
+using namespace ibridge;
+using namespace ibridge::bench;
+
+int main(int argc, char** argv) {
+  const Scale scale = Scale::parse(argc, argv);
+  banner("Figure 11", "BTIO I/O time vs SSD cache capacity");
+
+  // Capacities scale with the accessed data volume so the sweep spans
+  // "everything fits" down to "nothing fits", as in the paper's 8 GB -> 0.
+  workloads::BtIoConfig cfg;
+  cfg.nprocs = 16;
+  cfg.time_steps = scale.btio_steps;
+  const std::int64_t data = cfg.dump_bytes() * cfg.time_steps;
+
+  stats::Table t({"SSD capacity", "I/O time (s)", "exec time (s)"});
+  double io0 = 0.0, exec0 = 0.0;
+  for (double frac : {1.2, 0.75, 0.5, 0.25, 0.0}) {
+    cluster::ClusterConfig cc;
+    if (frac > 0.0) {
+      core::IBridgeConfig ib;
+      ib.ssd_cache_bytes = std::max<std::int64_t>(
+          static_cast<std::int64_t>(static_cast<double>(data) * frac) /
+              8,  // per server
+          8 << 20);
+      cc = cluster::ClusterConfig::with_ibridge(ib);
+    } else {
+      cc = cluster::ClusterConfig::stock();
+    }
+    cluster::Cluster c(cc);
+    const auto r = run_btio(c, cfg);
+    if (frac == 1.2) {
+      io0 = r.io_time.to_seconds();
+      exec0 = r.elapsed.to_seconds();
+    }
+    t.add_row({stats::Table::fmt("%.0f%% of data", frac * 100.0),
+               stats::Table::fmt("%.3f", r.io_time.to_seconds()),
+               stats::Table::fmt("%.2f", r.elapsed.to_seconds())});
+    if (frac == 0.0 && io0 > 0) {
+      std::printf("  I/O time ratio 0-capacity vs full: %.1fx (paper: 12x); "
+                  "exec time ratio: %.1fx (paper: 2.2x)\n",
+                  r.io_time.to_seconds() / io0,
+                  r.elapsed.to_seconds() / exec0);
+    }
+  }
+  t.print();
+  std::printf("  paper: near-linear relation between cached share and I/O "
+              "performance\n");
+  footnote();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 13 — effect of the request-size threshold: mpi-io-test, 64 procs,
+// 65 KB requests; threshold swept 10-40 KB.  Reports throughput normalized
+// to aligned 64 KB access and SSD usage normalized to the accessed data.
+#include "bench/bench_common.hpp"
+
+using namespace ibridge;
+using namespace ibridge::bench;
+
+int main(int argc, char** argv) {
+  const Scale scale = Scale::parse(argc, argv);
+  banner("Figure 13", "request-size threshold sweep (65 KB writes)");
+
+  workloads::MpiIoTestConfig cfg;
+  cfg.nprocs = 64;
+  cfg.request_size = 65 * 1024;
+  cfg.file_bytes = scale.file_bytes;
+  cfg.access_bytes = scale.access_bytes;
+  cfg.write = true;
+
+  // Aligned reference for normalization.
+  double aligned_mbps;
+  {
+    cluster::Cluster c(cluster::ClusterConfig::stock());
+    auto acfg = cfg;
+    acfg.request_size = 64 * 1024;
+    aligned_mbps = mbps_total(run_mpi_io_test(c, acfg));
+  }
+
+  stats::Table t({"threshold", "throughput", "normalized", "SSD usage",
+                  "SSD usage / data"});
+  for (std::int64_t kb : {10, 20, 30, 40}) {
+    core::IBridgeConfig ib;
+    ib.fragment_threshold = kb * 1024;
+    ib.random_threshold = kb * 1024;
+    cluster::Cluster c(cluster::ClusterConfig::with_ibridge(ib));
+    const auto r = run_mpi_io_test(c, cfg);
+    const double mbps = mbps_total(r);
+    const double ssd_used = static_cast<double>(c.ssd_bytes_served());
+    t.add_row({std::to_string(kb) + " KB", stats::Table::fmt("%.1f", mbps),
+               stats::Table::fmt("%.2f", mbps / aligned_mbps),
+               stats::Table::fmt("%.0f MB", ssd_used / 1e6),
+               stats::Table::fmt("%.0f%%", 100.0 * ssd_used /
+                                               static_cast<double>(r.bytes))});
+  }
+  t.print();
+  std::printf("  paper: throughput rises with the threshold (+56%% at 40 KB "
+              "vs 10 KB) while SSD usage\n  grows 3%% -> 42%% of accessed "
+              "data; 20 KB balances performance and SSD longevity\n");
+  footnote();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Figures 4 and 5 — mpi-io-test with iBridge.
+//
+//  Fig. 4(a) writes / 4(b) reads, 64 processes: request sizes 33/65/129 KB
+//  and 64 KB requests at offsets +0/+1/+10/+20 KB, stock vs iBridge.
+//  Fig. 5: block-level request-size distribution with iBridge for the
+//  64 KB + 10 KB-offset read case.
+//
+// Read runs with iBridge use one warm-up execution first: the paper's read
+// benefit comes from fragments identified and cached in earlier runs of the
+// same program ("the data access patterns ... are generally consistent from
+// one run to another").
+#include "bench/bench_common.hpp"
+
+using namespace ibridge;
+using namespace ibridge::bench;
+
+namespace {
+
+double run_case(const Scale& scale, bool ibridge, bool write,
+                std::int64_t size, std::int64_t shift,
+                double* ssd_share = nullptr, cluster::Cluster* ext = nullptr) {
+  std::unique_ptr<cluster::Cluster> owned;
+  cluster::Cluster* c = ext;
+  if (!c) {
+    owned = std::make_unique<cluster::Cluster>(
+        ibridge ? cluster::ClusterConfig::with_ibridge()
+                : cluster::ClusterConfig::stock());
+    c = owned.get();
+  }
+  workloads::MpiIoTestConfig cfg;
+  cfg.nprocs = 64;
+  cfg.request_size = size;
+  cfg.offset_shift = shift;
+  cfg.file_bytes = scale.file_bytes;
+  cfg.access_bytes = scale.access_bytes;
+  cfg.write = write;
+  if (!write) {
+    // Reads use a repeated-execution protocol on BOTH systems (identical
+    // measurement conditions): two unmeasured runs, then the measured one.
+    // For iBridge the warm-ups cache the fragments, as the paper's
+    // repeated-program-runs rationale describes.
+    run_mpi_io_test(*c, cfg);
+    run_mpi_io_test(*c, cfg);
+  }
+  const std::int64_t ssd_before = c->ssd_bytes_served();
+  const auto r = run_mpi_io_test(*c, cfg);
+  if (ssd_share) {
+    *ssd_share = r.bytes > 0 ? 100.0 *
+                                   static_cast<double>(c->ssd_bytes_served() -
+                                                       ssd_before) /
+                                   static_cast<double>(r.bytes)
+                             : 0.0;
+  }
+  return mbps_total(r);
+}
+
+void figure4(const Scale& scale, bool write) {
+  banner(write ? "Figure 4(a)" : "Figure 4(b)",
+         write ? "mpi-io-test writes, 64 procs, stock vs iBridge"
+               : "mpi-io-test reads, 64 procs, stock vs iBridge (warm)");
+  stats::Table t({"case", "stock", "iBridge", "improvement", "SSD share"});
+  struct Case {
+    std::string label;
+    std::int64_t size, shift;
+  };
+  std::vector<Case> cases;
+  for (std::int64_t kb : {33, 65, 129}) {
+    cases.push_back({std::to_string(kb) + " KB", kb * 1024, 0});
+  }
+  for (std::int64_t kb : {0, 1, 10, 20}) {
+    cases.push_back({"64 KB +" + std::to_string(kb) + " KB", 64 * 1024,
+                     kb * 1024});
+  }
+  for (const auto& k : cases) {
+    const double stock = run_case(scale, false, write, k.size, k.shift);
+    double share = 0.0;
+    const double ib = run_case(scale, true, write, k.size, k.shift, &share);
+    t.add_row({k.label, stats::Table::fmt("%.1f", stock),
+               stats::Table::fmt("%.1f", ib),
+               stats::Table::fmt("%+.0f%%", 100.0 * (ib / stock - 1.0)),
+               stats::Table::fmt("%.0f%%", share)});
+  }
+  t.print();
+  if (write) {
+    std::printf("  paper anchors (writes): +105%%/+183%%/+171%% for "
+                "33/65/129 KB; aligned ~167 MB/s\n");
+  } else {
+    std::printf("  paper: SSD shares 19%%/10%%/4%% for 33/65/129 KB; "
+                "offsets nearly close the gap to aligned\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale scale = Scale::parse(argc, argv);
+  figure4(scale, /*write=*/true);
+  figure4(scale, /*write=*/false);
+
+  banner("Figure 5",
+         "block-size distribution with iBridge, 64 KB + 10 KB offset reads");
+  {
+    cluster::Cluster c(cluster::ClusterConfig::with_ibridge());
+    // Warm-ups run inside run_case; count only the measured run's
+    // dispatches by re-arming the trace after enabling it (run_case clears
+    // nothing itself, so enable collects everything; we clear below).
+    c.enable_disk_trace(0);
+    workloads::MpiIoTestConfig warm;
+    warm.nprocs = 64;
+    warm.request_size = 64 * 1024;
+    warm.offset_shift = 10 * 1024;
+    warm.file_bytes = scale.file_bytes;
+    warm.access_bytes = scale.access_bytes;
+    run_mpi_io_test(c, warm);
+    run_mpi_io_test(c, warm);
+    c.server(0).disk().trace().clear();
+    run_mpi_io_test(c, warm);
+    const auto& h = c.server(0).disk().trace().size_histogram();
+    for (const auto& [sectors, count] : h.top(6)) {
+      std::printf("    %5lld sectors : %5.1f%%\n",
+                  static_cast<long long>(sectors),
+                  100.0 * static_cast<double>(count) /
+                      static_cast<double>(h.total()));
+    }
+    std::printf("  paper: 128- and 256-sector requests predominate once "
+                "fragments go to the SSDs\n");
+  }
+  footnote();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 7 — scalability with data-server count: mpi-io-test, 64 procs.
+// Three series per direction: 64 KB aligned on stock (reference), 65 KB on
+// stock, 65 KB with iBridge.  Servers 2-8.
+#include "bench/bench_common.hpp"
+
+using namespace ibridge;
+using namespace ibridge::bench;
+
+namespace {
+
+double run_case(const Scale& scale, int servers, bool ibridge, bool write,
+                std::int64_t req) {
+  auto cc = ibridge ? cluster::ClusterConfig::with_ibridge()
+                    : cluster::ClusterConfig::stock();
+  cc.data_servers = servers;
+  cluster::Cluster c(cc);
+  workloads::MpiIoTestConfig cfg;
+  cfg.nprocs = 64;
+  cfg.request_size = req;
+  cfg.file_bytes = scale.file_bytes;
+  cfg.access_bytes = scale.access_bytes / 2;
+  cfg.write = write;
+  if (!write) {  // repeated-execution read protocol on both systems
+    run_mpi_io_test(c, cfg);
+    run_mpi_io_test(c, cfg);
+  }
+  return mbps_total(run_mpi_io_test(c, cfg));
+}
+
+void table_for(const Scale& scale, bool write) {
+  banner(write ? "Figure 7(a)" : "Figure 7(b)",
+         write ? "server scaling, writes" : "server scaling, reads");
+  stats::Table t({"servers", "64 KB stock (aligned)", "65 KB stock",
+                  "65 KB iBridge"});
+  for (int servers : {2, 4, 6, 8}) {
+    t.add_row(
+        {std::to_string(servers),
+         stats::Table::fmt("%.1f",
+                           run_case(scale, servers, false, write, 64 * 1024)),
+         stats::Table::fmt("%.1f",
+                           run_case(scale, servers, false, write, 65 * 1024)),
+         stats::Table::fmt("%.1f",
+                           run_case(scale, servers, true, write, 65 * 1024))});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale scale = Scale::parse(argc, argv);
+  table_for(scale, /*write=*/true);
+  table_for(scale, /*write=*/false);
+  std::printf("  paper: throughput grows with server count everywhere; the "
+              "aligned-vs-65KB gap\n  widens with more servers and iBridge "
+              "nearly closes it\n");
+  footnote();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 8 — ior-mpi-io (ASCI Purple), 64 processes, random effective
+// access pattern: request sizes 33/64/65/129 KB, writes and reads, stock vs
+// iBridge.
+#include "bench/bench_common.hpp"
+
+using namespace ibridge;
+using namespace ibridge::bench;
+
+namespace {
+
+double run_case(const Scale& scale, bool ibridge, bool write,
+                std::int64_t req) {
+  cluster::Cluster c(ibridge ? cluster::ClusterConfig::with_ibridge()
+                             : cluster::ClusterConfig::stock());
+  workloads::IorMpiIoConfig cfg;
+  cfg.nprocs = 64;
+  cfg.request_size = req;
+  cfg.file_bytes = scale.file_bytes;
+  cfg.access_bytes = scale.access_bytes;
+  cfg.write = write;
+  if (!write) {  // repeated-execution read protocol on both systems
+    run_ior_mpi_io(c, cfg);
+    run_ior_mpi_io(c, cfg);
+  }
+  return mbps_total(run_ior_mpi_io(c, cfg));
+}
+
+void table_for(const Scale& scale, bool write) {
+  banner(write ? "Figure 8(a)" : "Figure 8(b)",
+         write ? "ior-mpi-io writes" : "ior-mpi-io reads");
+  stats::Table t({"req size", "stock", "iBridge", "improvement"});
+  for (std::int64_t kb : {33, 64, 65, 129}) {
+    const double stock = run_case(scale, false, write, kb * 1024);
+    const double ib = run_case(scale, true, write, kb * 1024);
+    t.add_row({std::to_string(kb) + " KB", stats::Table::fmt("%.1f", stock),
+               stats::Table::fmt("%.1f", ib),
+               stats::Table::fmt("%+.0f%%", 100.0 * (ib / stock - 1.0))});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale scale = Scale::parse(argc, argv);
+  table_for(scale, /*write=*/true);
+  table_for(scale, /*write=*/false);
+  std::printf("  paper: average improvement 169%% for writes, 48%% for "
+              "reads; 64 KB aligned unchanged;\n  even 129 KB (4%% SSD "
+              "share) gains 60%%/35%%\n");
+  footnote();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks of the simulator's hot paths: event
+// dispatch, scheduler operations, layout decomposition, mapping-table
+// lookups, and the admission estimate.  These guard the simulator's own
+// performance (wall-clock per simulated request), not the modelled system.
+#include <benchmark/benchmark.h>
+
+#include "core/mapping_table.hpp"
+#include "core/return_estimator.hpp"
+#include "core/service_time.hpp"
+#include "pvfs/layout.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "storage/calibration.hpp"
+#include "storage/hdd.hpp"
+#include "storage/scheduler.hpp"
+
+namespace {
+
+using namespace ibridge;
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(sim::SimTime::micros(i), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_LayoutDecompose(benchmark::State& state) {
+  pvfs::StripingLayout layout(8, 64 * 1024);
+  sim::Rng rng(1);
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    const std::int64_t off = rng.uniform(0, 10'000'000'000LL);
+    auto v = layout.decompose(off, 65 * 1024);
+    sink += static_cast<std::int64_t>(v.size());
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_LayoutDecompose);
+
+void BM_CfqAddPop(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    storage::CfqScheduler sched;
+    for (int i = 0; i < 64; ++i) {
+      sched.add({storage::BlockRequest{storage::IoDirection::kRead,
+                                       rng.uniform(0, 1'000'000), 128, i % 8},
+                 sim.now(), sim::SimPromise<storage::BlockCompletion>(sim)});
+    }
+    std::int64_t head = 0;
+    while (!sched.empty()) {
+      auto b = sched.pop_next(head);
+      head = b.end();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CfqAddPop);
+
+void BM_MappingTableLookup(benchmark::State& state) {
+  core::MappingTable table;
+  for (int i = 0; i < 10'000; ++i) {
+    table.insert({1, static_cast<std::int64_t>(i) * 10'000, 8000,
+                  static_cast<std::int64_t>(i) * 8000, false,
+                  core::CacheClass::kRegular, 1.0});
+  }
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    const std::int64_t off = rng.uniform(0, 9999) * 10'000;
+    benchmark::DoNotOptimize(table.coverage(1, off + 100, 4000));
+  }
+}
+BENCHMARK(BM_MappingTableLookup);
+
+void BM_ReturnEstimate(benchmark::State& state) {
+  storage::SeekProfile profile({{1000, 0.5}, {1'000'000, 2.0}});
+  profile.set_rotation(sim::SimTime::millis(2));
+  profile.set_peak_bandwidth(85e6);
+  core::ServiceTimeModel model(profile, 1.0 / 8.0);
+  model.observe_disk(0, 65536, storage::IoDirection::kRead, 128);
+  core::ReturnEstimator est(true);
+  core::TBoard board{1.0, 2.0, 3.0, 4.0};
+  const std::vector<int> siblings{1, 2, 3};
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        est.estimate(model, rng.uniform(0, 1'000'000), 8192,
+                     storage::IoDirection::kWrite, true, 0, siblings, board));
+  }
+}
+BENCHMARK(BM_ReturnEstimate);
+
+void BM_HddSubmitComplete(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    auto p = storage::paper_hdd();
+    p.anticipation_ms = 0;
+    storage::HddModel disk(sim, p);
+    sim::Rng rng(5);
+    for (int i = 0; i < 256; ++i) {
+      disk.submit({storage::IoDirection::kRead,
+                   rng.uniform(0, disk.capacity_sectors() - 128), 128, i % 8});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_HddSubmitComplete);
+
+}  // namespace

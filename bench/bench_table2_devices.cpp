@@ -1,0 +1,98 @@
+// Table II — basic performance of the SSD and HDD device models.
+//
+// The paper benchmarked its drives with 4 KB requests.  We measure the
+// simulated devices the same way: streaming for the sequential rates,
+// scattered 4 KB requests for the random rates.  Sequential rates are
+// calibrated to match the paper exactly; the HDD random rates land below
+// the paper's published numbers (which exceed what a 7200 RPM disk can do
+// without cache effects) — the *ordering* and read/write asymmetry match.
+#include "bench/bench_common.hpp"
+#include "sim/rng.hpp"
+#include "storage/calibration.hpp"
+#include "storage/hdd.hpp"
+#include "storage/ssd.hpp"
+
+using namespace ibridge;
+using namespace ibridge::bench;
+
+namespace {
+
+// Measured throughput of a request stream issued back-to-back.
+template <typename Device>
+double measure(Device& dev, sim::Simulator& sim,
+               const std::vector<storage::BlockRequest>& reqs) {
+  std::int64_t bytes = 0;
+  const sim::SimTime t0 = sim.now();
+  for (const auto& r : reqs) {
+    dev.submit(r);
+    bytes += r.bytes();
+  }
+  sim.run();
+  return static_cast<double>(bytes) / 1e6 / (sim.now() - t0).to_seconds();
+}
+
+std::vector<storage::BlockRequest> sequential(storage::IoDirection dir,
+                                              int count) {
+  std::vector<storage::BlockRequest> v;
+  const std::int64_t chunk = 2048;  // 1 MB
+  for (int i = 0; i < count; ++i) v.push_back({dir, i * chunk, chunk, 0});
+  return v;
+}
+
+std::vector<storage::BlockRequest> random4k(storage::IoDirection dir,
+                                            int count, std::int64_t span,
+                                            std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<storage::BlockRequest> v;
+  for (int i = 0; i < count; ++i) {
+    v.push_back({dir, rng.uniform(0, span - 8), 8, 0});
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)Scale::parse(argc, argv);
+  banner("Table II", "device microbenchmarks (4 KB random, 1 MB streaming)");
+
+  stats::Table t({"", "SSD model", "SSD paper", "HDD model", "HDD paper"});
+
+  auto row = [&](const char* label, storage::IoDirection dir, bool seq,
+                 double ssd_paper, double hdd_paper) {
+    double ssd_v, hdd_v;
+    {
+      sim::Simulator sim;
+      storage::SsdModel ssd(sim, storage::paper_ssd());
+      ssd_v = measure(ssd, sim,
+                      seq ? sequential(dir, 128)
+                          : random4k(dir, 2000, ssd.capacity_sectors(), 1));
+    }
+    {
+      sim::Simulator sim;
+      auto p = storage::paper_hdd();
+      p.anticipation_ms = 0;
+      storage::HddModel hdd(sim, p);
+      hdd_v = measure(hdd, sim,
+                      seq ? sequential(dir, 128)
+                          : random4k(dir, 500, hdd.capacity_sectors(), 2));
+    }
+    t.add_row({label, stats::Table::fmt("%.1f MB/s", ssd_v),
+               stats::Table::fmt("%.0f MB/s", ssd_paper),
+               stats::Table::fmt("%.1f MB/s", hdd_v),
+               stats::Table::fmt("%.0f MB/s", hdd_paper)});
+  };
+
+  row("Sequential Read", storage::IoDirection::kRead, true, 160, 85);
+  row("Random Read", storage::IoDirection::kRead, false, 60, 15);
+  row("Sequential Write", storage::IoDirection::kWrite, true, 140, 80);
+  row("Random Write", storage::IoDirection::kWrite, false, 30, 5);
+  t.print();
+  std::printf(
+      "  note: the paper's HDD random 4 KB rates (15/5 MB/s = 3750/1250 "
+      "IOPS)\n  exceed raw 7200-RPM mechanics; the model reproduces the "
+      "ordering and\n  the ~3x read/write asymmetry at physically consistent "
+      "magnitudes.\n");
+  footnote();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Example: choosing a storage configuration for a small-write workload.
+//
+// Runs the BTIO solver dump (tiny strided writes) against the three storage
+// configurations the paper compares — disk-only, SSD-only, and iBridge —
+// and prints execution time, I/O time, and device traffic for each.  This
+// reproduces the reasoning behind the paper's Figure 10: a small SSD used
+// as a log-structured cache beats even putting ALL data on the SSD, because
+// cache writes are sequential while direct datafile writes are random.
+//
+//   ./examples/storage_tiering [procs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/cluster.hpp"
+#include "workloads/btio.hpp"
+
+using namespace ibridge;
+
+namespace {
+
+void run(const char* label, const cluster::ClusterConfig& cc, int procs) {
+  cluster::Cluster c(cc);
+  workloads::BtIoConfig cfg;
+  cfg.nprocs = procs;
+  cfg.time_steps = 2;
+  const auto r = run_btio(c, cfg);
+
+  std::int64_t disk_bytes = 0, ssd_bytes = 0;
+  for (int s = 0; s < c.server_count(); ++s) {
+    disk_bytes += c.server(s).disk().bytes_written();
+    if (c.server(s).ssd()) ssd_bytes += c.server(s).ssd()->bytes_written();
+  }
+  std::printf(
+      "%-10s exec %6.2fs   I/O %6.3fs   disk-written %5.0f MB   "
+      "ssd-written %5.0f MB\n",
+      label, r.elapsed.to_seconds(), r.io_time.to_seconds(),
+      static_cast<double>(disk_bytes) / 1e6,
+      static_cast<double>(ssd_bytes) / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 16;
+  workloads::BtIoConfig probe;
+  probe.nprocs = procs;
+  std::printf("BTIO dump: %d processes, %lld-byte strided writes\n\n", procs,
+              static_cast<long long>(probe.request_bytes()));
+
+  run("disk-only", cluster::ClusterConfig::stock(), procs);
+  run("SSD-only", cluster::ClusterConfig::ssd_only(), procs);
+  run("iBridge", cluster::ClusterConfig::with_ibridge(), procs);
+
+  std::printf(
+      "\niBridge wins by absorbing the random writes into its sequential\n"
+      "log and flushing them to the disks in sorted batches.\n");
+  return 0;
+}

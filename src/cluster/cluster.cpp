@@ -1,0 +1,165 @@
+#include "cluster/cluster.hpp"
+
+#include <cassert>
+
+#include "storage/hdd.hpp"
+
+namespace ibridge::cluster {
+
+ClusterConfig ClusterConfig::stock() {
+  ClusterConfig c;
+  c.server.ibridge = core::IBridgeConfig::stock();
+  c.client.tag_fragments = false;
+  return c;
+}
+
+ClusterConfig ClusterConfig::with_ibridge(core::IBridgeConfig ib) {
+  ClusterConfig c;
+  ib.enabled = true;
+  c.server.ibridge = ib;
+  c.client.tag_fragments = true;
+  c.client.fragment_threshold = ib.fragment_threshold;
+  return c;
+}
+
+ClusterConfig ClusterConfig::ssd_only() {
+  ClusterConfig c;
+  c.server.ibridge = core::IBridgeConfig::stock();
+  c.server.storage_mode = pvfs::StorageMode::kSsdOnly;
+  c.client.tag_fragments = false;
+  return c;
+}
+
+storage::SeekProfile profile_disk(const storage::HddParams& params) {
+  // Offline profiling happens on an idle disk before deployment: use a
+  // scratch simulator and a scratch device with the same parameters, with
+  // anticipation off (the profiler issues one request at a time anyway).
+  sim::Simulator scratch;
+  storage::HddParams p = params;
+  p.anticipation_ms = 0.0;
+  storage::HddModel disk(scratch, p);
+  return storage::DeviceProfiler().profile(scratch, disk);
+}
+
+Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
+  net_ = std::make_unique<net::NetworkModel>(sim_, cfg.network);
+
+  storage::SeekProfile profile;
+  if (cfg.server.ibridge.enabled) {
+    profile = profile_disk(cfg.server.hdd);
+  }
+
+  servers_.reserve(static_cast<std::size_t>(cfg.data_servers));
+  std::vector<pvfs::DataServer*> raw;
+  for (int i = 0; i < cfg.data_servers; ++i) {
+    net::Nic& nic = net_->add_endpoint("ds" + std::to_string(i));
+    server_nics_.push_back(&nic);
+    servers_.push_back(
+        std::make_unique<pvfs::DataServer>(sim_, i, cfg.server, nic, profile));
+    raw.push_back(servers_.back().get());
+  }
+
+  mds_nic_ = &net_->add_endpoint("mds");
+  mds_ = std::make_unique<pvfs::MetadataServer>(
+      sim_, raw, *mds_nic_, cfg.server.ibridge.t_report_interval);
+  mds_->start_board_daemon();
+
+  for (int i = 0; i < cfg.client_nodes; ++i) {
+    client_nics_.push_back(&net_->add_endpoint("cn" + std::to_string(i)));
+  }
+
+  pvfs::ClientConfig cc = cfg.client;
+  cc.procs_per_node = cfg.procs_per_node;
+  client_ = std::make_unique<pvfs::Client>(sim_, *mds_, raw, *net_,
+                                           client_nics_, cc);
+}
+
+Cluster::~Cluster() {
+  mds_->stop();
+  for (auto& s : servers_) {
+    if (s->cache()) s->cache()->stop();
+  }
+}
+
+pvfs::FileHandle Cluster::create_file(const std::string& name,
+                                      std::int64_t size) {
+  const pvfs::FileHandle existing = mds_->lookup(name);
+  if (existing != pvfs::kInvalidHandle) return existing;
+  return mds_->create_file(name, size, cfg_.stripe_unit);
+}
+
+void Cluster::restart_daemons() {
+  mds_->start_board_daemon();
+  for (auto& s : servers_) {
+    if (s->cache()) s->cache()->start();
+  }
+}
+
+sim::SimTime Cluster::drain() {
+  // Stop periodic daemons so the event queue can empty, flush the caches,
+  // then run everything down.
+  mds_->stop();
+  bool done = false;
+  // Drain every server concurrently — the flushes overlap in simulated
+  // time exactly as the real servers' write-back threads would.
+  auto drain_all = [](Cluster& c, bool& flag) -> sim::Task<> {
+    sim::JoinSet join(c.sim());
+    for (int i = 0; i < c.server_count(); ++i) {
+      if (c.server(i).cache()) join.add(c.server(i).cache()->drain());
+    }
+    co_await join.join();
+    flag = true;
+  };
+  auto task = drain_all(*this, done);
+  for (auto& s : servers_) {
+    if (s->cache()) s->cache()->stop();
+  }
+  task.start();
+  sim_.run_while_pending([&] { return done; });
+  const sim::SimTime flushed = sim_.now();
+  // Clear the queue (stale daemon wake-ups, in-flight background copies);
+  // this may advance the clock past `flushed`, which callers must ignore.
+  sim_.run();
+  return flushed;
+}
+
+void Cluster::enable_disk_trace(int server, bool keep_entries) {
+  auto& tr = servers_[static_cast<std::size_t>(server)]->disk().trace();
+  tr.set_enabled(true);
+  tr.set_keep_entries(keep_entries);
+  tr.clear();
+}
+
+std::int64_t Cluster::total_bytes_served() const {
+  std::int64_t sum = 0;
+  for (const auto& s : servers_) sum += s->bytes_served();
+  return sum;
+}
+
+std::int64_t Cluster::ssd_bytes_served() const {
+  std::int64_t sum = 0;
+  for (const auto& s : servers_) {
+    if (auto* c = const_cast<pvfs::DataServer&>(*s).cache()) {
+      sum += c->stats().ssd_bytes_served;
+    }
+  }
+  return sum;
+}
+
+std::int64_t Cluster::ssd_cached_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& s : servers_) {
+    if (auto* c = const_cast<pvfs::DataServer&>(*s).cache()) {
+      sum += c->cached_bytes();
+    }
+  }
+  return sum;
+}
+
+double Cluster::avg_service_ms() const {
+  stats::Summary all;
+  for (const auto& s : servers_) all.merge(s->service_meter().summary());
+  return all.mean();
+}
+
+}  // namespace ibridge::cluster

@@ -1,0 +1,423 @@
+#include "core/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ibridge::core {
+
+using storage::IoDirection;
+
+IBridgeCache::IBridgeCache(sim::Simulator& sim, IBridgeConfig cfg,
+                           int self_server, fsim::LocalFileSystem& disk_fs,
+                           fsim::LocalFileSystem& ssd_fs,
+                           storage::SeekProfile profile)
+    : sim_(sim),
+      cfg_(cfg),
+      self_(self_server),
+      disk_fs_(disk_fs),
+      ssd_fs_(ssd_fs),
+      stm_(std::move(profile), cfg.t_old_weight),
+      estimator_(cfg.fragment_boost),
+      log_(cfg.ssd_cache_bytes, cfg.log_segment_bytes),
+      partition_(cfg, cfg.ssd_cache_bytes),
+      background_(sim) {
+  // Pre-create the log file with slack for piggybacked mapping updates.
+  log_file_ = ssd_fs_.create("ibridge.log",
+                             cfg.ssd_cache_bytes + (1 << 20));
+  assert(log_file_ != fsim::kInvalidFile && "SSD too small for cache log");
+}
+
+void IBridgeCache::start() {
+  if (running_) return;
+  running_ = true;
+  ++daemon_epoch_;
+  background_.spawn(writeback_daemon());
+}
+
+void IBridgeCache::stop() {
+  running_ = false;
+  ++daemon_epoch_;
+}
+
+std::int64_t IBridgeCache::disk_lbn(const CacheRequest& r) const {
+  const auto& f = disk_fs_.file(r.file);
+  if (r.offset + r.length > f.size()) {
+    // Write extending the file: predict placement at the current tail.
+    const auto& ext = f.extents();
+    if (ext.empty()) return 0;
+    return ext.back().lbn + ext.back().sectors;
+  }
+  auto pieces = f.map(r.offset, r.length);
+  assert(!pieces.empty());
+  return pieces.front().lbn;
+}
+
+std::int64_t IBridgeCache::disk_end_lbn(const CacheRequest& r) const {
+  const auto& f = disk_fs_.file(r.file);
+  if (r.offset + r.length > f.size()) return disk_lbn(r);
+  auto pieces = f.map(r.offset, r.length);
+  assert(!pieces.empty());
+  return pieces.back().lbn + pieces.back().sectors;
+}
+
+void IBridgeCache::invalidate_range(fsim::FileId file, std::int64_t off,
+                                    std::int64_t len) {
+  auto ids = table_.overlapping(file, off, len);
+  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
+  for (EntryId id : ids) table_.trim(id, off, len, freed);
+  for (const auto& [log_off, n] : freed) log_.release(log_off, n);
+}
+
+bool IBridgeCache::note_region_access(const CacheRequest& r) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(r.file) << 40) ^
+      static_cast<std::uint64_t>(r.offset / cfg_.hot_block_region);
+  return ++region_heat_[key] >= cfg_.hot_block_min_hits;
+}
+
+bool IBridgeCache::admit(const CacheRequest& r, const ReturnEstimate& est) {
+  if (!small_enough(r)) return false;
+  switch (cfg_.admission) {
+    case AdmissionPolicy::kReturnBased:
+      return est.ret_ms > 0.0;
+    case AdmissionPolicy::kAlwaysSmall:
+      return true;
+    case AdmissionPolicy::kHotBlock:
+      return note_region_access(r);
+  }
+  return false;
+}
+
+sim::Task<std::int64_t> IBridgeCache::make_room(CacheClass c,
+                                                std::int64_t len) {
+  if (len > partition_.quota(table_, c) || len > log_.segment_bytes()) {
+    co_return -1;
+  }
+  // Quota pressure: evict LRU entries of the same class.
+  while (partition_.over_quota(table_, c, len)) {
+    const EntryId victim = table_.lru_victim(c);
+    if (victim == kNoEntry) break;  // class empty yet over quota: shrink race
+    co_await evict(victim);
+  }
+  // The other class may hold space beyond its (possibly shrunken) quota;
+  // reclaim from it if the log is still out of room.
+  const CacheClass other =
+      c == CacheClass::kFragment ? CacheClass::kRegular : CacheClass::kFragment;
+  while (!log_.has_room(len) &&
+         table_.bytes_cached(other) > partition_.quota(table_, other)) {
+    const EntryId victim = table_.lru_victim(other);
+    if (victim == kNoEntry) break;
+    co_await evict(victim);
+  }
+  // Space pressure despite quotas (log fragmentation): clean segments.
+  int guard = log_.free_segment_count() + 64;
+  while (!log_.has_room(len) && guard-- > 0) {
+    const int seg = log_.victim_segment();
+    if (seg < 0) break;
+    ++stats_.cleanings;
+    const auto [b, e] = log_.segment_range(seg);
+    for (EntryId id : table_.entries_in_log_range(b, e)) {
+      co_await evict(id);
+    }
+  }
+  co_return log_.append(len);
+}
+
+sim::Task<bool> IBridgeCache::evict(EntryId id) {
+  if (!table_.contains(id)) co_return false;
+  if (table_.get(id).dirty) {
+    // Flushing one tiny dirty entry per eviction would thrash under
+    // capacity pressure (every admission would pay a synchronous small
+    // disk write).  Amortize: flush a whole file-ordered batch, which
+    // coalesces into long runs and leaves a clean cohort to evict cheaply.
+    co_await flush_batch(table_.dirty_entries(cfg_.writeback_daemon_bytes));
+    if (!table_.contains(id)) co_return false;  // raced with invalidation
+    if (table_.get(id).dirty) co_await flush_entry(id);  // not in the batch
+    if (!table_.contains(id)) co_return false;
+  }
+  const CacheEntry e = table_.erase(id);
+  log_.release(e.log_off, e.length);
+  ++stats_.evictions;
+  co_return true;
+}
+
+sim::Task<> IBridgeCache::flush_entry(EntryId id) {
+  if (!table_.contains(id) || !table_.get(id).dirty) co_return;
+  const CacheEntry e = table_.get(id);
+
+  std::vector<std::byte> buf;
+  std::span<std::byte> span;
+  if (ssd_fs_.data_mode() == fsim::DataMode::kVerify) {
+    buf.resize(static_cast<std::size_t>(e.length));
+    span = buf;
+  }
+  // Read the payload from the log, then write it to its home location.
+  co_await ssd_fs_.read(log_file_, e.log_off, e.length, span);
+  // A concurrent write may have trimmed or replaced the entry while the log
+  // read was in flight (trim re-inserts remainders under new ids).  If the
+  // id is gone, this copy is partially stale: skip the disk write — the
+  // surviving remainder entries are still dirty and will be flushed.
+  if (!table_.contains(id) || !table_.get(id).dirty) co_return;
+  // Note: write-back traffic does NOT update the Eq. (1) state — T is the
+  // average service time of *workload* requests served by the disk, and
+  // letting internal bulk flushes (large coalesced runs) into the average
+  // would spike T and starve admission right after every flush.
+  co_await disk_fs_.write(e.file, e.file_off, e.length,
+                          std::span<const std::byte>(span.data(), span.size()));
+  if (table_.contains(id)) table_.mark_clean(id);
+  ++stats_.writebacks;
+}
+
+void IBridgeCache::charge_mapping_update(std::int64_t near_log_off) {
+  if (cfg_.mapping_entry_bytes <= 0) return;
+  // Piggyback a tiny sequential write right behind the data (the real
+  // implementation appends the updated table entry with the log record).
+  const std::int64_t off =
+      std::min(near_log_off, ssd_fs_.file(log_file_).size() - 512);
+  auto pieces = ssd_fs_.file(log_file_).map(
+      std::max<std::int64_t>(off, 0), cfg_.mapping_entry_bytes);
+  if (pieces.empty()) return;
+  // Fire and forget: the device charges the time; nothing waits on it.
+  ssd_fs_.device().submit(
+      {IoDirection::kWrite, pieces.front().lbn, pieces.front().sectors, 0});
+}
+
+sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
+                                           std::span<const std::byte> wdata,
+                                           std::span<std::byte> rdata) {
+  assert(r.length > 0);
+  const sim::SimTime t0 = sim_.now();
+  ServeResult result;
+  const CacheClass klass = classify(r);
+
+  if (r.dir == IoDirection::kWrite) {
+    const std::int64_t lbn = disk_lbn(r);
+    const auto est = estimator_.estimate(stm_, lbn, r.length, r.dir,
+                                         r.fragment, self_, r.siblings,
+                                         board_);
+    if (est.boosted) ++stats_.boosts;
+    bool admit = this->admit(r, est);
+    std::int64_t log_off = -1;
+    if (admit) {
+      // Any cached overlap is superseded by this write.
+      invalidate_range(r.file, r.offset, r.length);
+      log_off = co_await make_room(klass, r.length);
+      admit = log_off >= 0;
+    }
+    if (admit) {
+      co_await ssd_fs_.write(log_file_, log_off, r.length, wdata);
+      charge_mapping_update(log_off + r.length);
+      // A concurrent admission may have cached the same range while the SSD
+      // write was in flight; supersede it.
+      invalidate_range(r.file, r.offset, r.length);
+      table_.insert({r.file, r.offset, r.length, log_off, /*dirty=*/true,
+                     klass, est.ret_ms});
+      // Eq. (2): disk state unchanged.
+      ++stats_.write_admits;
+      ++stats_.admit_by_class[static_cast<int>(klass)];
+      stats_.ssd_bytes_served += r.length;
+      result.ssd = true;
+      result.boosted = est.boosted;
+    } else {
+      if (log_off >= 0) log_.release(log_off, r.length);
+      // Disk write supersedes any cached overlap.
+      invalidate_range(r.file, r.offset, r.length);
+      co_await disk_fs_.write(r.file, r.offset, r.length, wdata, r.tag);
+      stm_.observe_disk(lbn, r.length, r.dir, disk_end_lbn(r));  // Eq. (1)
+      ++stats_.write_disk;
+      stats_.disk_bytes_served += r.length;
+    }
+    result.elapsed = sim_.now() - t0;
+    co_return result;
+  }
+
+  // ------------------------------------------------------------- read ----
+  auto slices = table_.coverage(r.file, r.offset, r.length);
+  if (!slices.empty()) {
+    for (const auto& s : slices) {
+      std::span<std::byte> sub;
+      if (!rdata.empty()) {
+        sub = rdata.subspan(static_cast<std::size_t>(s.file_off - r.offset),
+                            static_cast<std::size_t>(s.length));
+      }
+      co_await ssd_fs_.read(log_file_, s.log_off, s.length, sub);
+      if (table_.contains(s.entry)) table_.touch(s.entry);
+    }
+    ++stats_.read_hits;
+    stats_.ssd_bytes_served += r.length;
+    result.ssd = true;
+    result.elapsed = sim_.now() - t0;
+    co_return result;  // Eq. (2): disk untouched
+  }
+
+  // Miss.  Dirty cached data overlapping the range is newer than the disk:
+  // flush it first so the disk read returns current bytes.
+  for (EntryId id : table_.overlapping(r.file, r.offset, r.length)) {
+    if (table_.contains(id) && table_.get(id).dirty) {
+      co_await flush_entry(id);
+    }
+  }
+
+  const std::int64_t lbn = disk_lbn(r);
+  const auto est = estimator_.estimate(stm_, lbn, r.length, r.dir, r.fragment,
+                                       self_, r.siblings, board_);
+  if (est.boosted) ++stats_.boosts;
+  co_await disk_fs_.read(r.file, r.offset, r.length, rdata, r.tag);
+  stm_.observe_disk(lbn, r.length, r.dir, disk_end_lbn(r));  // Eq. (1)
+  ++stats_.read_misses;
+  stats_.disk_bytes_served += r.length;
+  result.boosted = est.boosted;
+
+  // Positive return (or baseline-policy admission): cache the data for
+  // future runs, copying it into the log in the background ("when the SSD
+  // is idle").
+  if (admit(r, est)) {
+    background_.spawn(stage_read(r, klass, est.ret_ms));
+  }
+  result.elapsed = sim_.now() - t0;
+  co_return result;
+}
+
+sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
+                                     double ret_ms) {
+  const std::int64_t log_off = co_await make_room(klass, r.length);
+  if (log_off < 0) co_return;
+
+  std::vector<std::byte> buf;
+  std::span<const std::byte> span;
+  if (ssd_fs_.data_mode() == fsim::DataMode::kVerify) {
+    buf.resize(static_cast<std::size_t>(r.length));
+    // The bytes were just read from the disk; fetch them from its store.
+    std::span<std::byte> mut(buf);
+    disk_fs_.peek_bytes(r.file, r.offset, mut);
+    span = buf;
+  }
+  co_await ssd_fs_.write(log_file_, log_off, r.length, span);
+  charge_mapping_update(log_off + r.length);
+
+  // While the copy was in flight, a write may have cached or rewritten the
+  // range; if anything overlaps now, the staged copy is stale — drop it.
+  if (!table_.overlapping(r.file, r.offset, r.length).empty()) {
+    log_.release(log_off, r.length);
+    co_return;
+  }
+  table_.insert({r.file, r.offset, r.length, log_off, /*dirty=*/false, klass,
+                 ret_ms});
+  ++stats_.stages;
+  ++stats_.admit_by_class[static_cast<int>(klass)];
+}
+
+sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
+                                      bool yield_to_foreground) {
+  // Sort by home location so the flushed writes form long forward runs.
+  std::sort(batch.begin(), batch.end(), [this](EntryId a, EntryId b) {
+    const auto& ea = table_.get(a);
+    const auto& eb = table_.get(b);
+    if (ea.file != eb.file) return ea.file < eb.file;
+    return ea.file_off < eb.file_off;
+  });
+
+  // Stage every payload out of the SSD log concurrently so the disk writes
+  // can then stream back-to-back with no inter-write gaps.
+  struct Staged {
+    EntryId id;
+    CacheEntry e;
+    std::vector<std::byte> buf;
+  };
+  auto staged = std::make_shared<std::vector<Staged>>();
+  staged->reserve(batch.size());
+  const bool verify = ssd_fs_.data_mode() == fsim::DataMode::kVerify;
+  sim::JoinSet reads(sim_);
+  for (EntryId id : batch) {
+    if (!table_.contains(id) || !table_.get(id).dirty) continue;
+    staged->push_back({id, table_.get(id), {}});
+    if (verify) {
+      staged->back().buf.resize(
+          static_cast<std::size_t>(staged->back().e.length));
+    }
+    Staged* s = &staged->back();
+    reads.add([](IBridgeCache& c, Staged* st) -> sim::Task<> {
+      co_await c.ssd_fs_.read(c.log_file_, st->e.log_off, st->e.length,
+                              st->buf);
+    }(*this, s));
+  }
+  co_await reads.join();
+
+  // Coalesce byte-contiguous entries into single long disk writes — the
+  // paper's write-back is "scheduled to form as many long sequential
+  // accesses as possible".  Without this, dense small dirty data (e.g.
+  // BTIO's 640-2160 B strided records) would pay a positioning cost per
+  // entry even though the union of the entries is one contiguous region.
+  constexpr std::int64_t kMaxRun = 8 << 20;
+  std::size_t i = 0;
+  while (i < staged->size()) {
+    if (yield_to_foreground && disk_fs_.device().queue_depth() > 0) break;
+    // Find the start of a valid run.
+    const Staged& head = (*staged)[i];
+    if (!table_.contains(head.id) || !table_.get(head.id).dirty) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    std::int64_t run_len = head.e.length;
+    while (j < staged->size() && run_len < kMaxRun) {
+      const Staged& next = (*staged)[j];
+      if (next.e.file != head.e.file ||
+          next.e.file_off != head.e.file_off + run_len ||
+          !table_.contains(next.id) || !table_.get(next.id).dirty) {
+        break;
+      }
+      run_len += next.e.length;
+      ++j;
+    }
+
+    std::vector<std::byte> run_buf;
+    std::span<const std::byte> span;
+    if (verify) {
+      run_buf.reserve(static_cast<std::size_t>(run_len));
+      for (std::size_t k = i; k < j; ++k) {
+        run_buf.insert(run_buf.end(), (*staged)[k].buf.begin(),
+                       (*staged)[k].buf.end());
+      }
+      span = run_buf;
+    }
+    // (As in flush_entry: internal write-back does not update Eq. (1).)
+    co_await disk_fs_.write(head.e.file, head.e.file_off, run_len, span);
+    for (std::size_t k = i; k < j; ++k) {
+      if (table_.contains((*staged)[k].id)) {
+        table_.mark_clean((*staged)[k].id);
+      }
+      ++stats_.writebacks;
+    }
+    i = j;
+  }
+}
+
+sim::Task<> IBridgeCache::writeback_daemon() {
+  const std::uint64_t epoch = daemon_epoch_;
+  while (running_ && epoch == daemon_epoch_) {
+    co_await sim::Delay{sim_, cfg_.writeback_interval};
+    if (!running_ || epoch != daemon_epoch_) break;
+    // Quiet-period detection: skip the wake-up when foreground work is
+    // queued at the disk — unless dirty data is piling up toward the
+    // capacity limit, in which case flushing now is cheaper than letting
+    // admissions evict synchronously later.
+    const bool pressure =
+        table_.dirty_bytes() > partition_.capacity() / 2;
+    if (!pressure && disk_fs_.device().queue_depth() > 0) continue;
+    auto batch = table_.dirty_entries(cfg_.writeback_daemon_bytes);
+    if (batch.empty()) continue;
+    co_await flush_batch(std::move(batch), /*yield_to_foreground=*/!pressure);
+  }
+}
+
+sim::Task<> IBridgeCache::drain() {
+  while (table_.dirty_bytes() > 0) {
+    auto batch = table_.dirty_entries(cfg_.writeback_batch_bytes);
+    if (batch.empty()) break;
+    co_await flush_batch(std::move(batch));
+  }
+}
+
+}  // namespace ibridge::core

@@ -1,0 +1,179 @@
+// IBridgeCache — the server-side heart of iBridge.
+//
+// One instance lives on each data server, sitting between the pvfs2-server
+// request handler and the server's local disk file system.  For every
+// arriving request it:
+//
+//   1. classifies it (fragment flag from the client, regular-random by size),
+//   2. estimates the return of SSD redirection (Equations 1-3) using the
+//      profiled disk model and the broadcast T-value board,
+//   3. serves it from the SSD cache (log-structured writes, mapping-table
+//      reads) when the return is positive, from the disk otherwise,
+//   4. maintains the dynamic class partition, per-class LRU eviction, and
+//      the idle-time write-back of dirty cached data to the disk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/mapping_table.hpp"
+#include "core/partition.hpp"
+#include "core/return_estimator.hpp"
+#include "core/service_time.hpp"
+#include "core/ssd_log.hpp"
+#include "fsim/filesystem.hpp"
+#include "sim/sync.hpp"
+
+namespace ibridge::core {
+
+/// A request as seen by a data server (after decomposition + tagging).
+struct CacheRequest {
+  storage::IoDirection dir = storage::IoDirection::kRead;
+  fsim::FileId file = fsim::kInvalidFile;  ///< server-local datafile
+  std::int64_t offset = 0;                 ///< within the datafile
+  std::int64_t length = 0;
+  bool fragment = false;
+  std::vector<int> siblings;  ///< servers of sibling sub-requests
+  int tag = 0;                ///< issuing process (scheduler anticipation)
+};
+
+struct ServeResult {
+  bool ssd = false;       ///< payload served by the SSD
+  bool boosted = false;   ///< Equation (3) bonus participated in admission
+  sim::SimTime elapsed;
+};
+
+/// Operation counters exposed to benchmarks and tests.
+struct CacheStats {
+  std::int64_t ssd_bytes_served = 0;   ///< payload bytes served by the SSD
+  std::int64_t disk_bytes_served = 0;  ///< payload bytes served by the disk
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_admits = 0;
+  std::uint64_t write_disk = 0;
+  std::uint64_t stages = 0;       ///< read-miss copies into the cache
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;   ///< dirty entries flushed to disk
+  std::uint64_t boosts = 0;       ///< Eq. (3) bonuses applied
+  std::uint64_t cleanings = 0;    ///< log segments forcibly emptied
+  std::uint64_t admit_by_class[kNumClasses] = {0, 0};
+};
+
+class IBridgeCache {
+ public:
+  /// `disk_fs` holds the server's datafiles; `ssd_fs` is the file system on
+  /// the companion SSD (the cache creates its log file there); `profile` is
+  /// the offline-learned seek curve of the disk.
+  IBridgeCache(sim::Simulator& sim, IBridgeConfig cfg, int self_server,
+               fsim::LocalFileSystem& disk_fs, fsim::LocalFileSystem& ssd_fs,
+               storage::SeekProfile profile);
+
+  IBridgeCache(const IBridgeCache&) = delete;
+  IBridgeCache& operator=(const IBridgeCache&) = delete;
+
+  /// Spawn the write-back daemon.  Call once after construction.
+  void start();
+  /// Stop the daemon (pending wake-ups become no-ops).
+  void stop();
+
+  /// Serve one request.  For writes, `wdata` carries the payload (may be
+  /// empty in timing-only mode); for reads, `rdata` receives it.
+  sim::Task<ServeResult> serve(CacheRequest r, std::span<const std::byte> wdata,
+                               std::span<std::byte> rdata);
+
+  /// Flush every dirty cached byte back to the disk, sorted by disk
+  /// location (program-exit accounting: the paper includes this time).
+  sim::Task<> drain();
+
+  /// This server's current decayed average disk service time T (ms).
+  double current_t() const { return stm_.t(); }
+
+  /// Install the latest broadcast of all servers' T values.
+  void set_board(TBoard board) { board_ = std::move(board); }
+  const TBoard& board() const { return board_; }
+
+  const CacheStats& stats() const { return stats_; }
+  const MappingTable& table() const { return table_; }
+  const SsdLog& log() const { return log_; }
+  const IBridgeConfig& config() const { return cfg_; }
+  const ServiceTimeModel& service_model() const { return stm_; }
+  std::int64_t cached_bytes() const { return table_.bytes_cached(); }
+
+ private:
+  CacheClass classify(const CacheRequest& r) const {
+    return r.fragment ? CacheClass::kFragment : CacheClass::kRegular;
+  }
+  bool small_enough(const CacheRequest& r) const {
+    return r.length < (r.fragment ? cfg_.fragment_threshold
+                                  : cfg_.random_threshold);
+  }
+
+  /// Admission decision for a small request under the configured policy.
+  /// Returns the return value to record with the cached data (baselines
+  /// record the base estimate so dynamic partitioning still functions).
+  bool admit(const CacheRequest& r, const ReturnEstimate& est);
+
+  /// kHotBlock: count an access and report whether its region is hot.
+  bool note_region_access(const CacheRequest& r);
+
+  /// First disk LBN the request would touch (lambda_i of Equation 1).
+  std::int64_t disk_lbn(const CacheRequest& r) const;
+  std::int64_t disk_end_lbn(const CacheRequest& r) const;
+
+  /// Trim every cached entry overlapping [off, off+len) of `file`,
+  /// releasing the freed log space.  Dirty data in the range is dropped —
+  /// callers only invalidate ranges that are being overwritten.
+  void invalidate_range(fsim::FileId file, std::int64_t off, std::int64_t len);
+
+  /// Allocate `len` log bytes for class `c`, evicting under quota pressure
+  /// and cleaning segments under space pressure.  Returns -1 when the class
+  /// quota cannot fit the allocation at all.
+  sim::Task<std::int64_t> make_room(CacheClass c, std::int64_t len);
+
+  /// Evict one entry (write-back first when dirty); false if id vanished.
+  sim::Task<bool> evict(EntryId id);
+
+  /// Write a dirty entry's bytes back to the disk and mark it clean.
+  sim::Task<> flush_entry(EntryId id);
+
+  /// Flush a batch: stage all payloads out of the SSD log concurrently,
+  /// then stream the disk writes back-to-back in sorted home order (the
+  /// paper's "as many long sequential accesses as possible").  With
+  /// `yield_to_foreground`, the write stream stops as soon as foreground
+  /// requests queue at the disk (daemon mode); drain() flushes regardless.
+  sim::Task<> flush_batch(std::vector<EntryId> batch,
+                          bool yield_to_foreground = false);
+
+  /// Charge the SSD for persisting a mapping-table entry update.
+  void charge_mapping_update(std::int64_t near_log_off);
+
+  /// Background copy of freshly disk-read data into the cache.
+  sim::Task<> stage_read(CacheRequest r, CacheClass klass, double ret_ms);
+
+  sim::Task<> writeback_daemon();
+
+  sim::Simulator& sim_;
+  IBridgeConfig cfg_;
+  int self_;
+  fsim::LocalFileSystem& disk_fs_;
+  fsim::LocalFileSystem& ssd_fs_;
+  fsim::FileId log_file_ = fsim::kInvalidFile;
+  ServiceTimeModel stm_;
+  ReturnEstimator estimator_;
+  MappingTable table_;
+  SsdLog log_;
+  PartitionController partition_;
+  TBoard board_;
+  CacheStats stats_;
+  // kHotBlock heat map: (file, region index) -> access count.
+  std::unordered_map<std::uint64_t, int> region_heat_;
+  bool running_ = false;
+  std::uint64_t daemon_epoch_ = 0;
+  sim::TaskGroup background_;
+};
+
+}  // namespace ibridge::core

@@ -1,0 +1,215 @@
+#include "core/mapping_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ibridge::core {
+
+EntryId MappingTable::insert(CacheEntry e) {
+  assert(e.length > 0);
+  assert(overlapping(e.file, e.file_off, e.length).empty() &&
+         "insert over existing cached range");
+  const EntryId id = next_id_++;
+  auto& lru = lru_[idx(e.klass)];
+  lru.push_back(id);
+  Node node{e, std::prev(lru.end())};
+  account_add(e);
+  index_insert(id, e);
+  entries_.emplace(id, std::move(node));
+  return id;
+}
+
+CacheEntry MappingTable::erase(EntryId id) {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  CacheEntry e = it->second.entry;
+  lru_[idx(e.klass)].erase(it->second.lru_it);
+  account_remove(e);
+  index_erase(id, e);
+  entries_.erase(it);
+  return e;
+}
+
+const CacheEntry& MappingTable::get(EntryId id) const {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  return it->second.entry;
+}
+
+void MappingTable::mark_clean(EntryId id) {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  if (it->second.entry.dirty) {
+    it->second.entry.dirty = false;
+    dirty_bytes_ -= it->second.entry.length;
+  }
+}
+
+void MappingTable::mark_dirty(EntryId id) {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  if (!it->second.entry.dirty) {
+    it->second.entry.dirty = true;
+    dirty_bytes_ += it->second.entry.length;
+  }
+}
+
+void MappingTable::touch(EntryId id) {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  auto& lru = lru_[idx(it->second.entry.klass)];
+  lru.splice(lru.end(), lru, it->second.lru_it);
+  it->second.lru_it = std::prev(lru.end());
+}
+
+std::vector<LogSlice> MappingTable::coverage(fsim::FileId file,
+                                             std::int64_t off,
+                                             std::int64_t len) const {
+  std::vector<LogSlice> out;
+  auto fit = by_file_.find(file);
+  if (fit == by_file_.end()) return out;
+  const auto& index = fit->second;
+  const std::int64_t end = off + len;
+
+  std::int64_t pos = off;
+  // Find the entry containing `pos`: the last entry starting at or before it.
+  auto it = index.upper_bound(pos);
+  if (it == index.begin()) return {};
+  --it;
+  while (pos < end) {
+    const CacheEntry& e = entries_.at(it->second).entry;
+    if (pos < e.file_off || pos >= e.file_end()) return {};  // gap
+    const std::int64_t take = std::min(end, e.file_end()) - pos;
+    out.push_back({it->second, pos, e.log_off + (pos - e.file_off), take});
+    pos += take;
+    if (pos >= end) break;
+    ++it;
+    if (it == index.end()) return {};  // ran out of entries
+  }
+  return out;
+}
+
+std::vector<EntryId> MappingTable::overlapping(fsim::FileId file,
+                                               std::int64_t off,
+                                               std::int64_t len) const {
+  std::vector<EntryId> out;
+  auto fit = by_file_.find(file);
+  if (fit == by_file_.end()) return out;
+  const auto& index = fit->second;
+  const std::int64_t end = off + len;
+
+  auto it = index.upper_bound(off);
+  if (it != index.begin()) {
+    auto prev = std::prev(it);
+    const CacheEntry& e = entries_.at(prev->second).entry;
+    if (e.file_end() > off) out.push_back(prev->second);
+  }
+  for (; it != index.end() && it->first < end; ++it) out.push_back(it->second);
+  return out;
+}
+
+void MappingTable::trim(
+    EntryId id, std::int64_t off, std::int64_t len,
+    std::vector<std::pair<std::int64_t, std::int64_t>>& freed) {
+  auto it = entries_.find(id);
+  assert(it != entries_.end());
+  const CacheEntry e = it->second.entry;
+  const std::int64_t cut_lo = std::max(off, e.file_off);
+  const std::int64_t cut_hi = std::min(off + len, e.file_end());
+  if (cut_lo >= cut_hi) return;  // no intersection
+
+  freed.emplace_back(e.log_off + (cut_lo - e.file_off), cut_hi - cut_lo);
+  erase(id);
+
+  if (cut_lo > e.file_off) {  // left remainder
+    CacheEntry left = e;
+    left.length = cut_lo - e.file_off;
+    insert(left);
+  }
+  if (cut_hi < e.file_end()) {  // right remainder
+    CacheEntry right = e;
+    right.file_off = cut_hi;
+    right.log_off = e.log_off + (cut_hi - e.file_off);
+    right.length = e.file_end() - cut_hi;
+    insert(right);
+  }
+}
+
+EntryId MappingTable::lru_victim(CacheClass c) const {
+  const auto& lru = lru_[idx(c)];
+  return lru.empty() ? kNoEntry : lru.front();
+}
+
+std::vector<EntryId> MappingTable::dirty_entries(std::int64_t max_bytes) const {
+  std::vector<EntryId> out;
+  std::int64_t budget = max_bytes;
+  // Walk files in id order and entries in file-offset order, so a batch is
+  // as contiguous as the dirty data allows — the write-back path coalesces
+  // adjacent entries into single long disk writes ("as many long sequential
+  // accesses as possible").
+  std::vector<fsim::FileId> files;
+  files.reserve(by_file_.size());
+  for (const auto& [fid, _] : by_file_) files.push_back(fid);
+  std::sort(files.begin(), files.end());
+  for (fsim::FileId fid : files) {
+    for (const auto& [off, id] : by_file_.at(fid)) {
+      const CacheEntry& e = entries_.at(id).entry;
+      if (!e.dirty) continue;
+      if (budget - e.length < 0 && !out.empty()) return out;
+      out.push_back(id);
+      budget -= e.length;
+      if (budget <= 0) return out;
+    }
+  }
+  return out;
+}
+
+std::vector<EntryId> MappingTable::entries_in_log_range(
+    std::int64_t log_begin, std::int64_t log_end) const {
+  std::vector<EntryId> out;
+  auto it = by_log_.upper_bound(log_begin);
+  if (it != by_log_.begin()) {
+    auto prev = std::prev(it);
+    const CacheEntry& e = entries_.at(prev->second).entry;
+    if (e.log_off + e.length > log_begin) out.push_back(prev->second);
+  }
+  for (; it != by_log_.end() && it->first < log_end; ++it)
+    out.push_back(it->second);
+  return out;
+}
+
+void MappingTable::index_insert(EntryId id, const CacheEntry& e) {
+  auto [it, inserted] = by_file_[e.file].emplace(e.file_off, id);
+  (void)it;
+  assert(inserted && "two entries with identical start offset");
+  auto [lit, linserted] = by_log_.emplace(e.log_off, id);
+  (void)lit;
+  assert(linserted && "two entries with identical log offset");
+}
+
+void MappingTable::index_erase(EntryId id, const CacheEntry& e) {
+  auto log_it = by_log_.find(e.log_off);
+  assert(log_it != by_log_.end() && log_it->second == id);
+  by_log_.erase(log_it);
+  auto fit = by_file_.find(e.file);
+  assert(fit != by_file_.end());
+  auto it = fit->second.find(e.file_off);
+  assert(it != fit->second.end() && it->second == id);
+  (void)id;
+  fit->second.erase(it);
+  if (fit->second.empty()) by_file_.erase(fit);
+}
+
+void MappingTable::account_add(const CacheEntry& e) {
+  bytes_[idx(e.klass)] += e.length;
+  ret_sum_[idx(e.klass)] += e.ret_ms;
+  if (e.dirty) dirty_bytes_ += e.length;
+}
+
+void MappingTable::account_remove(const CacheEntry& e) {
+  bytes_[idx(e.klass)] -= e.length;
+  ret_sum_[idx(e.klass)] -= e.ret_ms;
+  if (e.dirty) dirty_bytes_ -= e.length;
+}
+
+}  // namespace ibridge::core

@@ -1,0 +1,147 @@
+// The iBridge mapping table.
+//
+// Records which byte ranges of which server-local files are cached in the
+// SSD log, whether each range is dirty (newer than the disk copy) or clean,
+// which request class it belongs to (regular random vs fragment), and the
+// return value recorded at admission (used for dynamic partitioning).  The
+// paper persists this table on the SSD; the simulator charges that cost in
+// IBridgeCache via IBridgeConfig::mapping_entry_bytes.
+//
+// Supported queries:
+//   * coverage(): is a byte range fully cached (possibly tiled by several
+//     contiguous entries)?  -> log slices for reading;
+//   * overlapping(): all entries intersecting a range (for invalidation);
+//   * trim(): cut a byte range out of an entry (splitting it when the cut is
+//     interior), keeping the untouched parts cached without moving data;
+//   * per-class LRU with byte/return accounting for the partition logic.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fsim/filesystem.hpp"
+
+namespace ibridge::core {
+
+enum class CacheClass : std::uint8_t { kRegular = 0, kFragment = 1 };
+inline constexpr int kNumClasses = 2;
+
+inline const char* to_string(CacheClass c) {
+  return c == CacheClass::kRegular ? "regular" : "fragment";
+}
+
+using EntryId = std::uint64_t;
+inline constexpr EntryId kNoEntry = 0;
+
+struct CacheEntry {
+  fsim::FileId file = fsim::kInvalidFile;
+  std::int64_t file_off = 0;
+  std::int64_t length = 0;
+  std::int64_t log_off = 0;  ///< byte offset within the SSD log file
+  bool dirty = false;
+  CacheClass klass = CacheClass::kRegular;
+  double ret_ms = 0.0;
+
+  std::int64_t file_end() const { return file_off + length; }
+};
+
+/// A piece of a lookup result: `log_off`..`log_off+length` in the SSD log
+/// holds file bytes `file_off`..`file_off+length`.
+struct LogSlice {
+  EntryId entry = kNoEntry;
+  std::int64_t file_off = 0;
+  std::int64_t log_off = 0;
+  std::int64_t length = 0;
+};
+
+class MappingTable {
+ public:
+  /// Insert a new entry covering a range with NO existing overlap (callers
+  /// invalidate first).  Returns its id.
+  EntryId insert(CacheEntry e);
+
+  /// Remove an entry entirely; returns it for log-space release.
+  CacheEntry erase(EntryId id);
+
+  const CacheEntry& get(EntryId id) const;
+  bool contains(EntryId id) const { return entries_.count(id) != 0; }
+
+  /// Mark an entry clean (after write-back).
+  void mark_clean(EntryId id);
+  void mark_dirty(EntryId id);
+
+  /// Move an entry to the MRU end of its class list.
+  void touch(EntryId id);
+
+  /// Full-coverage lookup: non-empty iff [off, off+len) of `file` is
+  /// entirely cached.  Slices are returned in file-offset order.
+  std::vector<LogSlice> coverage(fsim::FileId file, std::int64_t off,
+                                 std::int64_t len) const;
+
+  /// All entries intersecting [off, off+len).
+  std::vector<EntryId> overlapping(fsim::FileId file, std::int64_t off,
+                                   std::int64_t len) const;
+
+  /// Remove the intersection of entry `id` with [off, off+len).  The parts
+  /// of the entry outside the range stay cached (an interior cut splits the
+  /// entry in two; the new piece inherits class/dirty/ret).  Each
+  /// (log_off, length) pair freed is appended to `freed`.
+  void trim(EntryId id, std::int64_t off, std::int64_t len,
+            std::vector<std::pair<std::int64_t, std::int64_t>>& freed);
+
+  /// Least-recently-used entry of a class (kNoEntry if none).
+  EntryId lru_victim(CacheClass c) const;
+
+  /// All entries whose log ranges intersect [log_begin, log_end) — used by
+  /// the log cleaner to empty a victim segment.
+  std::vector<EntryId> entries_in_log_range(std::int64_t log_begin,
+                                            std::int64_t log_end) const;
+
+  /// Oldest dirty entries of either class, in LRU order, up to `max_bytes`
+  /// total (used by the write-back daemon to build batches).
+  std::vector<EntryId> dirty_entries(std::int64_t max_bytes) const;
+
+  std::int64_t bytes_cached(CacheClass c) const { return bytes_[idx(c)]; }
+  std::int64_t bytes_cached() const {
+    return bytes_[0] + bytes_[1];
+  }
+  std::int64_t dirty_bytes() const { return dirty_bytes_; }
+  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t entry_count(CacheClass c) const { return lru_[idx(c)].size(); }
+  double return_sum(CacheClass c) const { return ret_sum_[idx(c)]; }
+  double return_avg(CacheClass c) const {
+    const auto n = lru_[idx(c)].size();
+    return n ? ret_sum_[idx(c)] / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  static int idx(CacheClass c) { return static_cast<int>(c); }
+
+  struct Node {
+    CacheEntry entry;
+    std::list<EntryId>::iterator lru_it;
+  };
+
+  void index_insert(EntryId id, const CacheEntry& e);
+  void index_erase(EntryId id, const CacheEntry& e);
+  void account_add(const CacheEntry& e);
+  void account_remove(const CacheEntry& e);
+
+  std::unordered_map<EntryId, Node> entries_;
+  // Per-file ordered index: first file offset -> entry id.  Entries never
+  // overlap, so the key uniquely orders them.
+  std::unordered_map<fsim::FileId, std::map<std::int64_t, EntryId>> by_file_;
+  // Log-offset index (entries' log ranges never overlap).
+  std::map<std::int64_t, EntryId> by_log_;
+  std::list<EntryId> lru_[kNumClasses];  // front = LRU, back = MRU
+  std::int64_t bytes_[kNumClasses] = {0, 0};
+  double ret_sum_[kNumClasses] = {0.0, 0.0};
+  std::int64_t dirty_bytes_ = 0;
+  EntryId next_id_ = 1;
+};
+
+}  // namespace ibridge::core

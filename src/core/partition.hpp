@@ -1,0 +1,65 @@
+// Dynamic SSD-space partitioning between regular random requests and
+// fragments (Section II-B, evaluated in Figure 12).
+//
+// Every cached item carries the return value computed at admission.  The
+// controller sets each class's byte quota proportional to the class's
+// *average* return over its currently cached items, so the class whose items
+// buy more disk time per cached byte gets more space.  A class with no
+// cached items yet receives a floor share so it can bootstrap.  Static 1:1 /
+// 1:2 splits (the paper's comparison points) are supported for the Figure 12
+// baselines.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/mapping_table.hpp"
+
+namespace ibridge::core {
+
+class PartitionController {
+ public:
+  PartitionController(const IBridgeConfig& cfg, std::int64_t capacity_bytes)
+      : mode_(cfg.partition_mode),
+        static_frag_share_(cfg.static_fragment_share),
+        capacity_(capacity_bytes) {}
+
+  /// Byte quota for a class given the table's current contents.
+  std::int64_t quota(const MappingTable& table, CacheClass c) const {
+    double frag_share;
+    if (mode_ == PartitionMode::kStatic) {
+      frag_share = static_frag_share_;
+    } else {
+      const double avg_frag = table.return_avg(CacheClass::kFragment);
+      const double avg_reg = table.return_avg(CacheClass::kRegular);
+      if (avg_frag <= 0.0 && avg_reg <= 0.0) {
+        frag_share = 0.5;  // no signal yet: split evenly
+      } else {
+        frag_share = avg_frag / (avg_frag + avg_reg);
+      }
+      // Bootstrap floor: an empty or low-return class keeps 5% so future
+      // admissions of that class are not starved outright.
+      frag_share = std::clamp(frag_share, 0.05, 0.95);
+    }
+    const auto frag_quota =
+        static_cast<std::int64_t>(static_cast<double>(capacity_) * frag_share);
+    return c == CacheClass::kFragment ? frag_quota : capacity_ - frag_quota;
+  }
+
+  /// True when inserting `len` bytes of class `c` would overflow its quota.
+  bool over_quota(const MappingTable& table, CacheClass c,
+                  std::int64_t len) const {
+    return table.bytes_cached(c) + len > quota(table, c);
+  }
+
+  std::int64_t capacity() const { return capacity_; }
+  PartitionMode mode() const { return mode_; }
+
+ private:
+  PartitionMode mode_;
+  double static_frag_share_;
+  std::int64_t capacity_;
+};
+
+}  // namespace ibridge::core

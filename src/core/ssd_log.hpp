@@ -1,0 +1,136 @@
+// Log-structured allocation inside the SSD cache file.
+//
+// The paper writes new cache data "sequentially into a pre-created large
+// file that is maintained much like a log-based file system", because
+// sequential SSD writes are far faster than random ones (Table II: 140 vs
+// 30 MB/s).  SsdLog manages that file's space in fixed-size segments:
+// appends fill the active segment front to back (so the device sees a
+// sequential write stream); released ranges decrement their segment's live
+// count; fully dead segments return to the free list.  When no free segment
+// exists but live data is below capacity (fragmentation), the cache layer
+// asks for a victim segment and relocates or evicts its remaining live
+// entries (a minimal log cleaner).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace ibridge::core {
+
+class SsdLog {
+ public:
+  SsdLog(std::int64_t capacity_bytes, std::int64_t segment_bytes)
+      : segment_bytes_(segment_bytes),
+        segments_(static_cast<std::size_t>(
+            capacity_bytes / segment_bytes)) {
+    assert(segment_bytes > 0 && capacity_bytes >= segment_bytes);
+    for (std::size_t i = 0; i < segments_.size(); ++i)
+      free_segments_.push_back(static_cast<int>(i));
+    activate_next();
+  }
+
+  /// Byte capacity of the log file.
+  std::int64_t capacity() const {
+    return static_cast<std::int64_t>(segments_.size()) * segment_bytes_;
+  }
+
+  /// Try to allocate `len` contiguous bytes at the log head.  Returns the
+  /// log offset, or -1 when no segment can take it (caller must clean or
+  /// evict first).  `len` must fit in one segment.
+  std::int64_t append(std::int64_t len) {
+    assert(len > 0 && len <= segment_bytes_);
+    if (active_ < 0) {
+      if (!activate_next()) return -1;
+    }
+    if (head_ + len > segment_bytes_) {
+      // Active segment cannot fit the allocation; seal it and move on.
+      // If everything in it was already released, it goes straight back to
+      // the free list (release() cannot free the active segment itself).
+      if (segments_[static_cast<std::size_t>(active_)].live == 0) {
+        free_segments_.push_back(active_);
+      }
+      if (!activate_next()) return -1;
+    }
+    const std::int64_t off =
+        static_cast<std::int64_t>(active_) * segment_bytes_ + head_;
+    head_ += len;
+    segments_[static_cast<std::size_t>(active_)].live += len;
+    live_bytes_ += len;
+    return off;
+  }
+
+  /// Release a previously appended range (entry evicted or trimmed).
+  void release(std::int64_t off, std::int64_t len) {
+    assert(len > 0);
+    const int seg = static_cast<int>(off / segment_bytes_);
+    assert(seg >= 0 && std::cmp_less(seg, segments_.size()));
+    auto& s = segments_[static_cast<std::size_t>(seg)];
+    s.live -= len;
+    live_bytes_ -= len;
+    assert(s.live >= 0);
+    if (s.live == 0 && seg != active_) {
+      free_segments_.push_back(seg);
+    }
+  }
+
+  /// Segment with the least live data, excluding the active one; -1 if none.
+  /// Used by the cleaner to pick a victim.
+  int victim_segment() const {
+    int best = -1;
+    std::int64_t best_live = segment_bytes_ + 1;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      const int seg = static_cast<int>(i);
+      if (seg == active_) continue;
+      const std::int64_t live = segments_[i].live;
+      if (live > 0 && live < best_live) {
+        best = seg;
+        best_live = live;
+      }
+    }
+    return best;
+  }
+
+  /// Byte range [begin, end) of a segment within the log file.
+  std::pair<std::int64_t, std::int64_t> segment_range(int seg) const {
+    const std::int64_t b = static_cast<std::int64_t>(seg) * segment_bytes_;
+    return {b, b + segment_bytes_};
+  }
+
+  std::int64_t live_bytes() const { return live_bytes_; }
+  std::int64_t segment_bytes() const { return segment_bytes_; }
+  int free_segment_count() const {
+    return static_cast<int>(free_segments_.size());
+  }
+  bool has_room(std::int64_t len) const {
+    return (active_ >= 0 && head_ + len <= segment_bytes_) ||
+           !free_segments_.empty();
+  }
+
+ private:
+  bool activate_next() {
+    if (free_segments_.empty()) {
+      active_ = -1;
+      return false;
+    }
+    active_ = free_segments_.front();
+    free_segments_.pop_front();
+    head_ = 0;
+    return true;
+  }
+
+  struct Segment {
+    std::int64_t live = 0;
+  };
+
+  std::int64_t segment_bytes_;
+  std::vector<Segment> segments_;
+  std::deque<int> free_segments_;
+  int active_ = -1;
+  std::int64_t head_ = 0;
+  std::int64_t live_bytes_ = 0;
+};
+
+}  // namespace ibridge::core

@@ -1,0 +1,64 @@
+// Client-side fragment identification.
+//
+// The paper instruments PVFS2's io_datafile_setup_msgpairs() so that when a
+// parent request is split into sub-requests, every sub-request smaller than
+// the fragment threshold whose parent spans more than one server is flagged
+// as a fragment, and the identifiers of the servers holding its sibling
+// sub-requests are attached.  The data servers use that information for the
+// Equation (3) return boost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace ibridge::core {
+
+/// Decomposition-independent view of one sub-request, as produced by the
+/// striping layout.  (core does not depend on pvfs; pvfs adapts its
+/// SubRequestSpec into this.)
+struct TaggedSubRequest {
+  int server = 0;
+  std::int64_t server_offset = 0;
+  std::int64_t length = 0;
+  bool fragment = false;
+  std::vector<int> sibling_servers;  ///< servers of the other sub-requests
+};
+
+class FragmentTagger {
+ public:
+  explicit FragmentTagger(std::int64_t fragment_threshold)
+      : threshold_(fragment_threshold) {}
+
+  /// Annotate the pieces of one parent request.  `pieces` is the per-piece
+  /// decomposition: (server, server_offset, length) triples in stripe order.
+  template <typename Piece>
+  std::vector<TaggedSubRequest> tag(const std::vector<Piece>& pieces) const {
+    std::vector<TaggedSubRequest> out;
+    out.reserve(pieces.size());
+    bool multi_server = false;
+    for (const auto& p : pieces) {
+      if (!out.empty() && p.server != out.front().server) multi_server = true;
+      out.push_back({p.server, p.server_offset, p.length, false, {}});
+    }
+    if (!multi_server) return out;  // single-server parent: no fragments
+
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].length >= threshold_) continue;
+      out[i].fragment = true;
+      out[i].sibling_servers.reserve(out.size() - 1);
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        if (j != i) out[i].sibling_servers.push_back(out[j].server);
+      }
+    }
+    return out;
+  }
+
+  std::int64_t threshold() const { return threshold_; }
+
+ private:
+  std::int64_t threshold_;
+};
+
+}  // namespace ibridge::core

@@ -1,0 +1,145 @@
+#include "mpiio/collective.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ibridge::mpiio {
+
+CollectiveContext::CollectiveContext(MpiEnvironment& env, MpiFile file,
+                                     CollectiveConfig cfg)
+    : env_(env),
+      file_(file),
+      cfg_(cfg),
+      aggregators_(cfg.aggregators > 0
+                       ? std::min(cfg.aggregators, env.size())
+                       : std::min(env.client().mds().server_count(),
+                                  env.size())),
+      entry_(env.sim(), env.size()),
+      exit_(env.sim(), env.size()) {}
+
+sim::Task<> CollectiveContext::write_at_all(int rank, std::int64_t offset,
+                                            std::int64_t length) {
+  return collect(rank, offset, length, /*write=*/true);
+}
+
+sim::Task<> CollectiveContext::read_at_all(int rank, std::int64_t offset,
+                                           std::int64_t length) {
+  return collect(rank, offset, length, /*write=*/false);
+}
+
+sim::Task<> CollectiveContext::collect(int rank, std::int64_t offset,
+                                       std::int64_t length, bool write) {
+  pending_.push_back({rank, offset, length});
+  const bool last = static_cast<int>(pending_.size()) == env_.size();
+  if (last) {
+    // The last arriver performs the exchange before releasing the others
+    // (they are all parked at the entry barrier).
+    co_await run_round(write);
+  }
+  co_await entry_.arrive();
+  // All ranks resume once the aggregated I/O finished; the exit barrier
+  // keeps rounds from overlapping when ranks immediately start the next
+  // collective call.
+  co_await exit_.arrive();
+}
+
+sim::Task<> CollectiveContext::run_round(bool write) {
+  auto contributions = std::move(pending_);
+  pending_.clear();
+
+  // The aggregate access region, partitioned into stripe-aligned file
+  // domains dealt round-robin to aggregator ranks.
+  std::int64_t lo = contributions.front().offset;
+  std::int64_t hi = lo;
+  for (const auto& c : contributions) {
+    lo = std::min(lo, c.offset);
+    hi = std::max(hi, c.offset + c.length);
+  }
+  const std::int64_t unit =
+      env_.client().mds().file(file_.handle()).layout.unit();
+  const std::int64_t domain =
+      std::max<std::int64_t>(unit, (cfg_.buffer_bytes / unit) * unit);
+  lo = (lo / unit) * unit;
+
+  // Shuffle accounting: every byte a rank contributes that lands in an
+  // aggregator's domain crosses the network once (unless the rank IS the
+  // aggregator; we charge uniformly — intra-node copies are negligible but
+  // so is their probability at scale).
+  pvfs::Client& client = env_.client();
+  struct DomainIo {
+    int aggregator;
+    std::int64_t offset, length;
+  };
+  std::vector<DomainIo> ios;
+  int next_aggregator = 0;
+  for (std::int64_t d = lo; d < hi; d += domain) {
+    const std::int64_t dlen = std::min(domain, hi - d);
+    // Bytes of this domain actually covered by contributions.
+    std::int64_t covered = 0;
+    for (const auto& c : contributions) {
+      const std::int64_t o = std::max(d, c.offset);
+      const std::int64_t e = std::min(d + dlen, c.offset + c.length);
+      if (e > o) covered += e - o;
+    }
+    if (covered == 0) continue;
+    ios.push_back({next_aggregator, d, dlen});
+    next_aggregator = (next_aggregator + 1) % aggregators_;
+    shuffle_bytes_ += covered;
+  }
+
+  // Phase 1 (writes) / phase 2 (reads): the shuffle.  Model the exchange as
+  // pairwise transfers rank->aggregator (or back), all concurrent.
+  auto shuffle = [&]() -> sim::Task<> {
+    sim::JoinSet xfers(env_.sim());
+    for (const auto& io : ios) {
+      for (const auto& c : contributions) {
+        const std::int64_t o = std::max(io.offset, c.offset);
+        const std::int64_t e =
+            std::min(io.offset + io.length, c.offset + c.length);
+        if (e <= o) continue;
+        net::Nic& a = client.rank_nic(c.rank);
+        net::Nic& b = client.rank_nic(io.aggregator);
+        xfers.add(write ? client.network().transfer(a, b, e - o)
+                        : client.network().transfer(b, a, e - o));
+      }
+    }
+    co_await xfers.join();
+  };
+
+  // Aggregated file accesses: big aligned requests from aggregator ranks.
+  auto file_io = [&]() -> sim::Task<> {
+    sim::JoinSet reqs(env_.sim());
+    for (const auto& io : ios) {
+      if (write) {
+        reqs.add([](MpiFile f, DomainIo d) -> sim::Task<> {
+          co_await f.write_at(d.aggregator, d.offset, d.length);
+        }(file_, io));
+      } else {
+        reqs.add([](MpiFile f, DomainIo d) -> sim::Task<> {
+          co_await f.read_at(d.aggregator, d.offset, d.length);
+        }(file_, io));
+      }
+    }
+    co_await reqs.join();
+  };
+
+  if (write) {
+    co_await shuffle();
+    co_await file_io();
+  } else {
+    co_await file_io();
+    co_await shuffle();
+  }
+}
+
+sim::Task<sim::SimTime> read_at_sieved(MpiFile& file, int rank,
+                                       std::int64_t offset,
+                                       std::int64_t length,
+                                       std::int64_t align) {
+  assert(align > 0);
+  const std::int64_t lo = (offset / align) * align;
+  const std::int64_t hi = ((offset + length + align - 1) / align) * align;
+  co_return co_await file.read_at(rank, lo, hi - lo);
+}
+
+}  // namespace ibridge::mpiio

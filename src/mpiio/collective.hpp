@@ -1,0 +1,84 @@
+// Two-phase collective I/O (ROMIO-style) and data sieving.
+//
+// These are the classical MPI-IO middleware answers to unaligned access
+// that the paper's related-work section discusses (Thakur, Gropp & Lusk):
+//
+//   * Collective I/O: when every rank participates in one logical I/O
+//     phase, the union of their requests is repartitioned into large
+//     stripe-aligned *file domains*, each owned by an aggregator rank.  A
+//     shuffle phase moves data between ranks and aggregators over the
+//     network; aggregators then issue big aligned file accesses.  Fragments
+//     disappear — at the cost of synchronizing all ranks and shipping the
+//     data twice.
+//   * Data sieving: an independent unaligned read is widened to aligned
+//     boundaries; the extra bytes are discarded.  Alignment is bought with
+//     wasted transfer.
+//
+// bench_collective compares both against iBridge, which achieves aligned
+// disk access transparently, without synchronization or data movement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpiio/mpi.hpp"
+#include "sim/sync.hpp"
+
+namespace ibridge::mpiio {
+
+struct CollectiveConfig {
+  /// Aggregator ranks for the two-phase exchange (ROMIO's cb_nodes);
+  /// 0 = one aggregator per data server.
+  int aggregators = 0;
+  /// File-domain chunk handed to one aggregator per round (cb_buffer_size).
+  std::int64_t buffer_bytes = 4 << 20;
+};
+
+/// Coordinates collective operations for one (environment, file) pair.
+/// Every rank of the environment must call write_at_all/read_at_all the
+/// same number of times (standard MPI collective semantics).
+class CollectiveContext {
+ public:
+  CollectiveContext(MpiEnvironment& env, MpiFile file,
+                    CollectiveConfig cfg = {});
+
+  /// Collective write: rank contributes [offset, offset+length).  Resumes
+  /// when the whole exchanged-and-aggregated write round completes.
+  sim::Task<> write_at_all(int rank, std::int64_t offset, std::int64_t length);
+
+  /// Collective read: rank receives [offset, offset+length).
+  sim::Task<> read_at_all(int rank, std::int64_t offset, std::int64_t length);
+
+  /// Aggregate payload bytes shipped over the network in shuffle phases.
+  std::int64_t shuffle_bytes() const { return shuffle_bytes_; }
+
+ private:
+  struct Contribution {
+    int rank;
+    std::int64_t offset, length;
+  };
+
+  sim::Task<> run_round(bool write);
+  sim::Task<> collect(int rank, std::int64_t offset, std::int64_t length,
+                      bool write);
+
+  MpiEnvironment& env_;
+  MpiFile file_;
+  CollectiveConfig cfg_;
+  int aggregators_;
+
+  // Per-round rendezvous state.
+  std::vector<Contribution> pending_;
+  sim::SyncBarrier entry_;
+  sim::SyncBarrier exit_;
+  std::int64_t shuffle_bytes_ = 0;
+};
+
+/// Data sieving: widen an independent read to `align`-byte boundaries.
+/// Returns the request's service time (the widened read's).
+sim::Task<sim::SimTime> read_at_sieved(MpiFile& file, int rank,
+                                       std::int64_t offset,
+                                       std::int64_t length,
+                                       std::int64_t align);
+
+}  // namespace ibridge::mpiio

@@ -1,0 +1,111 @@
+// A minimal MPI-IO-shaped client library over the simulated PVFS cluster.
+//
+// The paper's benchmarks are MPI programs using ROMIO's MPI-IO: independent
+// reads/writes at explicit offsets plus barriers.  MpiEnvironment runs each
+// rank as a simulation coroutine; MpiFile provides read_at/write_at that go
+// through the PVFS client (decomposition, tagging, fan-out); barrier() maps
+// onto the simulation barrier.  This is the surface mpi-io-test, ior-mpi-io
+// and BTIO need — not a general MPI implementation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "pvfs/client.hpp"
+#include "sim/sync.hpp"
+
+namespace ibridge::mpiio {
+
+class MpiEnvironment;
+
+/// Per-rank context handed to the rank body.
+class MpiContext {
+ public:
+  MpiContext(MpiEnvironment& env, int rank) : env_(env), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// MPI_Barrier over all ranks of the environment.
+  sim::SyncBarrier::Awaiter barrier();
+
+  /// Simulated compute phase.
+  sim::Delay compute(sim::SimTime t);
+
+  pvfs::Client& client();
+  sim::Simulator& sim();
+
+ private:
+  MpiEnvironment& env_;
+  int rank_;
+};
+
+/// Spawns `nprocs` rank coroutines and tracks their completion.
+class MpiEnvironment {
+ public:
+  MpiEnvironment(sim::Simulator& sim, pvfs::Client& client, int nprocs)
+      : sim_(sim), client_(client), nprocs_(nprocs),
+        barrier_(sim, nprocs), group_(sim) {}
+
+  using RankBody = std::function<sim::Task<>(MpiContext)>;
+
+  /// Launch all ranks; run the simulator (sim.run()) to execute them.
+  void launch(const RankBody& body) {
+    for (int r = 0; r < nprocs_; ++r) {
+      group_.spawn(body(MpiContext(*this, r)));
+    }
+  }
+
+  bool finished() const { return group_.all_finished(); }
+  int size() const { return nprocs_; }
+  sim::Simulator& sim() { return sim_; }
+  pvfs::Client& client() { return client_; }
+  sim::SyncBarrier& barrier() { return barrier_; }
+
+ private:
+  sim::Simulator& sim_;
+  pvfs::Client& client_;
+  int nprocs_;
+  sim::SyncBarrier barrier_;
+  sim::TaskGroup group_;
+};
+
+inline int MpiContext::size() const { return env_.size(); }
+inline sim::SyncBarrier::Awaiter MpiContext::barrier() {
+  return env_.barrier().arrive();
+}
+inline sim::Delay MpiContext::compute(sim::SimTime t) {
+  return sim::Delay{env_.sim(), t};
+}
+inline pvfs::Client& MpiContext::client() { return env_.client(); }
+inline sim::Simulator& MpiContext::sim() { return env_.sim(); }
+
+/// MPI_File-flavoured handle: read_at/write_at with explicit offsets.
+class MpiFile {
+ public:
+  MpiFile(pvfs::Client& client, pvfs::FileHandle h)
+      : client_(client), handle_(h) {}
+
+  sim::Task<sim::SimTime> read_at(int rank, std::int64_t offset,
+                                  std::int64_t length,
+                                  std::span<std::byte> data = {}) {
+    return client_.read_at(rank, handle_, offset, length, data);
+  }
+  sim::Task<sim::SimTime> write_at(int rank, std::int64_t offset,
+                                   std::int64_t length,
+                                   std::span<const std::byte> data = {}) {
+    return client_.write_at(rank, handle_, offset, length, data);
+  }
+
+  pvfs::FileHandle handle() const { return handle_; }
+  std::int64_t size() const { return client_.mds().file(handle_).size; }
+
+ private:
+  pvfs::Client& client_;
+  pvfs::FileHandle handle_;
+};
+
+}  // namespace ibridge::mpiio

@@ -1,0 +1,91 @@
+// Cluster interconnect model.
+//
+// The paper's testbed used dual-rail 4X QDR InfiniBand, which was never the
+// bottleneck; the model keeps it that way while still charging per-message
+// latency and per-NIC serialization so very large transfers are not free.
+// Each endpoint (client node, data server, metadata server) owns a Nic with
+// a given bandwidth; a transfer occupies both the source and destination NIC
+// for size/bandwidth and completes after an additional propagation latency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace ibridge::net {
+
+struct NetworkParams {
+  double nic_bandwidth = 3.2e9;  ///< bytes/s (4X QDR IB ~= 3.2 GB/s usable)
+  double latency_us = 2.0;       ///< one-way propagation + stack latency
+  double per_message_us = 1.0;   ///< send/receive CPU overhead
+};
+
+/// A serialization point: transfers through a Nic queue behind each other.
+class Nic {
+ public:
+  Nic(sim::Simulator& sim, std::string name, double bandwidth)
+      : sim_(sim), name_(std::move(name)), bandwidth_(bandwidth) {}
+
+  /// Reserve the NIC for `bytes` of transfer; returns the time at which the
+  /// NIC is done serializing them (back-to-back transfers queue).
+  sim::SimTime reserve(std::int64_t bytes) {
+    const sim::SimTime start =
+        std::max(sim_.now(), free_at_);
+    const sim::SimTime dur = sim::SimTime::from_seconds(
+        static_cast<double>(bytes) / bandwidth_);
+    free_at_ = start + dur;
+    bytes_ += bytes;
+    return free_at_;
+  }
+
+  const std::string& name() const { return name_; }
+  std::int64_t bytes_transferred() const { return bytes_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  double bandwidth_;
+  sim::SimTime free_at_ = sim::SimTime::zero();
+  std::int64_t bytes_ = 0;
+};
+
+/// The fabric: creates NICs and times point-to-point transfers.
+class NetworkModel {
+ public:
+  NetworkModel(sim::Simulator& sim, NetworkParams params = {})
+      : sim_(sim), params_(params) {}
+
+  Nic& add_endpoint(std::string name) {
+    nics_.push_back(
+        std::make_unique<Nic>(sim_, std::move(name), params_.nic_bandwidth));
+    return *nics_.back();
+  }
+
+  /// Coroutine: move `bytes` from `src` to `dst`; completes when the last
+  /// byte lands.
+  sim::Task<> transfer(Nic& src, Nic& dst, std::int64_t bytes) {
+    const sim::SimTime src_done = src.reserve(bytes);
+    const sim::SimTime dst_done = dst.reserve(bytes);
+    const sim::SimTime done =
+        std::max(src_done, dst_done) +
+        sim::SimTime::from_seconds(
+            (params_.latency_us + params_.per_message_us) / 1e6);
+    co_await sim::Delay{sim_, done - sim_.now()};
+  }
+
+  /// Latency-only control message (request headers, acks).
+  sim::Task<> message(Nic& src, Nic& dst) { return transfer(src, dst, 256); }
+
+  const NetworkParams& params() const { return params_; }
+
+ private:
+  sim::Simulator& sim_;
+  NetworkParams params_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace ibridge::net

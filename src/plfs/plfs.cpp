@@ -1,0 +1,133 @@
+#include "plfs/plfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ibridge::plfs {
+
+PlfsFile::PlfsFile(cluster::Cluster& cluster, std::string name, int nranks,
+                   PlfsConfig cfg)
+    : cluster_(cluster), cfg_(cfg) {
+  logs_.reserve(static_cast<std::size_t>(nranks));
+  index_files_.reserve(static_cast<std::size_t>(nranks));
+  log_tail_.assign(static_cast<std::size_t>(nranks), 0);
+  index_tail_.assign(static_cast<std::size_t>(nranks), 0);
+  index_pending_.assign(static_cast<std::size_t>(nranks), 0);
+  for (int r = 0; r < nranks; ++r) {
+    logs_.push_back(cluster.create_file(name + ".log." + std::to_string(r),
+                                        cfg.log_bytes_per_rank));
+    index_files_.push_back(
+        cluster.create_file(name + ".idx." + std::to_string(r), 1 << 20));
+  }
+}
+
+void PlfsFile::index_insert(std::int64_t offset, std::int64_t length,
+                            int rank, std::int64_t log_off) {
+  const std::int64_t end = offset + length;
+  // Trim or split any existing extents that overlap the new range.
+  auto it = index_.upper_bound(offset);
+  if (it != index_.begin()) --it;
+  while (it != index_.end() && it->first < end) {
+    const std::int64_t e_start = it->first;
+    const std::int64_t e_end = e_start + it->second.length;
+    if (e_end <= offset) {
+      ++it;
+      continue;
+    }
+    const Extent old = it->second;
+    it = index_.erase(it);
+    if (e_start < offset) {  // left remainder
+      index_.emplace(e_start, Extent{offset - e_start, old.map});
+    }
+    if (e_end > end) {  // right remainder
+      Mapping m = old.map;
+      m.log_off += (end - e_start);
+      it = index_.emplace(end, Extent{e_end - end, m}).first;
+      ++it;
+    }
+  }
+  index_.emplace(offset, Extent{length, Mapping{rank, log_off, next_seq_++}});
+  logical_size_ = std::max(logical_size_, end);
+}
+
+std::vector<PlfsFile::Piece> PlfsFile::resolve(std::int64_t offset,
+                                               std::int64_t length) const {
+  std::vector<Piece> out;
+  const std::int64_t end = offset + length;
+  std::int64_t pos = offset;
+  auto it = index_.upper_bound(pos);
+  if (it != index_.begin()) --it;
+  while (pos < end) {
+    // Skip extents entirely before pos.
+    while (it != index_.end() && it->first + it->second.length <= pos) ++it;
+    if (it == index_.end() || it->first >= end) {
+      out.push_back({pos, end - pos, -1, 0});  // hole to the end
+      break;
+    }
+    if (it->first > pos) {  // hole before the next extent
+      out.push_back({pos, it->first - pos, -1, 0});
+      pos = it->first;
+    }
+    const std::int64_t take =
+        std::min(end, it->first + it->second.length) - pos;
+    out.push_back({pos, take,
+                   it->second.map.rank,
+                   it->second.map.log_off + (pos - it->first)});
+    pos += take;
+    ++it;
+  }
+  return out;
+}
+
+std::size_t PlfsFile::scatter(std::int64_t offset, std::int64_t length) const {
+  std::size_t n = 0;
+  for (const auto& p : resolve(offset, length)) {
+    if (p.rank >= 0) ++n;
+  }
+  return n;
+}
+
+sim::Task<sim::SimTime> PlfsFile::write_at(int rank, std::int64_t offset,
+                                           std::int64_t length) {
+  const auto r = static_cast<std::size_t>(rank);
+  assert(r < logs_.size());
+  const std::int64_t log_off = log_tail_[r];
+  log_tail_[r] += length;
+  const sim::SimTime t0 = cluster_.sim().now();
+
+  // Data append to the rank's log.  Index records are buffered in memory
+  // (as PLFS does) and flushed to the index file one page at a time —
+  // appending each 48-byte record synchronously would pay a full
+  // read-modify-write per checkpoint record.
+  co_await cluster_.client().write_at(rank, logs_[r], log_off, length);
+  index_pending_[r] += cfg_.index_record_bytes;
+  if (index_pending_[r] >= kIndexFlushBytes) {
+    const std::int64_t chunk = index_pending_[r];
+    index_pending_[r] = 0;
+    co_await cluster_.client().write_at(rank, index_files_[r],
+                                        index_tail_[r], chunk);
+    index_tail_[r] += chunk;
+  }
+
+  index_insert(offset, length, rank, log_off);
+  co_return cluster_.sim().now() - t0;
+}
+
+sim::Task<sim::SimTime> PlfsFile::read_at(int rank, std::int64_t offset,
+                                          std::int64_t length) {
+  const sim::SimTime t0 = cluster_.sim().now();
+  auto pieces = resolve(offset, length);
+  sim::JoinSet join(cluster_.sim());
+  for (const auto& p : pieces) {
+    if (p.rank < 0) continue;  // hole: zeros, no I/O
+    join.add([](cluster::Cluster& c, int reader, pvfs::FileHandle log,
+                std::int64_t off, std::int64_t len) -> sim::Task<> {
+      co_await c.client().read_at(reader, log, off, len);
+    }(cluster_, rank, logs_[static_cast<std::size_t>(p.rank)], p.log_off,
+      p.length));
+  }
+  co_await join.join();
+  co_return cluster_.sim().now() - t0;
+}
+
+}  // namespace ibridge::plfs

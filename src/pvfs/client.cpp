@@ -1,0 +1,129 @@
+#include "pvfs/client.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ibridge::pvfs {
+
+using storage::IoDirection;
+
+Client::Client(sim::Simulator& sim, MetadataServer& mds,
+               std::vector<DataServer*> servers, net::NetworkModel& net,
+               std::vector<net::Nic*> node_nics, ClientConfig cfg)
+    : sim_(sim),
+      mds_(mds),
+      servers_(std::move(servers)),
+      net_(net),
+      node_nics_(std::move(node_nics)),
+      cfg_(cfg),
+      tagger_(cfg.fragment_threshold),
+      rng_(cfg.seed) {
+  assert(!servers_.empty());
+  assert(!node_nics_.empty());
+}
+
+sim::Task<sim::SimTime> Client::read_at(int rank, FileHandle fh,
+                                        std::int64_t offset,
+                                        std::int64_t length,
+                                        std::span<std::byte> data) {
+  return request(rank, fh, offset, length, IoDirection::kRead, {}, data);
+}
+
+sim::Task<sim::SimTime> Client::write_at(int rank, FileHandle fh,
+                                         std::int64_t offset,
+                                         std::int64_t length,
+                                         std::span<const std::byte> data) {
+  return request(rank, fh, offset, length, IoDirection::kWrite, data, {});
+}
+
+sim::Task<sim::SimTime> Client::request(int rank, FileHandle fh,
+                                        std::int64_t offset,
+                                        std::int64_t length,
+                                        IoDirection dir,
+                                        std::span<const std::byte> wdata,
+                                        std::span<std::byte> rdata) {
+  assert(length > 0);
+  const sim::SimTime t0 = sim_.now();
+
+  // Client-side request setup cost with jitter (see ClientConfig).
+  if (cfg_.overhead_max_us > 0) {
+    const double us =
+        cfg_.overhead_min_us +
+        rng_.uniform01() * (cfg_.overhead_max_us - cfg_.overhead_min_us);
+    co_await sim::Delay{sim_, sim::SimTime::from_seconds(us / 1e6)};
+  }
+
+  LogicalFile& f = mds_.file(fh);
+
+  // Decompose (io_datafile_setup_msgpairs) and tag fragments client-side.
+  auto pieces = f.layout.decompose(offset, length);
+  std::vector<core::TaggedSubRequest> tagged;
+  if (cfg_.tag_fragments) {
+    tagged = tagger_.tag(pieces);
+  } else {
+    tagged.reserve(pieces.size());
+    for (const auto& p : pieces)
+      tagged.push_back({p.server, p.server_offset, p.length, false, {}});
+  }
+
+  // Issue every sub-request concurrently; the parent completes when the
+  // slowest sub-request does.
+  sim::JoinSet join(sim_);
+  std::int64_t consumed = 0;
+  for (std::size_t i = 0; i < tagged.size(); ++i) {
+    const std::int64_t piece_off = consumed;
+    consumed += tagged[i].length;
+    std::span<const std::byte> wsub;
+    std::span<std::byte> rsub;
+    if (!wdata.empty()) {
+      wsub = wdata.subspan(static_cast<std::size_t>(piece_off),
+                           static_cast<std::size_t>(tagged[i].length));
+    }
+    if (!rdata.empty()) {
+      rsub = rdata.subspan(static_cast<std::size_t>(piece_off),
+                           static_cast<std::size_t>(tagged[i].length));
+    }
+    join.add(
+        subrequest(rank, f, std::move(tagged[i]), offset, dir, wsub, rsub));
+  }
+  co_await join.join();
+
+  if (dir == IoDirection::kWrite) f.size = std::max(f.size, offset + length);
+  bytes_completed_ += length;
+  co_return sim_.now() - t0;
+}
+
+sim::Task<> Client::subrequest(int rank, const LogicalFile& f,
+                               core::TaggedSubRequest sub,
+                               std::int64_t /*parent_off*/, IoDirection dir,
+                               std::span<const std::byte> wdata,
+                               std::span<std::byte> rdata) {
+  DataServer& server = *servers_[static_cast<std::size_t>(sub.server)];
+  net::Nic& cnic = nic_of_rank(rank);
+
+  // Request message (and payload, for writes) to the server.
+  if (dir == IoDirection::kWrite) {
+    co_await net_.transfer(cnic, server.nic(), sub.length + 256);
+  } else {
+    co_await net_.message(cnic, server.nic());
+  }
+
+  core::CacheRequest req;
+  req.dir = dir;
+  req.file = f.datafiles[static_cast<std::size_t>(sub.server)];
+  req.offset = sub.server_offset;
+  req.length = sub.length;
+  req.fragment = sub.fragment;
+  req.siblings = std::move(sub.sibling_servers);
+  req.tag = rank;
+  co_await server.io(std::move(req), wdata, rdata);
+
+  // Payload (reads) or ack (writes) back to the client.
+  if (dir == IoDirection::kRead) {
+    co_await net_.transfer(server.nic(), cnic, sub.length + 256);
+  } else {
+    co_await net_.message(server.nic(), cnic);
+  }
+}
+
+}  // namespace ibridge::pvfs

@@ -1,0 +1,70 @@
+#include "pvfs/layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace ibridge::pvfs {
+
+std::int64_t StripingLayout::server_share(std::int64_t file_size,
+                                          int server) const {
+  assert(server >= 0 && server < servers_);
+  if (file_size <= 0) return 0;
+  const std::int64_t full_stripes = file_size / unit_;
+  const std::int64_t rem = file_size % unit_;
+  const std::int64_t rounds = full_stripes / servers_;
+  const std::int64_t extra = full_stripes % servers_;
+  std::int64_t share = rounds * unit_;
+  if (server < extra) share += unit_;
+  if (server == static_cast<int>(extra) && rem > 0) share += rem;
+  return share;
+}
+
+std::vector<SubRequestSpec> StripingLayout::decompose(
+    std::int64_t offset, std::int64_t length) const {
+  assert(offset >= 0 && length > 0);
+  std::vector<SubRequestSpec> out;
+  std::int64_t pos = offset;
+  std::int64_t remaining = length;
+  while (remaining > 0) {
+    const std::int64_t in_unit = pos % unit_;
+    const std::int64_t take = std::min(remaining, unit_ - in_unit);
+    SubRequestSpec s;
+    s.server = server_of(pos);
+    s.logical_offset = pos;
+    s.server_offset = server_offset_of(pos);
+    s.length = take;
+    // Coalesce with the previous piece when contiguous on the same server's
+    // datafile (happens when servers_ == 1: consecutive stripes collapse).
+    if (!out.empty() && out.back().server == s.server &&
+        out.back().server_offset + out.back().length == s.server_offset &&
+        out.back().logical_offset + out.back().length == s.logical_offset) {
+      out.back().length += take;
+    } else {
+      out.push_back(s);
+    }
+    pos += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+std::vector<SubRequestSpec> StripingLayout::decompose_per_server(
+    std::int64_t offset, std::int64_t length) const {
+  auto pieces = decompose(offset, length);
+  // Merge pieces per server, keeping the first piece's offsets and summing
+  // lengths.  Preserve first-touch order.
+  std::vector<SubRequestSpec> out;
+  std::map<int, std::size_t> index;
+  for (const auto& p : pieces) {
+    auto [it, inserted] = index.emplace(p.server, out.size());
+    if (inserted) {
+      out.push_back(p);
+    } else {
+      out[it->second].length += p.length;
+    }
+  }
+  return out;
+}
+
+}  // namespace ibridge::pvfs

@@ -1,0 +1,80 @@
+// File striping layout and request decomposition.
+//
+// PVFS2 stripes each logical file round-robin over N data servers with a
+// fixed striping unit (64 KB by default).  A client request for a logical
+// byte range is decomposed into per-server sub-requests; this is the PVFS2
+// client-side io_datafile_setup_msgpairs() logic the paper instruments.
+//
+// Terminology follows the paper: the original request is the sub-requests'
+// *parent*; sub-requests of the same parent are *siblings*; a sub-request
+// smaller than the fragment threshold that belongs to a multi-server parent
+// is a *fragment*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ibridge::pvfs {
+
+/// One per-server piece of a decomposed request.
+struct SubRequestSpec {
+  int server = 0;                ///< data server index
+  std::int64_t logical_offset = 0;  ///< offset in the logical file
+  std::int64_t server_offset = 0;   ///< offset in the server's datafile
+  std::int64_t length = 0;          ///< bytes
+};
+
+/// Round-robin striping over `servers` data servers with `unit` bytes per
+/// stripe unit.  Stripe unit k of the logical file lives on server
+/// (k % servers), at datafile offset (k / servers) * unit.
+class StripingLayout {
+ public:
+  StripingLayout(int servers, std::int64_t unit_bytes)
+      : servers_(servers), unit_(unit_bytes) {}
+
+  int servers() const { return servers_; }
+  std::int64_t unit() const { return unit_; }
+
+  /// True when [offset, offset+length) starts and ends on striping-unit
+  /// boundaries (no fragments possible).
+  bool aligned(std::int64_t offset, std::int64_t length) const {
+    return offset % unit_ == 0 && length % unit_ == 0;
+  }
+
+  int server_of(std::int64_t offset) const {
+    return static_cast<int>((offset / unit_) % servers_);
+  }
+
+  std::int64_t server_offset_of(std::int64_t offset) const {
+    const std::int64_t stripe = offset / unit_;
+    return (stripe / servers_) * unit_ + offset % unit_;
+  }
+
+  /// Bytes of the logical file that land on `server` if the file has
+  /// `file_size` bytes (used for datafile preallocation).
+  std::int64_t server_share(std::int64_t file_size, int server) const;
+
+  /// Decompose a logical byte range into per-server sub-requests.  Pieces
+  /// that touch the same server are coalesced when they are contiguous in
+  /// the server's datafile (consecutive stripes of one server are contiguous
+  /// there only if servers_ == 1); otherwise each stripe-unit crossing emits
+  /// a separate sub-request, exactly as PVFS2's msgpair setup does when it
+  /// builds per-server I/O lists.  For servers_ > 1, a parent of size <=
+  /// unit*servers touches each server at most once, so the returned list has
+  /// one entry per touched server in stripe order.
+  std::vector<SubRequestSpec> decompose(std::int64_t offset,
+                                        std::int64_t length) const;
+
+  /// Like decompose(), but merges multiple pieces of the same parent landing
+  /// on the same server into that server's I/O list entry (contiguous or
+  /// not, PVFS2 ships one request list per server pair).  Each element is a
+  /// server's total work for this parent.
+  std::vector<SubRequestSpec> decompose_per_server(std::int64_t offset,
+                                                   std::int64_t length) const;
+
+ private:
+  int servers_;
+  std::int64_t unit_;
+};
+
+}  // namespace ibridge::pvfs

@@ -1,0 +1,54 @@
+#include "pvfs/metadata.hpp"
+
+namespace ibridge::pvfs {
+
+FileHandle MetadataServer::create_file(const std::string& name,
+                                       std::int64_t size,
+                                       std::int64_t stripe_unit) {
+  assert(by_name_.find(name) == by_name_.end());
+  LogicalFile f;
+  f.name = name;
+  f.layout = StripingLayout(server_count(), stripe_unit);
+  f.size = size;
+  f.datafiles.reserve(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    // Preallocate each server's share (plus one unit of slack for writes
+    // that extend slightly past the nominal size).
+    const std::int64_t share =
+        f.layout.server_share(size, static_cast<int>(s)) + stripe_unit;
+    f.datafiles.push_back(servers_[s]->create_datafile(
+        name + ".df" + std::to_string(s), share));
+  }
+  const FileHandle h = next_++;
+  by_name_.emplace(name, h);
+  files_.emplace(h, std::move(f));
+  return h;
+}
+
+void MetadataServer::start_board_daemon() {
+  bool any = false;
+  for (auto* s : servers_) any = any || s->has_cache();
+  if (!any || running_) return;
+  running_ = true;
+  ++epoch_;
+  daemons_.spawn(board_daemon());
+}
+
+sim::Task<> MetadataServer::board_daemon() {
+  const std::uint64_t epoch = epoch_;
+  while (running_ && epoch == epoch_) {
+    co_await sim::Delay{sim_, interval_};
+    if (!running_ || epoch != epoch_) break;
+    // Collect the servers' current T values (the per-server report daemons
+    // of the paper, collapsed into one poll with identical staleness), then
+    // broadcast the board.
+    core::TBoard board(servers_.size(), 0.0);
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      board[s] = servers_[s]->current_t();
+    }
+    board_ = board;
+    for (auto* s : servers_) s->set_board(board);
+  }
+}
+
+}  // namespace ibridge::pvfs

@@ -1,0 +1,94 @@
+// Metadata server: file layout registry and the T-value board daemon.
+//
+// The metadata server maps logical file names to striping layouts and
+// per-server datafile handles.  For iBridge it also runs the aggregation
+// daemon of Section II-B: every data server periodically reports its current
+// decayed average disk service time T; the metadata server collects the
+// values and broadcasts the board to all data servers, which use it for the
+// Equation (3) striping-magnification boost.  Boards are therefore up to one
+// reporting interval stale — exactly as in the paper's design.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/return_estimator.hpp"
+#include "net/network.hpp"
+#include "pvfs/layout.hpp"
+#include "pvfs/server.hpp"
+#include "sim/sync.hpp"
+
+namespace ibridge::pvfs {
+
+using FileHandle = std::uint32_t;
+inline constexpr FileHandle kInvalidHandle = 0;
+
+/// A striped logical file.
+struct LogicalFile {
+  std::string name;
+  StripingLayout layout{1, 64 * 1024};
+  std::int64_t size = 0;
+  std::vector<fsim::FileId> datafiles;  ///< one per data server
+};
+
+class MetadataServer {
+ public:
+  MetadataServer(sim::Simulator& sim, std::vector<DataServer*> servers,
+                 net::Nic& nic, sim::SimTime report_interval)
+      : sim_(sim),
+        servers_(std::move(servers)),
+        nic_(nic),
+        interval_(report_interval),
+        daemons_(sim) {}
+
+  ~MetadataServer() { stop(); }
+
+  /// Create a striped file preallocated to `size` bytes.
+  FileHandle create_file(const std::string& name, std::int64_t size,
+                         std::int64_t stripe_unit);
+
+  const LogicalFile& file(FileHandle h) const {
+    auto it = files_.find(h);
+    assert(it != files_.end());
+    return it->second;
+  }
+  LogicalFile& file(FileHandle h) {
+    auto it = files_.find(h);
+    assert(it != files_.end());
+    return it->second;
+  }
+  FileHandle lookup(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? kInvalidHandle : it->second;
+  }
+
+  int server_count() const { return static_cast<int>(servers_.size()); }
+  net::Nic& nic() { return nic_; }
+
+  /// Start the T-board daemon (no-op when no server runs iBridge).
+  void start_board_daemon();
+  void stop() { running_ = false; ++epoch_; }
+
+  /// The most recent board (for tests/inspection).
+  const core::TBoard& board() const { return board_; }
+
+ private:
+  sim::Task<> board_daemon();
+
+  sim::Simulator& sim_;
+  std::vector<DataServer*> servers_;
+  net::Nic& nic_;
+  sim::SimTime interval_;
+  sim::TaskGroup daemons_;
+  std::unordered_map<FileHandle, LogicalFile> files_;
+  std::unordered_map<std::string, FileHandle> by_name_;
+  core::TBoard board_;
+  FileHandle next_ = 1;
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ibridge::pvfs

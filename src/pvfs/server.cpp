@@ -1,0 +1,79 @@
+#include "pvfs/server.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ibridge::pvfs {
+
+DataServer::DataServer(sim::Simulator& sim, int id,
+                       const DataServerConfig& cfg, net::Nic& nic,
+                       storage::SeekProfile profile)
+    : sim_(sim), id_(id), nic_(nic), io_slots_(sim, cfg.io_concurrency) {
+  disk_ = std::make_unique<storage::HddModel>(sim, cfg.hdd);
+  disk_fs_ =
+      std::make_unique<fsim::LocalFileSystem>(sim, *disk_, cfg.data_mode);
+  disk_fs_->set_rmw_page_bytes(cfg.rmw_page_bytes);
+  primary_fs_ = disk_fs_.get();
+
+  const bool want_ssd =
+      cfg.ibridge.enabled || cfg.storage_mode == StorageMode::kSsdOnly;
+  if (want_ssd) {
+    ssd_ = std::make_unique<storage::SsdModel>(sim, cfg.ssd);
+    ssd_fs_ =
+        std::make_unique<fsim::LocalFileSystem>(sim, *ssd_, cfg.data_mode);
+  }
+  if (cfg.storage_mode == StorageMode::kSsdOnly) {
+    // Datafiles live on the SSD: the OS cache still does page-granular RMW
+    // there.  (iBridge's log file is exempt — see DataServerConfig.)
+    ssd_fs_->set_rmw_page_bytes(cfg.rmw_page_bytes);
+    primary_fs_ = ssd_fs_.get();
+  } else if (cfg.ibridge.enabled) {
+    cache_ = std::make_unique<core::IBridgeCache>(
+        sim, cfg.ibridge, id, *disk_fs_, *ssd_fs_, std::move(profile));
+    cache_->start();
+  }
+}
+
+DataServer::~DataServer() {
+  if (cache_) cache_->stop();
+}
+
+fsim::FileId DataServer::create_datafile(const std::string& name,
+                                         std::int64_t prealloc_bytes) {
+  const fsim::FileId id = primary_fs_->create(name, prealloc_bytes);
+  assert(id != fsim::kInvalidFile && "data server out of space");
+  return id;
+}
+
+sim::Task<core::ServeResult> DataServer::io(core::CacheRequest req,
+                                            std::span<const std::byte> wdata,
+                                            std::span<std::byte> rdata) {
+  const sim::SimTime t0 = sim_.now();
+  const std::int64_t length = req.length;
+  // Take a Trove I/O slot: pvfs2-server performs a bounded number of local
+  // I/O jobs concurrently.
+  co_await io_slots_.acquire();
+  core::ServeResult result;
+  if (cache_) {
+    result = co_await cache_->serve(std::move(req), wdata, rdata);
+  } else {
+    if (req.dir == storage::IoDirection::kWrite) {
+      co_await primary_fs_->write(req.file, req.offset, req.length, wdata,
+                                  req.tag);
+    } else {
+      co_await primary_fs_->read(req.file, req.offset, req.length, rdata,
+                                 req.tag);
+    }
+  }
+  io_slots_.release();
+  result.elapsed = sim_.now() - t0;
+  service_.add(result.elapsed);
+  bytes_served_ += length;
+  co_return result;
+}
+
+sim::Task<> DataServer::drain() {
+  if (cache_) co_await cache_->drain();
+}
+
+}  // namespace ibridge::pvfs

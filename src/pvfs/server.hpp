@@ -1,0 +1,109 @@
+// Data server: the pvfs2-server equivalent.
+//
+// Each data server owns a hard disk (and, when iBridge is enabled, a
+// companion SSD with an IBridgeCache), a local file system per device, and a
+// NIC.  The server handles decomposed sub-requests concurrently — like
+// pvfs2-server's asynchronous Trove I/O, serialization happens in the device
+// queues, not at the request handler.
+//
+// Three storage configurations cover the paper's comparisons:
+//   * stock      — disk only (IBridgeConfig::enabled == false);
+//   * iBridge    — disk + SSD cache (the contribution);
+//   * SSD-only   — datafiles live directly on the SSD (Figure 10 baseline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/cache.hpp"
+#include "core/config.hpp"
+#include "fsim/filesystem.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "stats/meters.hpp"
+#include "storage/calibration.hpp"
+#include "storage/hdd.hpp"
+#include "storage/ssd.hpp"
+
+namespace ibridge::pvfs {
+
+enum class StorageMode { kDisk, kSsdOnly };
+
+struct DataServerConfig {
+  storage::HddParams hdd = storage::paper_hdd();
+  storage::SsdParams ssd = storage::paper_ssd();
+  core::IBridgeConfig ibridge = core::IBridgeConfig::stock();
+  fsim::DataMode data_mode = fsim::DataMode::kTimingOnly;
+  StorageMode storage_mode = StorageMode::kDisk;
+  /// Concurrent local I/O jobs per server (pvfs2-server's Trove async-I/O
+  /// pool is bounded; this caps device queue depth and thus how much
+  /// request merging deep client concurrency can buy).
+  int io_concurrency = 8;
+  /// OS page size for read-modify-write on the datafile systems: sub-page
+  /// writes read the boundary pages first.  Applies to the datafiles on
+  /// disk and (in SSD-only mode) on the SSD; iBridge's log file is packed
+  /// and flushed in whole pages, so it is exempt — that asymmetry is the
+  /// Figure 10 effect.  0 disables.
+  std::int64_t rmw_page_bytes = 4096;
+};
+
+class DataServer {
+ public:
+  /// `profile` is the offline-learned seek curve for this server's disk
+  /// model (needed only when iBridge is enabled).
+  DataServer(sim::Simulator& sim, int id, const DataServerConfig& cfg,
+             net::Nic& nic, storage::SeekProfile profile = {});
+
+  DataServer(const DataServer&) = delete;
+  DataServer& operator=(const DataServer&) = delete;
+  ~DataServer();
+
+  int id() const { return id_; }
+  net::Nic& nic() { return nic_; }
+
+  /// Create this server's datafile for a striped logical file.
+  fsim::FileId create_datafile(const std::string& name,
+                               std::int64_t prealloc_bytes);
+
+  /// Handle one sub-request (already decomposed and tagged by the client).
+  sim::Task<core::ServeResult> io(core::CacheRequest req,
+                                  std::span<const std::byte> wdata,
+                                  std::span<std::byte> rdata);
+
+  /// Flush iBridge's dirty cached data to the disk (end-of-run accounting).
+  sim::Task<> drain();
+
+  /// Current decayed average disk service time T (ms); 0 when stock.
+  double current_t() const { return cache_ ? cache_->current_t() : 0.0; }
+  void set_board(core::TBoard board) {
+    if (cache_) cache_->set_board(std::move(board));
+  }
+
+  bool has_cache() const { return cache_ != nullptr; }
+  core::IBridgeCache* cache() { return cache_.get(); }
+  storage::BlockDevice& disk() { return *disk_; }
+  storage::BlockDevice* ssd() { return ssd_.get(); }
+  fsim::LocalFileSystem& fs() { return *primary_fs_; }
+  const stats::ServiceTimeMeter& service_meter() const { return service_; }
+
+  /// Total payload bytes this server has served.
+  std::int64_t bytes_served() const { return bytes_served_; }
+
+ private:
+  sim::Simulator& sim_;
+  int id_;
+  net::Nic& nic_;
+  sim::Semaphore io_slots_;
+  std::unique_ptr<storage::HddModel> disk_;
+  std::unique_ptr<storage::SsdModel> ssd_;
+  std::unique_ptr<fsim::LocalFileSystem> disk_fs_;
+  std::unique_ptr<fsim::LocalFileSystem> ssd_fs_;
+  fsim::LocalFileSystem* primary_fs_ = nullptr;  // where datafiles live
+  std::unique_ptr<core::IBridgeCache> cache_;
+  stats::ServiceTimeMeter service_;
+  std::int64_t bytes_served_ = 0;
+};
+
+}  // namespace ibridge::pvfs

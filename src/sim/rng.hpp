@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We use xoshiro256** seeded via SplitMix64.  Every model component that
+// needs randomness takes an explicit Rng (or a seed) so that simulations are
+// reproducible bit-for-bit from their configuration.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace ibridge::sim {
+
+/// SplitMix64 — used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1b71d6e0defa17ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).  Uses Lemire's multiply-shift reduction;
+  /// bias is negligible for the ranges used in the simulator.
+  std::uint64_t below(std::uint64_t n) {
+    assert(n > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent child generator (e.g. per-rank streams).
+  Rng fork() {
+    std::uint64_t s = (*this)();
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ibridge::sim

@@ -1,0 +1,105 @@
+// The discrete-event simulation core.
+//
+// A Simulator owns a priority queue of (time, sequence, callback) events and a
+// monotonically advancing clock.  Everything in the iBridge model — device
+// service completions, network transfers, MPI ranks, server daemons — runs as
+// events on one Simulator instance.  The simulation is single-threaded and
+// fully deterministic: two events scheduled for the same tick fire in the
+// order they were scheduled (FIFO by sequence number).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ibridge::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  void schedule(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute simulated time (>= now).
+  void schedule_at(SimTime when, Callback fn) {
+    assert(when >= now_ && "cannot schedule into the past");
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` to run at the current time, after all callbacks already
+  /// queued for this tick.  Used to break call chains (e.g. resuming a
+  /// coroutine from inside another coroutine's await_suspend).
+  void defer(Callback fn) { schedule_at(now_, std::move(fn)); }
+
+  /// Run a single event.  Returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // Moving out of a priority_queue top requires const_cast; the element is
+    // popped immediately afterwards so the broken ordering is never observed.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ev.fn();
+    ++executed_;
+    return true;
+  }
+
+  /// Run until the event queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run until the event queue drains or the clock passes `deadline`.
+  /// Events scheduled after the deadline remain queued.
+  void run_until(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  /// Run until `done` returns true (checked after each event) or the queue
+  /// drains.  Returns true iff the predicate was satisfied.
+  bool run_while_pending(const std::function<bool()>& done) {
+    while (!done()) {
+      if (!step()) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ibridge::sim

@@ -1,0 +1,311 @@
+// Awaitable synchronization primitives for simulation coroutines.
+//
+// Everything here resumes waiters *through the event queue* (Simulator::defer)
+// rather than inline.  That keeps resumption order deterministic (FIFO at the
+// current tick) and bounds native stack depth regardless of how many waiters
+// a broadcast wakes.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace ibridge::sim {
+
+/// `co_await Delay{sim, t}` — suspend for t of simulated time.
+struct Delay {
+  Simulator& sim;
+  SimTime amount;
+
+  bool await_ready() const noexcept { return amount == SimTime::zero(); }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim.schedule(amount, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+namespace detail {
+
+/// Shared one-shot state for SimFuture/SimPromise.
+template <typename T>
+struct FutureState {
+  Simulator* sim = nullptr;
+  std::optional<T> value;
+  std::coroutine_handle<> waiter;
+
+  void fulfill(T v) {
+    assert(!value.has_value() && "SimPromise fulfilled twice");
+    value = std::move(v);
+    if (waiter) {
+      auto h = std::exchange(waiter, nullptr);
+      sim->defer([h] { h.resume(); });
+    }
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class SimPromise;
+
+/// One-shot future.  `co_await future` suspends until the matching
+/// SimPromise::set_value runs, then yields the value.  Copyable handle.
+template <typename T>
+class SimFuture {
+ public:
+  SimFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->value.has_value(); }
+
+  bool await_ready() const noexcept { return ready(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    assert(state_ && !state_->waiter && "only one waiter per SimFuture");
+    state_->waiter = h;
+  }
+  T await_resume() {
+    assert(state_->value.has_value());
+    return std::move(*state_->value);
+  }
+
+  /// Non-coroutine access once ready (used from driver code after run()).
+  const T& get() const {
+    assert(ready());
+    return *state_->value;
+  }
+
+ private:
+  friend class SimPromise<T>;
+  explicit SimFuture(std::shared_ptr<detail::FutureState<T>> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Producer side of SimFuture.
+template <typename T>
+class SimPromise {
+ public:
+  explicit SimPromise(Simulator& sim)
+      : state_(std::make_shared<detail::FutureState<T>>()) {
+    state_->sim = &sim;
+  }
+
+  SimFuture<T> get_future() const { return SimFuture<T>(state_); }
+  void set_value(T v) const { state_->fulfill(std::move(v)); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Counting event: waiters block until `count` arrivals have happened.
+/// Reusable (auto-resets), like an MPI barrier across `parties` coroutines.
+class SyncBarrier {
+ public:
+  SyncBarrier(Simulator& sim, int parties) : sim_(sim), parties_(parties) {
+    assert(parties > 0);
+  }
+
+  struct Awaiter {
+    SyncBarrier& b;
+    bool await_ready() const noexcept {
+      // The last arriver does not suspend at all.
+      return b.arrived_ + 1 == b.parties_ && (b.release(), true);
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ++b.arrived_;
+      b.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// `co_await barrier.arrive()` — block until all parties arrive.
+  Awaiter arrive() { return Awaiter{*this}; }
+
+  int arrived() const { return arrived_; }
+
+ private:
+  friend struct Awaiter;
+  void release() {
+    arrived_ = 0;
+    auto batch = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : batch) sim_.defer([h] { h.resume(); });
+  }
+
+  Simulator& sim_;
+  int parties_;
+  int arrived_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wakeup.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int initial) : sim_(sim), count_(initial) {}
+
+  struct Awaiter {
+    Semaphore& s;
+    bool await_ready() const noexcept {
+      if (s.count_ > 0) {
+        --s.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter acquire() { return Awaiter{*this}; }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.defer([h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+
+  int available() const { return count_; }
+
+ private:
+  friend struct Awaiter;
+  Simulator& sim_;
+  int count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded SPSC/MPSC channel: producers push, one consumer awaits pop.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+
+  void push(T v) {
+    items_.push_back(std::move(v));
+    if (waiter_) {
+      auto h = std::exchange(waiter_, nullptr);
+      sim_.defer([h] { h.resume(); });
+    }
+  }
+
+  struct PopAwaiter {
+    Channel& c;
+    bool await_ready() const noexcept { return !c.items_.empty(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(!c.waiter_ && "Channel supports a single concurrent consumer");
+      c.waiter_ = h;
+    }
+    T await_resume() {
+      assert(!c.items_.empty());
+      T v = std::move(c.items_.front());
+      c.items_.pop_front();
+      return v;
+    }
+  };
+
+  /// `co_await ch.pop()` — wait for and take the next item.
+  PopAwaiter pop() { return PopAwaiter{*this}; }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::deque<T> items_;
+  std::coroutine_handle<> waiter_ = nullptr;
+};
+
+/// Owns a set of top-level coroutines and tracks their completion.
+/// Top-level simulation actors are spawned here; the group keeps their frames
+/// alive until they finish (finished frames at the front are reaped on the
+/// next spawn, so long-running groups stay bounded).
+class TaskGroup {
+ public:
+  explicit TaskGroup(Simulator& sim) : sim_(sim) {}
+
+  /// Schedule `t` to start at the current simulation time.
+  void spawn(Task<> t) {
+    while (!tasks_.empty() && tasks_.front().finished()) tasks_.pop_front();
+    tasks_.push_back(std::move(t));
+    Task<>* slot = &tasks_.back();
+    sim_.defer([slot] { slot->start(); });
+  }
+
+  bool all_finished() const {
+    for (const auto& t : tasks_) {
+      if (!t.finished()) return false;
+    }
+    return true;
+  }
+
+  std::size_t size() const { return tasks_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::deque<Task<>> tasks_;  // deque: stable addresses for the start lambda
+};
+
+/// Fork/join for a bounded set of child coroutines.
+///
+///   JoinSet js(sim);
+///   for (...) js.add(subrequest(...));
+///   co_await js.join();            // resumes when every child finished
+///
+/// The JoinSet must outlive its children (keep it on the awaiting coroutine's
+/// frame and always co_await join() before returning).
+class JoinSet {
+ public:
+  explicit JoinSet(Simulator& sim) : sim_(sim) {}
+  JoinSet(const JoinSet&) = delete;
+  JoinSet& operator=(const JoinSet&) = delete;
+
+  /// Add and immediately start a child task.
+  void add(Task<> t) {
+    ++total_;
+    wrappers_.push_back(wrap(std::move(t)));
+    wrappers_.back().start();
+  }
+
+  struct Awaiter {
+    JoinSet& js;
+    bool await_ready() const noexcept { return js.done_ == js.total_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      assert(!js.waiter_ && "JoinSet supports a single joiner");
+      js.waiter_ = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Suspend until all added children have completed.
+  Awaiter join() { return Awaiter{*this}; }
+
+  std::size_t pending() const { return total_ - done_; }
+
+ private:
+  Task<> wrap(Task<> t) {
+    co_await t;
+    ++done_;
+    if (waiter_ && done_ == total_) {
+      auto h = std::exchange(waiter_, nullptr);
+      sim_.defer([h] { h.resume(); });
+    }
+  }
+
+  Simulator& sim_;
+  std::deque<Task<>> wrappers_;
+  std::size_t total_ = 0;
+  std::size_t done_ = 0;
+  std::coroutine_handle<> waiter_ = nullptr;
+};
+
+}  // namespace ibridge::sim

@@ -1,0 +1,159 @@
+// Coroutine task type for simulation processes.
+//
+// Simulation actors (MPI ranks, pvfs2-server daemons, the iBridge write-back
+// thread) are written as C++20 coroutines returning Task<T>.  A Task is lazy:
+// it runs only when awaited by another coroutine or spawned onto a TaskGroup.
+// Completion hands control back to the awaiter via symmetric transfer, so
+// arbitrarily deep co_await chains use O(1) stack.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace ibridge::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed at final suspend
+  bool finished = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto& p = h.promise();
+      p.finished = true;
+      if (p.continuation) return p.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { std::terminate(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine yielding a value of type T on completion.
+/// The Task object owns the coroutine frame.
+template <typename T>
+class Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool finished() const { return handle_ && handle_.promise().finished; }
+
+  /// Start the task without awaiting it (used by TaskGroup).
+  void start() {
+    assert(handle_ && !handle_.done());
+    handle_.resume();
+  }
+
+  // Awaitable protocol: `co_await task` starts it and suspends the caller
+  // until it completes; the result is returned by await_resume.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    handle_.promise().continuation = caller;
+    return handle_;  // symmetric transfer into the child
+  }
+  T await_resume() {
+    assert(handle_.promise().value.has_value());
+    return std::move(*handle_.promise().value);
+  }
+
+  std::coroutine_handle<promise_type> raw_handle() const { return handle_; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool finished() const { return handle_ && handle_.promise().finished; }
+
+  void start() {
+    assert(handle_ && !handle_.done());
+    handle_.resume();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  void await_resume() {}
+
+  std::coroutine_handle<promise_type> raw_handle() const { return handle_; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace ibridge::sim

@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace ibridge::sim {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  if (ns_ >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds());
+  } else if (ns_ >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis());
+  } else if (ns_ >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_micros());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace ibridge::sim

@@ -1,0 +1,77 @@
+// Simulation time: a strongly-typed nanosecond tick count.
+//
+// All model timing in the iBridge simulator is expressed in SimTime.  The
+// type is a thin wrapper over int64_t so that raw integers (byte counts,
+// LBNs, loop indices) cannot be accidentally mixed with times.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace ibridge::sim {
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors.  Use these rather than raw integers.
+  static constexpr SimTime nanos(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime micros(std::int64_t u) { return SimTime(u * 1000); }
+  static constexpr SimTime millis(std::int64_t m) {
+    return SimTime(m * 1'000'000);
+  }
+  static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime(s * 1'000'000'000);
+  }
+  /// Fractional seconds (used when converting model arithmetic done in
+  /// double seconds back to ticks).
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ns_ + b.ns_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ns_ - b.ns_);
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ * k);
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) {
+    return SimTime(a.ns_ * k);
+  }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ / k);
+  }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace ibridge::sim

@@ -1,0 +1,120 @@
+// General-purpose statistics accumulators used throughout the simulator.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ibridge::stats {
+
+/// Streaming summary of a scalar series: count/mean/min/max/variance
+/// (Welford's online algorithm).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void merge(const Summary& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+    m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ = (na * mean_ + nb * o.mean_) / (na + nb);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+    n_ += o.n_;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Exact histogram over integer keys (sparse).  Used for block-request size
+/// distributions where the key is the request size in 512 B sectors.
+class IntHistogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1) {
+    bins_[key] += weight;
+    total_ += weight;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::int64_t key) const {
+    auto it = bins_.find(key);
+    return it == bins_.end() ? 0 : it->second;
+  }
+  double fraction(std::int64_t key) const {
+    return total_ ? static_cast<double>(count(key)) /
+                        static_cast<double>(total_)
+                  : 0.0;
+  }
+
+  /// Keys sorted ascending.
+  std::vector<std::int64_t> keys() const {
+    std::vector<std::int64_t> ks;
+    ks.reserve(bins_.size());
+    for (const auto& [k, _] : bins_) ks.push_back(k);
+    return ks;
+  }
+
+  /// The `n` most frequent keys, descending by count.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> top(std::size_t n) const {
+    std::vector<std::pair<std::int64_t, std::uint64_t>> v(bins_.begin(),
+                                                          bins_.end());
+    std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (v.size() > n) v.resize(n);
+    return v;
+  }
+
+  /// Weighted mean of keys.
+  double mean() const {
+    if (!total_) return 0.0;
+    double s = 0.0;
+    for (const auto& [k, c] : bins_)
+      s += static_cast<double>(k) * static_cast<double>(c);
+    return s / static_cast<double>(total_);
+  }
+
+  void clear() {
+    bins_.clear();
+    total_ = 0;
+  }
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ibridge::stats

@@ -1,0 +1,48 @@
+// Throughput and service-time meters scraped by the benchmark harness.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+
+namespace ibridge::stats {
+
+/// Measures aggregate data volume over a simulated interval.
+class ThroughputMeter {
+ public:
+  void start(sim::SimTime now) {
+    start_ = now;
+    bytes_ = 0;
+  }
+  void add_bytes(std::int64_t b) { bytes_ += b; }
+  void stop(sim::SimTime now) { stop_ = now; }
+
+  std::int64_t bytes() const { return bytes_; }
+  sim::SimTime elapsed() const { return stop_ - start_; }
+
+  /// MB/s with MB = 10^6 bytes (matching the paper's figures).
+  double mbps() const {
+    const double secs = elapsed().to_seconds();
+    return secs > 0 ? static_cast<double>(bytes_) / 1e6 / secs : 0.0;
+  }
+
+ private:
+  sim::SimTime start_;
+  sim::SimTime stop_;
+  std::int64_t bytes_ = 0;
+};
+
+/// Per-request service-time accumulator (Table III replay metric).
+class ServiceTimeMeter {
+ public:
+  void add(sim::SimTime t) { ms_.add(t.to_millis()); }
+  double mean_ms() const { return ms_.mean(); }
+  std::uint64_t count() const { return ms_.count(); }
+  const Summary& summary() const { return ms_; }
+
+ private:
+  Summary ms_;
+};
+
+}  // namespace ibridge::stats

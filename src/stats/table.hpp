@@ -1,0 +1,42 @@
+// Fixed-width console table / CSV emitters used by the benchmark harness to
+// print rows in the same shape as the paper's tables and figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ibridge::stats {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: printf-style cell formatting.
+  static std::string fmt(const char* f, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+  }
+  static std::string fmt(const char* f, long long v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+  }
+
+  std::string to_string() const;
+  std::string to_csv() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ibridge::stats

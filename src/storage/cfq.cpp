@@ -1,0 +1,163 @@
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+
+#include "storage/scheduler.hpp"
+
+namespace ibridge::storage {
+
+namespace {
+
+bool can_merge(const DispatchBatch& b, const BlockRequest& r,
+               std::int64_t max_sectors) {
+  return r.dir == b.dir && b.sectors + r.sectors <= max_sectors &&
+         (r.lbn == b.end() || r.end() == b.lbn);
+}
+
+}  // namespace
+
+void CfqScheduler::add(PendingRequest p) {
+  const int tag = p.req.tag;
+  auto [it, inserted] = queues_.try_emplace(tag);
+  if (inserted || it->second.empty()) {
+    // Stream transitions idle -> pending: enter the round-robin.
+    rr_.push_back(tag);
+  }
+  it->second.emplace(Key{p.req.lbn, seq_++}, std::move(p));
+  ++size_;
+}
+
+const PendingRequest* CfqScheduler::pick(const StreamQueue& q,
+                                         std::int64_t head) const {
+  assert(!q.empty());
+  // SCAN within the stream: first request at or after the head, else the
+  // lowest-LBN one.
+  auto it = q.lower_bound(Key{head, 0});
+  if (it == q.end()) it = q.begin();
+  return &it->second;
+}
+
+void CfqScheduler::note_stream_drained(int tag) {
+  auto it = queues_.find(tag);
+  if (it != queues_.end() && it->second.empty()) {
+    // Leave the map entry (streams are long-lived); drop from round-robin
+    // lazily: rr_ entries for empty streams are skipped in pop_next.
+    (void)tag;
+  }
+}
+
+bool CfqScheduler::absorb_contiguous(DispatchBatch& batch) {
+  // Search every stream for a request contiguous with the batch (the
+  // kernel's cross-queue back/front merge).  Returns true on progress.
+  for (auto& [tag, q] : queues_) {
+    if (q.empty()) continue;
+    // Back merge: request starting exactly at batch end.
+    auto it = q.lower_bound(Key{batch.end(), 0});
+    if (it != q.end() && it->second.req.lbn == batch.end() &&
+        can_merge(batch, it->second.req, max_sectors_)) {
+      batch.sectors += it->second.req.sectors;
+      batch.members.push_back(std::move(it->second));
+      q.erase(it);
+      --size_;
+      return true;
+    }
+    // Front merge: request ending exactly at batch start.
+    it = q.lower_bound(Key{batch.lbn, 0});
+    while (it != q.begin()) {
+      --it;
+      if (it->second.req.end() == batch.lbn &&
+          can_merge(batch, it->second.req, max_sectors_)) {
+        batch.lbn = it->second.req.lbn;
+        batch.sectors += it->second.req.sectors;
+        batch.members.push_back(std::move(it->second));
+        q.erase(it);
+        --size_;
+        return true;
+      }
+      if (it->second.req.end() < batch.lbn) break;
+    }
+  }
+  return false;
+}
+
+DispatchBatch CfqScheduler::pop_next(std::int64_t head_lbn) {
+  DispatchBatch batch;
+  if (size_ == 0) return batch;
+
+  // Keep the active stream while it has requests and budget; otherwise
+  // rotate to the next stream with pending work.
+  auto active_has_work = [&] {
+    if (active_ < 0 || budget_ <= 0) return false;
+    auto it = queues_.find(active_);
+    return it != queues_.end() && !it->second.empty();
+  };
+  if (!active_has_work()) {
+    if (active_ >= 0) {
+      auto it = queues_.find(active_);
+      if (it != queues_.end() && !it->second.empty()) {
+        rr_.push_back(active_);  // budget exhausted, still pending
+      }
+    }
+    active_ = -1;
+    while (!rr_.empty()) {
+      const int tag = rr_.front();
+      rr_.pop_front();
+      auto it = queues_.find(tag);
+      if (it != queues_.end() && !it->second.empty()) {
+        active_ = tag;
+        budget_ = quantum_;
+        break;
+      }
+    }
+    if (active_ < 0) return batch;  // rr_ was stale; size_ said otherwise
+  }
+
+  StreamQueue& q = queues_[active_];
+  const PendingRequest* chosen = pick(q, head_lbn);
+  const Key key{chosen->req.lbn, 0};
+  auto it = q.lower_bound(key);
+  // pick() returned either lower_bound(head) or begin(); relocate it.
+  if (it == q.end() || &it->second != chosen) {
+    for (it = q.begin(); it != q.end() && &it->second != chosen; ++it) {
+    }
+  }
+  assert(it != q.end());
+
+  batch.dir = it->second.req.dir;
+  batch.lbn = it->second.req.lbn;
+  batch.sectors = it->second.req.sectors;
+  batch.members.push_back(std::move(it->second));
+  q.erase(it);
+  --size_;
+  --budget_;
+  last_tag_ = active_;
+
+  while (absorb_contiguous(batch)) {
+  }
+  note_stream_drained(active_);
+  return batch;
+}
+
+std::optional<PeekInfo> CfqScheduler::peek(std::int64_t head_lbn) const {
+  if (size_ == 0) return std::nullopt;
+  // What pop_next would dispatch: the active stream's best candidate if it
+  // still has work and budget, else the next stream's.
+  if (active_ >= 0 && budget_ > 0) {
+    auto it = queues_.find(active_);
+    if (it != queues_.end() && !it->second.empty()) {
+      const PendingRequest* r = pick(it->second, head_lbn);
+      return PeekInfo{std::llabs(r->req.lbn - head_lbn), r->req.tag};
+    }
+  }
+  for (int tag : rr_) {
+    auto it = queues_.find(tag);
+    if (it != queues_.end() && !it->second.empty()) {
+      const PendingRequest* r = pick(it->second, head_lbn);
+      return PeekInfo{std::llabs(r->req.lbn - head_lbn), r->req.tag};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ibridge::storage

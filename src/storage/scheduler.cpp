@@ -1,0 +1,117 @@
+#include "storage/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+
+namespace ibridge::storage {
+
+namespace {
+
+bool mergeable(const DispatchBatch& b, const BlockRequest& r,
+               std::int64_t max_sectors) {
+  return r.dir == b.dir && b.sectors + r.sectors <= max_sectors &&
+         (r.lbn == b.end() || r.end() == b.lbn);
+}
+
+void absorb(DispatchBatch& b, PendingRequest p) {
+  if (p.req.lbn < b.lbn) b.lbn = p.req.lbn;
+  b.sectors += p.req.sectors;
+  b.members.push_back(std::move(p));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Noop ----
+
+void NoopScheduler::add(PendingRequest p) { queue_.push_back(std::move(p)); }
+
+DispatchBatch NoopScheduler::pop_next(std::int64_t /*head_lbn*/) {
+  DispatchBatch batch;
+  if (queue_.empty()) return batch;
+
+  batch.dir = queue_.front().req.dir;
+  batch.lbn = queue_.front().req.lbn;
+  batch.sectors = queue_.front().req.sectors;
+  batch.members.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+
+  // Scan the rest of the queue for front-/back-mergeable requests.  A merge
+  // can enable another one, so repeat until a pass makes no progress.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (mergeable(batch, it->req, max_sectors_)) {
+        absorb(batch, std::move(*it));
+        queue_.erase(it);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return batch;
+}
+
+std::optional<PeekInfo> NoopScheduler::peek(std::int64_t head_lbn) const {
+  if (queue_.empty()) return std::nullopt;
+  return PeekInfo{std::llabs(queue_.front().req.lbn - head_lbn),
+                  queue_.front().req.tag};
+}
+
+// ------------------------------------------------------------ Elevator ----
+
+void ElevatorScheduler::add(PendingRequest p) {
+  auto it = std::upper_bound(
+      sorted_.begin(), sorted_.end(), p.req.lbn,
+      [](std::int64_t lbn, const PendingRequest& q) { return lbn < q.req.lbn; });
+  sorted_.insert(it, std::move(p));
+}
+
+std::size_t ElevatorScheduler::pick_index(std::int64_t head_lbn) const {
+  assert(!sorted_.empty());
+  // First request at or after the head (SCAN direction: ascending), else
+  // wrap around to the lowest LBN.
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), head_lbn,
+      [](const PendingRequest& q, std::int64_t lbn) { return q.req.lbn < lbn; });
+  if (it == sorted_.end()) it = sorted_.begin();
+  return static_cast<std::size_t>(it - sorted_.begin());
+}
+
+DispatchBatch ElevatorScheduler::pop_next(std::int64_t head_lbn) {
+  DispatchBatch batch;
+  if (sorted_.empty()) return batch;
+
+  std::size_t i = pick_index(head_lbn);
+  batch.dir = sorted_[i].req.dir;
+  batch.lbn = sorted_[i].req.lbn;
+  batch.sectors = sorted_[i].req.sectors;
+  batch.members.push_back(std::move(sorted_[i]));
+  sorted_.erase(sorted_.begin() + static_cast<std::ptrdiff_t>(i));
+
+  // Absorb queued requests contiguous with the batch tail (ascending merge;
+  // the vector is sorted so contiguous successors sit right at `i`).
+  while (i < sorted_.size() && mergeable(batch, sorted_[i].req, max_sectors_) &&
+         sorted_[i].req.lbn == batch.end()) {
+    absorb(batch, std::move(sorted_[i]));
+    sorted_.erase(sorted_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  // And any front-contiguous predecessor (rare, but keeps parity with noop).
+  while (i > 0 && mergeable(batch, sorted_[i - 1].req, max_sectors_) &&
+         sorted_[i - 1].req.end() == batch.lbn) {
+    absorb(batch, std::move(sorted_[i - 1]));
+    sorted_.erase(sorted_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+    --i;
+  }
+  return batch;
+}
+
+std::optional<PeekInfo> ElevatorScheduler::peek(std::int64_t head_lbn) const {
+  if (sorted_.empty()) return std::nullopt;
+  const PendingRequest& r = sorted_[pick_index(head_lbn)];
+  return PeekInfo{std::llabs(r.req.lbn - head_lbn), r.req.tag};
+}
+
+}  // namespace ibridge::storage

@@ -1,0 +1,75 @@
+#include "storage/ssd.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace ibridge::storage {
+
+SsdModel::SsdModel(sim::Simulator& sim, SsdParams params,
+                   std::unique_ptr<IoScheduler> sched)
+    : sim_(sim), params_(params), sched_(std::move(sched)) {}
+
+SsdModel::SsdModel(sim::Simulator& sim, SsdParams params)
+    : SsdModel(sim, params, std::make_unique<NoopScheduler>()) {}
+
+sim::SimTime SsdModel::service_time(IoDirection dir, std::int64_t lbn,
+                                    std::int64_t sectors) const {
+  const bool is_read = dir == IoDirection::kRead;
+  const std::int64_t expected = is_read ? next_read_lbn_ : next_write_lbn_;
+  const bool sequential = lbn == expected;
+
+  double overhead_us;
+  if (sequential) {
+    overhead_us = params_.seq_overhead_us;
+  } else {
+    overhead_us = is_read ? params_.random_read_overhead_us
+                          : params_.random_write_overhead_us;
+  }
+  const double bw = is_read ? params_.seq_read_bw : params_.seq_write_bw;
+  const double xfer_s = static_cast<double>(sectors * kSectorBytes) / bw;
+  return sim::SimTime::from_seconds(overhead_us / 1e6 + xfer_s);
+}
+
+sim::SimFuture<BlockCompletion> SsdModel::submit(BlockRequest req) {
+  assert(req.sectors > 0);
+  assert(req.lbn >= 0 && req.end() <= capacity_sectors());
+  PendingRequest p{req, sim_.now(), sim::SimPromise<BlockCompletion>(sim_)};
+  auto fut = p.promise.get_future();
+  sched_->add(std::move(p));
+  maybe_start();
+  return fut;
+}
+
+void SsdModel::maybe_start() {
+  while (in_flight_ < params_.channels && !sched_->empty()) {
+    DispatchBatch batch = sched_->pop_next(/*head_lbn=*/0);
+    assert(!batch.empty());
+
+    const sim::SimTime service =
+        service_time(batch.dir, batch.lbn, batch.sectors);
+    if (batch.dir == IoDirection::kRead) {
+      next_read_lbn_ = batch.end();
+    } else {
+      next_write_lbn_ = batch.end();
+    }
+    trace_.record(sim_.now(), batch.dir, batch.lbn, batch.bytes(), service);
+    account(batch.dir, batch.bytes(), service);
+
+    ++in_flight_;
+    sim_.schedule(service,
+                  [this, b = std::make_shared<DispatchBatch>(std::move(batch)),
+                   service]() mutable { complete(std::move(*b), service); });
+  }
+}
+
+void SsdModel::complete(DispatchBatch batch, sim::SimTime service) {
+  const sim::SimTime now = sim_.now();
+  for (auto& p : batch.members) {
+    p.promise.set_value(BlockCompletion{now, now - p.submitted, service});
+  }
+  --in_flight_;
+  maybe_start();
+}
+
+}  // namespace ibridge::storage

@@ -1,0 +1,27 @@
+// Shared result types and helpers for workload drivers.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "sim/time.hpp"
+
+namespace ibridge::workloads {
+
+/// Outcome of one workload execution on a cluster.
+struct WorkloadResult {
+  sim::SimTime elapsed;            ///< wall time incl. final write-back drain
+  sim::SimTime io_elapsed;         ///< wall time of the access phase only
+  std::int64_t bytes = 0;          ///< payload bytes moved
+  double avg_request_ms = 0.0;     ///< mean client-observed request time
+  std::uint64_t requests = 0;
+  double compute_seconds = 0.0;    ///< simulated compute (BTIO)
+
+  /// Aggregate throughput in MB/s (decimal MB, as the paper plots).
+  double mbps() const {
+    const double s = io_elapsed.to_seconds();
+    return s > 0 ? static_cast<double>(bytes) / 1e6 / s : 0.0;
+  }
+};
+
+}  // namespace ibridge::workloads

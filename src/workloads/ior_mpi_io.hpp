@@ -1,0 +1,29 @@
+// The ior-mpi-io benchmark (ASCI Purple suite, LLNL).
+//
+// The shared file is split into P equal chunks; process i sequentially reads
+// or writes chunk i using requests of a configurable size.  Because every
+// process is at the same relative offset of its own chunk at the same time,
+// the data servers see an effectively random arrival pattern — the paper's
+// random-access study (Figure 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/common.hpp"
+
+namespace ibridge::workloads {
+
+struct IorMpiIoConfig {
+  int nprocs = 64;
+  std::int64_t request_size = 64 * 1024;
+  std::int64_t file_bytes = 10LL * 1000 * 1000 * 1000;
+  std::int64_t access_bytes = 0;  ///< 0 = each process sweeps its whole chunk
+  bool write = false;
+  std::string file_name = "ior-mpi-io.dat";
+};
+
+WorkloadResult run_ior_mpi_io(cluster::Cluster& cluster,
+                              const IorMpiIoConfig& cfg);
+
+}  // namespace ibridge::workloads

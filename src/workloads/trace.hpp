@@ -1,0 +1,113 @@
+// I/O trace toolkit: record format, text serialization, the Table I access
+// classifier, synthetic trace generation, and replay through the cluster.
+//
+// The paper's Table I / Table III traces (ALEGRA-2744, ALEGRA-5832, CTH,
+// S3D) come from Sandia's Scalable I/O project and are not redistributable;
+// TraceSynthesizer generates streams whose classification statistics match
+// the table's published percentages (unaligned %, random %, and relative
+// request sizes), which is what the experiments depend on.  TraceReader /
+// TraceWriter handle a one-record-per-line text format ("R|W offset size")
+// so externally obtained traces can be replayed directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workloads/common.hpp"
+
+namespace ibridge::workloads {
+
+struct TraceRecord {
+  bool write = false;
+  std::int64_t offset = 0;
+  std::int64_t size = 0;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+// ------------------------------------------------------------- text IO ----
+
+/// Serialize one record per line: "R <offset> <size>" / "W <offset> <size>".
+void write_trace(std::ostream& os, const Trace& trace);
+/// Parse the text format; throws std::runtime_error on malformed input.
+Trace read_trace(std::istream& is);
+
+// ----------------------------------------------------------- classifier ----
+
+/// Table I classification of a trace against a striping unit.
+struct AccessStats {
+  double unaligned_pct = 0.0;  ///< > unit but not unit-aligned
+  double random_pct = 0.0;     ///< smaller than the random threshold
+  double total_pct = 0.0;      ///< unaligned + random
+  double avg_size = 0.0;       ///< mean request size (bytes)
+  std::uint64_t requests = 0;
+};
+
+class AccessClassifier {
+ public:
+  explicit AccessClassifier(std::int64_t stripe_unit = 64 * 1024,
+                            std::int64_t random_threshold = 20 * 1024)
+      : unit_(stripe_unit), random_(random_threshold) {}
+
+  bool is_unaligned(const TraceRecord& r) const {
+    return r.size > unit_ && (r.offset % unit_ != 0 || r.size % unit_ != 0);
+  }
+  bool is_random(const TraceRecord& r) const { return r.size < random_; }
+
+  AccessStats classify(const Trace& trace) const;
+
+ private:
+  std::int64_t unit_;
+  std::int64_t random_;
+};
+
+// ---------------------------------------------------------- synthesizer ----
+
+/// Distributional profile of one application's I/O (Table I row).
+struct TraceProfile {
+  std::string name;
+  double unaligned_frac;   ///< requests larger than the unit, unaligned
+  double random_frac;      ///< requests below 20 KB
+  std::int64_t large_size; ///< typical size of large requests (bytes)
+  std::int64_t small_size; ///< typical size of random requests (bytes)
+  double write_frac = 0.7; ///< checkpoint-style traces are write-heavy
+};
+
+/// Profiles for the paper's four traces (Table I percentages; S3D's larger
+/// average request size reflects its roughly 2x service time in Table III).
+TraceProfile alegra_2744_profile();
+TraceProfile alegra_5832_profile();
+TraceProfile cth_profile();
+TraceProfile s3d_profile();
+
+class TraceSynthesizer {
+ public:
+  TraceSynthesizer(TraceProfile profile, std::int64_t stripe_unit = 64 * 1024)
+      : profile_(std::move(profile)), unit_(stripe_unit) {}
+
+  /// Generate `n` requests over a file of `file_bytes`.
+  Trace generate(std::size_t n, std::int64_t file_bytes,
+                 std::uint64_t seed) const;
+
+ private:
+  TraceProfile profile_;
+  std::int64_t unit_;
+};
+
+// -------------------------------------------------------------- replayer ----
+
+struct ReplayConfig {
+  std::int64_t file_bytes = 10LL * 1000 * 1000 * 1000;  ///< data-size cap
+  std::string file_name = "trace.dat";
+  int rank = 0;  ///< the paper replays with a single process
+};
+
+/// Replay a trace synchronously through the cluster; WorkloadResult's
+/// avg_request_ms is the Table III metric.
+WorkloadResult replay_trace(cluster::Cluster& cluster, const Trace& trace,
+                            const ReplayConfig& cfg = {});
+
+}  // namespace ibridge::workloads

@@ -1,0 +1,186 @@
+// Property tests for IBridgeCache: structural invariants that must hold
+// after ANY sequence of operations, swept across configurations.
+//
+//   I1. table bytes == log live bytes (no space leaks, no double counting)
+//   I2. dirty bytes <= cached bytes
+//   I3. cached bytes <= configured capacity (after quiescence)
+//   I4. coverage() of any cached range round-trips the written bytes
+//   I5. after drain(): dirty == 0 and the disk image equals the reference
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "core/cache.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "storage/calibration.hpp"
+#include "storage/hdd.hpp"
+#include "storage/ssd.hpp"
+
+namespace ibridge::core {
+namespace {
+
+using storage::IoDirection;
+
+storage::SeekProfile profile() {
+  storage::SeekProfile p({{1000, 0.5}, {100'000, 1.5}, {10'000'000, 2.0}});
+  p.set_rotation(sim::SimTime::millis(2));
+  p.set_peak_bandwidth(85e6);
+  p.set_peak_write_bandwidth(80e6);
+  p.set_write_surcharge(3.0, 0.4);
+  return p;
+}
+
+// (cache capacity KB, threshold KB, admission policy)
+using Param = std::tuple<int, int, AdmissionPolicy>;
+
+class CacheInvariants : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    sim = std::make_unique<sim::Simulator>();
+    auto hp = storage::paper_hdd();
+    hp.anticipation_ms = 0;
+    disk = std::make_unique<storage::HddModel>(*sim, hp);
+    ssd = std::make_unique<storage::SsdModel>(*sim, storage::paper_ssd());
+    disk_fs = std::make_unique<fsim::LocalFileSystem>(
+        *sim, *disk, fsim::DataMode::kVerify);
+    ssd_fs = std::make_unique<fsim::LocalFileSystem>(
+        *sim, *ssd, fsim::DataMode::kVerify);
+
+    const auto [cap_kb, thresh_kb, policy] = GetParam();
+    IBridgeConfig cfg;
+    cfg.enabled = true;
+    cfg.ssd_cache_bytes = static_cast<std::int64_t>(cap_kb) * 1024;
+    cfg.log_segment_bytes =
+        std::min<std::int64_t>(cfg.ssd_cache_bytes / 4, 64 << 10);
+    cfg.fragment_threshold = static_cast<std::int64_t>(thresh_kb) * 1024;
+    cfg.random_threshold = cfg.fragment_threshold;
+    cfg.admission = policy;
+    cache = std::make_unique<IBridgeCache>(*sim, cfg, 0, *disk_fs, *ssd_fs,
+                                           profile());
+    cache->start();
+    file = disk_fs->create("df", kSpan + (1 << 20));
+    ref.assign(kSpan, 0);
+  }
+
+  void TearDown() override { cache->stop(); }
+
+  void op_write(std::int64_t off, std::int64_t len, std::uint8_t seed,
+                bool fragment) {
+    std::vector<std::byte> data(static_cast<std::size_t>(len));
+    for (std::int64_t i = 0; i < len; ++i) {
+      data[static_cast<std::size_t>(i)] =
+          static_cast<std::byte>((seed + i) & 0xff);
+    }
+    CacheRequest r{IoDirection::kWrite, file, off, len, fragment, {1}, 0};
+    bool done = false;
+    auto t = [](IBridgeCache& c, CacheRequest req,
+                std::span<const std::byte> d, bool& flag) -> sim::Task<> {
+      co_await c.serve(std::move(req), d, {});
+      flag = true;
+    }(*cache, std::move(r), data, done);
+    t.start();
+    sim->run_while_pending([&] { return done; });
+    std::memcpy(ref.data() + off, data.data(), static_cast<std::size_t>(len));
+  }
+
+  std::vector<std::byte> op_read(std::int64_t off, std::int64_t len) {
+    std::vector<std::byte> buf(static_cast<std::size_t>(len));
+    CacheRequest r{IoDirection::kRead, file, off, len, false, {}, 0};
+    bool done = false;
+    auto t = [](IBridgeCache& c, CacheRequest req, std::span<std::byte> d,
+                bool& flag) -> sim::Task<> {
+      co_await c.serve(std::move(req), {}, d);
+      flag = true;
+    }(*cache, std::move(r), buf, done);
+    t.start();
+    sim->run_while_pending([&] { return done; });
+    return buf;
+  }
+
+  // I1 holds only at quiescence: in-flight admissions and background
+  // staging legitimately hold log space before their table insert.
+  void check_quiescent_invariants(const char* where) {
+    ASSERT_EQ(cache->table().bytes_cached(), cache->log().live_bytes())
+        << where << ": table/log byte accounting diverged (I1)";
+    ASSERT_LE(cache->table().dirty_bytes(), cache->table().bytes_cached())
+        << where << " (I2)";
+  }
+  void check_running_invariants(const char* where) {
+    ASSERT_LE(cache->table().bytes_cached(), cache->log().live_bytes())
+        << where << ": table claims more bytes than the log holds";
+    ASSERT_LE(cache->table().dirty_bytes(), cache->table().bytes_cached())
+        << where << " (I2)";
+  }
+
+  static constexpr std::int64_t kSpan = 4 << 20;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<storage::HddModel> disk;
+  std::unique_ptr<storage::SsdModel> ssd;
+  std::unique_ptr<fsim::LocalFileSystem> disk_fs;
+  std::unique_ptr<fsim::LocalFileSystem> ssd_fs;
+  std::unique_ptr<IBridgeCache> cache;
+  fsim::FileId file = fsim::kInvalidFile;
+  std::vector<std::uint8_t> ref;
+};
+
+TEST_P(CacheInvariants, RandomOpsPreserveAllInvariants) {
+  sim::Rng rng(std::get<0>(GetParam()) * 31 +
+               std::get<1>(GetParam()) * 7 +
+               static_cast<int>(std::get<2>(GetParam())));
+  for (int op = 0; op < 150; ++op) {
+    const std::int64_t off = rng.uniform(0, kSpan - 1);
+    const std::int64_t len =
+        std::min<std::int64_t>(rng.uniform(1, 40'000), kSpan - off);
+    if (rng.chance(0.65)) {
+      op_write(off, len, static_cast<std::uint8_t>(op), rng.chance(0.4));
+    } else {
+      const auto got = op_read(off, len);
+      for (std::int64_t i = 0; i < len; ++i) {
+        ASSERT_EQ(static_cast<std::uint8_t>(got[static_cast<std::size_t>(i)]),
+                  ref[static_cast<std::size_t>(off + i)])
+            << "op " << op << " at " << off + i << " (I4)";
+      }
+    }
+    check_running_invariants("mid-run");
+  }
+
+  // Let background staging settle, then drain.
+  sim->run_until(sim->now() + sim::SimTime::seconds(2));
+  bool drained = false;
+  auto t = [](IBridgeCache& c, bool& flag) -> sim::Task<> {
+    co_await c.drain();
+    flag = true;
+  }(*cache, drained);
+  t.start();
+  sim->run_while_pending([&] { return drained; });
+
+  ASSERT_EQ(cache->table().dirty_bytes(), 0) << "(I5)";
+  check_quiescent_invariants("after drain");
+  // Capacity respected at quiescence (I3).
+  ASSERT_LE(cache->table().bytes_cached(),
+            cache->config().ssd_cache_bytes);
+  // The disk image alone must now equal the reference (I5).
+  std::vector<std::byte> image(kSpan);
+  disk_fs->peek_bytes(file, 0, image);
+  ASSERT_EQ(0, std::memcmp(image.data(), ref.data(), ref.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheInvariants,
+    ::testing::Combine(
+        ::testing::Values(64, 256, 4096),        // capacity KB
+        ::testing::Values(8, 20, 40),            // threshold KB
+        ::testing::Values(AdmissionPolicy::kReturnBased,
+                          AdmissionPolicy::kAlwaysSmall,
+                          AdmissionPolicy::kHotBlock)),
+    [](const auto& info) {
+      return "cap" + std::to_string(std::get<0>(info.param)) + "k_thr" +
+             std::to_string(std::get<1>(info.param)) + "k_pol" +
+             std::to_string(static_cast<int>(std::get<2>(info.param)));
+    });
+
+}  // namespace
+}  // namespace ibridge::core

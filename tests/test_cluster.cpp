@@ -1,0 +1,145 @@
+// System-level tests: the paper's headline effects must hold as ordering
+// properties of the assembled cluster, and simulations must be
+// deterministic.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "workloads/btio.hpp"
+#include "workloads/mpi_io_test.hpp"
+
+namespace ibridge::cluster {
+namespace {
+
+workloads::MpiIoTestConfig quick(std::int64_t request_size, bool write) {
+  workloads::MpiIoTestConfig cfg;
+  cfg.nprocs = 16;
+  cfg.request_size = request_size;
+  cfg.file_bytes = 2LL << 30;
+  cfg.access_bytes = 128 << 20;
+  cfg.write = write;
+  return cfg;
+}
+
+double run_mbps(const ClusterConfig& cc,
+                const workloads::MpiIoTestConfig& cfg) {
+  Cluster c(cc);
+  const auto r = run_mpi_io_test(c, cfg);
+  return static_cast<double>(r.bytes) / 1e6 / r.elapsed.to_seconds();
+}
+
+TEST(ClusterConfigs, NamedConfigurationsDiffer) {
+  const auto stock = ClusterConfig::stock();
+  EXPECT_FALSE(stock.server.ibridge.enabled);
+  const auto ib = ClusterConfig::with_ibridge();
+  EXPECT_TRUE(ib.server.ibridge.enabled);
+  EXPECT_TRUE(ib.client.tag_fragments);
+  const auto ssd = ClusterConfig::ssd_only();
+  EXPECT_EQ(ssd.server.storage_mode, pvfs::StorageMode::kSsdOnly);
+}
+
+TEST(ClusterHeadline, UnalignedSlowerThanAlignedOnStock) {
+  const double aligned = run_mbps(ClusterConfig::stock(), quick(64 * 1024, false));
+  const double unaligned =
+      run_mbps(ClusterConfig::stock(), quick(65 * 1024, false));
+  EXPECT_LT(unaligned, 0.75 * aligned)
+      << "Figure 2(a): unaligned access must significantly degrade stock";
+}
+
+TEST(ClusterHeadline, IBridgeRecoversUnalignedWriteThroughput) {
+  // The paper's Figure 4(a) configuration: 64 processes, 65 KB writes.
+  auto cfg = quick(65 * 1024, true);
+  cfg.nprocs = 64;
+  const double stock = run_mbps(ClusterConfig::stock(), cfg);
+  const double bridged = run_mbps(ClusterConfig::with_ibridge(), cfg);
+  EXPECT_GT(bridged, 1.10 * stock)
+      << "Figure 4(a): iBridge must improve unaligned writes "
+      << "(write-back drain time included)";
+}
+
+TEST(ClusterHeadline, IBridgeMatchesStockOnAlignedAccess) {
+  const double stock = run_mbps(ClusterConfig::stock(), quick(64 * 1024, false));
+  const double bridged =
+      run_mbps(ClusterConfig::with_ibridge(), quick(64 * 1024, false));
+  // Aligned access generates no fragments: iBridge must not hurt (the paper
+  // reports identical throughput).
+  EXPECT_NEAR(bridged, stock, 0.15 * stock);
+}
+
+TEST(ClusterHeadline, SsdOnlyBeatsDiskOnlyForSmallRandomWrites) {
+  workloads::BtIoConfig cfg;
+  cfg.nprocs = 4;
+  cfg.grid = 64;
+  cfg.time_steps = 2;
+  cfg.compute_ms_per_step = 5.0;
+  double disk_s, ssd_s;
+  {
+    Cluster c(ClusterConfig::stock());
+    disk_s = run_btio(c, cfg).elapsed.to_seconds();
+  }
+  {
+    Cluster c(ClusterConfig::ssd_only());
+    ssd_s = run_btio(c, cfg).elapsed.to_seconds();
+  }
+  EXPECT_LT(ssd_s, disk_s);
+}
+
+TEST(Cluster, DrainLeavesNoDirtyBytes) {
+  Cluster c(ClusterConfig::with_ibridge());
+  auto cfg = quick(65 * 1024, true);
+  cfg.access_bytes = 32 << 20;
+  run_mpi_io_test(c, cfg);  // run_mpi_io_test drains internally
+  for (int s = 0; s < c.server_count(); ++s) {
+    ASSERT_TRUE(c.server(s).has_cache());
+    EXPECT_EQ(c.server(s).cache()->table().dirty_bytes(), 0) << "server " << s;
+  }
+}
+
+TEST(Cluster, SimulationsAreDeterministic) {
+  auto cfg = quick(65 * 1024, true);
+  cfg.access_bytes = 32 << 20;
+  Cluster a(ClusterConfig::with_ibridge());
+  Cluster b(ClusterConfig::with_ibridge());
+  const auto ra = run_mpi_io_test(a, cfg);
+  const auto rb = run_mpi_io_test(b, cfg);
+  EXPECT_EQ(ra.elapsed.ns(), rb.elapsed.ns());
+  EXPECT_EQ(ra.bytes, rb.bytes);
+  EXPECT_EQ(a.server(0).cache()->stats().write_admits,
+            b.server(0).cache()->stats().write_admits);
+}
+
+TEST(Cluster, DiskTraceCapturesBlockSizes) {
+  Cluster c(ClusterConfig::stock());
+  c.enable_disk_trace(0);
+  auto cfg = quick(64 * 1024, false);
+  cfg.access_bytes = 32 << 20;
+  run_mpi_io_test(c, cfg);
+  const auto& hist = c.server(0).disk().trace().size_histogram();
+  EXPECT_GT(hist.total(), 0u);
+  // Aligned 64 KB requests: the dominant dispatch size is 128 sectors or a
+  // merged multiple of it.
+  const auto top = hist.top(1);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first % 128, 0);
+}
+
+TEST(Cluster, ServerCountIsConfigurable) {
+  auto cc = ClusterConfig::stock();
+  cc.data_servers = 3;
+  Cluster c(cc);
+  EXPECT_EQ(c.server_count(), 3);
+  auto fh = c.create_file("f", 10 << 20);
+  EXPECT_EQ(c.mds().file(fh).layout.servers(), 3);
+}
+
+TEST(Cluster, AggregateMetricsAccumulate) {
+  Cluster c(ClusterConfig::with_ibridge());
+  auto cfg = quick(65 * 1024, true);
+  cfg.access_bytes = 32 << 20;
+  const auto r = run_mpi_io_test(c, cfg);
+  EXPECT_EQ(c.total_bytes_served(), r.bytes);
+  EXPECT_GT(c.ssd_bytes_served(), 0);
+  EXPECT_GT(c.avg_service_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace ibridge::cluster

@@ -1,0 +1,188 @@
+// Tests for two-phase collective I/O and data sieving.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "mpiio/collective.hpp"
+#include "mpiio/mpi.hpp"
+
+namespace ibridge::mpiio {
+namespace {
+
+cluster::ClusterConfig small_cluster() {
+  auto cc = cluster::ClusterConfig::stock();
+  cc.data_servers = 4;
+  return cc;
+}
+
+struct CollectiveRun {
+  std::int64_t shuffle_bytes = 0;
+  sim::SimTime elapsed;
+  std::uint64_t server_requests = 0;
+};
+
+sim::Task<> collective_rank(MpiContext ctx, CollectiveContext* coll,
+                            std::int64_t req, int rounds, bool write) {
+  for (int k = 0; k < rounds; ++k) {
+    const std::int64_t off =
+        (static_cast<std::int64_t>(k) * ctx.size() + ctx.rank()) * req;
+    if (write) {
+      co_await coll->write_at_all(ctx.rank(), off, req);
+    } else {
+      co_await coll->read_at_all(ctx.rank(), off, req);
+    }
+  }
+}
+
+CollectiveRun run_collective(bool write, std::int64_t req, int nprocs,
+                             int rounds) {
+  cluster::Cluster c(small_cluster());
+  auto fh = c.create_file("f", 1 << 30);
+  MpiFile file(c.client(), fh);
+  MpiEnvironment env(c.sim(), c.client(), nprocs);
+  CollectiveContext coll(env, file);
+  const sim::SimTime t0 = c.sim().now();
+  env.launch([&](MpiContext ctx) {
+    return collective_rank(ctx, &coll, req, rounds, write);
+  });
+  c.sim().run_while_pending([&] { return env.finished(); });
+  CollectiveRun out;
+  out.elapsed = c.sim().now() - t0;
+  out.shuffle_bytes = coll.shuffle_bytes();
+  for (int s = 0; s < c.server_count(); ++s) {
+    out.server_requests += c.server(s).service_meter().count();
+  }
+  return out;
+}
+
+TEST(Collective, WriteRoundCompletesForAllRanks) {
+  const auto r = run_collective(true, 65 * 1024, 8, 3);
+  EXPECT_GT(r.elapsed, sim::SimTime::zero());
+  EXPECT_GT(r.server_requests, 0u);
+}
+
+TEST(Collective, ShuffleMovesEveryContributedByte) {
+  const auto r = run_collective(true, 65 * 1024, 8, 2);
+  EXPECT_EQ(r.shuffle_bytes, 2LL * 8 * 65 * 1024);
+}
+
+TEST(Collective, AggregationCoarsensServerRequests) {
+  // 16 unaligned 65 KB independent requests decompose into mixed-size
+  // pieces (fragments included); the collective path issues stripe-aligned
+  // domain accesses, so the mean bytes per server request grows toward the
+  // full striping unit.
+  const std::int64_t req = 65 * 1024;
+  const int nprocs = 16;
+
+  double independent_avg = 0.0;
+  {
+    cluster::Cluster c(small_cluster());
+    auto fh = c.create_file("f", 1 << 30);
+    MpiFile file(c.client(), fh);
+    MpiEnvironment env(c.sim(), c.client(), nprocs);
+    env.launch([&](MpiContext ctx) {
+      return [](MpiContext ctx2, MpiFile f, std::int64_t sz) -> sim::Task<> {
+        co_await f.write_at(ctx2.rank(), ctx2.rank() * sz, sz);
+      }(ctx, file, req);
+    });
+    c.sim().run_while_pending([&] { return env.finished(); });
+    std::int64_t bytes = 0;
+    std::uint64_t count = 0;
+    for (int s = 0; s < c.server_count(); ++s) {
+      bytes += c.server(s).bytes_served();
+      count += c.server(s).service_meter().count();
+    }
+    independent_avg = static_cast<double>(bytes) / static_cast<double>(count);
+  }
+
+  cluster::Cluster c(small_cluster());
+  auto fh = c.create_file("f", 1 << 30);
+  MpiFile file(c.client(), fh);
+  MpiEnvironment env(c.sim(), c.client(), nprocs);
+  CollectiveContext coll(env, file);
+  env.launch([&](MpiContext ctx) {
+    return collective_rank(ctx, &coll, req, 1, true);
+  });
+  c.sim().run_while_pending([&] { return env.finished(); });
+  std::int64_t bytes = 0;
+  std::uint64_t count = 0;
+  for (int s = 0; s < c.server_count(); ++s) {
+    bytes += c.server(s).bytes_served();
+    count += c.server(s).service_meter().count();
+  }
+  const double collective_avg =
+      static_cast<double>(bytes) / static_cast<double>(count);
+  EXPECT_GT(collective_avg, 1.5 * independent_avg);
+  // Domain accesses are unit-aligned: nearly every piece is a full unit.
+  EXPECT_GT(collective_avg, 0.9 * 64 * 1024);
+}
+
+TEST(Collective, ReadsDeliverAfterFileIo) {
+  const auto r = run_collective(false, 33 * 1024, 4, 2);
+  EXPECT_GT(r.elapsed, sim::SimTime::zero());
+  EXPECT_EQ(r.shuffle_bytes, 2LL * 4 * 33 * 1024);
+}
+
+TEST(Collective, SingleRankDegeneratesGracefully) {
+  const auto r = run_collective(true, 64 * 1024, 1, 2);
+  EXPECT_GT(r.server_requests, 0u);
+}
+
+TEST(Collective, RespectsConfiguredAggregatorCount) {
+  cluster::Cluster c(small_cluster());
+  auto fh = c.create_file("f", 1 << 30);
+  MpiFile file(c.client(), fh);
+  MpiEnvironment env(c.sim(), c.client(), 8);
+  CollectiveConfig cfg;
+  cfg.aggregators = 2;
+  cfg.buffer_bytes = 128 * 1024;
+  CollectiveContext coll(env, file, cfg);
+  env.launch([&](MpiContext ctx) {
+    return collective_rank(ctx, &coll, 64 * 1024, 1, true);
+  });
+  c.sim().run_while_pending([&] { return env.finished(); });
+  SUCCEED();  // structural: no deadlock, round completes
+}
+
+// ------------------------------------------------------------- sieving ----
+
+TEST(DataSieving, WidensToAlignedBoundaries) {
+  cluster::Cluster c(small_cluster());
+  auto fh = c.create_file("f", 1 << 30);
+  MpiFile file(c.client(), fh);
+  bool done = false;
+  auto t = [](cluster::Cluster& cl, MpiFile f, bool& flag) -> sim::Task<> {
+    // 65 KB at offset 1 KB: sieved to [0, 128 KB) — aligned, no fragments.
+    co_await read_at_sieved(f, 0, 1024, 65 * 1024, 64 * 1024);
+    flag = true;
+  }(c, file, done);
+  t.start();
+  c.sim().run_while_pending([&] { return done; });
+  // Exactly two aligned 64 KB sub-requests reached the servers.
+  std::uint64_t reqs = 0;
+  std::int64_t bytes = 0;
+  for (int s = 0; s < c.server_count(); ++s) {
+    reqs += c.server(s).service_meter().count();
+    bytes += c.server(s).bytes_served();
+  }
+  EXPECT_EQ(reqs, 2u);
+  EXPECT_EQ(bytes, 128 * 1024);
+}
+
+TEST(DataSieving, AlreadyAlignedIsUnchanged) {
+  cluster::Cluster c(small_cluster());
+  auto fh = c.create_file("f", 1 << 30);
+  MpiFile file(c.client(), fh);
+  bool done = false;
+  auto t = [](cluster::Cluster& cl, MpiFile f, bool& flag) -> sim::Task<> {
+    co_await read_at_sieved(f, 0, 64 * 1024, 64 * 1024, 64 * 1024);
+    flag = true;
+  }(c, file, done);
+  t.start();
+  c.sim().run_while_pending([&] { return done; });
+  std::int64_t bytes = 0;
+  for (int s = 0; s < c.server_count(); ++s) bytes += c.server(s).bytes_served();
+  EXPECT_EQ(bytes, 64 * 1024);
+}
+
+}  // namespace
+}  // namespace ibridge::mpiio

@@ -1,0 +1,235 @@
+// Tests for the iBridge mapping table: range coverage, trim/split,
+// per-class LRU and accounting.
+#include <gtest/gtest.h>
+
+#include "core/mapping_table.hpp"
+
+namespace ibridge::core {
+namespace {
+
+constexpr fsim::FileId kF = 1;
+constexpr fsim::FileId kG = 2;
+
+CacheEntry entry(std::int64_t off, std::int64_t len, std::int64_t log_off,
+                 bool dirty = false, CacheClass c = CacheClass::kRegular,
+                 double ret = 1.0) {
+  return CacheEntry{kF, off, len, log_off, dirty, c, ret};
+}
+
+TEST(MappingTable, ExactCoverageHit) {
+  MappingTable t;
+  t.insert(entry(100, 50, 1000));
+  auto cov = t.coverage(kF, 100, 50);
+  ASSERT_EQ(cov.size(), 1u);
+  EXPECT_EQ(cov[0].log_off, 1000);
+  EXPECT_EQ(cov[0].length, 50);
+}
+
+TEST(MappingTable, InteriorSliceHit) {
+  MappingTable t;
+  t.insert(entry(100, 50, 1000));
+  auto cov = t.coverage(kF, 110, 20);
+  ASSERT_EQ(cov.size(), 1u);
+  EXPECT_EQ(cov[0].log_off, 1010);
+  EXPECT_EQ(cov[0].length, 20);
+}
+
+TEST(MappingTable, TiledCoverageAcrossEntries) {
+  MappingTable t;
+  t.insert(entry(0, 100, 5000));
+  t.insert(entry(100, 100, 9000));
+  auto cov = t.coverage(kF, 50, 100);
+  ASSERT_EQ(cov.size(), 2u);
+  EXPECT_EQ(cov[0].log_off, 5050);
+  EXPECT_EQ(cov[0].length, 50);
+  EXPECT_EQ(cov[1].log_off, 9000);
+  EXPECT_EQ(cov[1].length, 50);
+}
+
+TEST(MappingTable, GapMeansMiss) {
+  MappingTable t;
+  t.insert(entry(0, 100, 5000));
+  t.insert(entry(150, 100, 9000));
+  EXPECT_TRUE(t.coverage(kF, 50, 150).empty());
+  EXPECT_TRUE(t.coverage(kF, 240, 20).empty());
+  EXPECT_TRUE(t.coverage(kG, 0, 10).empty());
+}
+
+TEST(MappingTable, OverlappingFindsAllIntersections) {
+  MappingTable t;
+  const EntryId a = t.insert(entry(0, 100, 0));
+  const EntryId b = t.insert(entry(200, 100, 200));
+  const EntryId c = t.insert(entry(400, 100, 400));
+  (void)c;
+  auto ov = t.overlapping(kF, 90, 150);  // clips a and b
+  ASSERT_EQ(ov.size(), 2u);
+  EXPECT_EQ(ov[0], a);
+  EXPECT_EQ(ov[1], b);
+  EXPECT_TRUE(t.overlapping(kF, 100, 100).empty());
+  EXPECT_TRUE(t.overlapping(kF, 999, 1).empty());
+}
+
+TEST(MappingTable, TrimLeftEdge) {
+  MappingTable t;
+  const EntryId id = t.insert(entry(100, 100, 1000, true));
+  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
+  t.trim(id, 80, 50, freed);  // cuts [100,130)
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], std::make_pair(std::int64_t{1000}, std::int64_t{30}));
+  auto cov = t.coverage(kF, 130, 70);
+  ASSERT_EQ(cov.size(), 1u);
+  EXPECT_EQ(cov[0].log_off, 1030);
+  EXPECT_TRUE(t.coverage(kF, 100, 40).empty());
+  EXPECT_EQ(t.dirty_bytes(), 70);
+}
+
+TEST(MappingTable, TrimInteriorSplitsEntry) {
+  MappingTable t;
+  const EntryId id =
+      t.insert(entry(0, 100, 500, true, CacheClass::kFragment, 2.5));
+  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
+  t.trim(id, 40, 20, freed);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0].first, 540);
+  EXPECT_EQ(freed[0].second, 20);
+  EXPECT_EQ(t.entry_count(), 2u);
+  auto left = t.coverage(kF, 0, 40);
+  auto right = t.coverage(kF, 60, 40);
+  ASSERT_EQ(left.size(), 1u);
+  ASSERT_EQ(right.size(), 1u);
+  EXPECT_EQ(left[0].log_off, 500);
+  EXPECT_EQ(right[0].log_off, 560);
+  EXPECT_TRUE(t.coverage(kF, 40, 20).empty());
+  // Split pieces keep class, dirty flag and return value.
+  EXPECT_EQ(t.bytes_cached(CacheClass::kFragment), 80);
+  EXPECT_EQ(t.dirty_bytes(), 80);
+  EXPECT_NEAR(t.return_sum(CacheClass::kFragment), 5.0, 1e-9);
+}
+
+TEST(MappingTable, TrimWholeEntryRemovesIt) {
+  MappingTable t;
+  const EntryId id = t.insert(entry(0, 100, 500));
+  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
+  t.trim(id, 0, 100, freed);
+  EXPECT_EQ(t.entry_count(), 0u);
+  EXPECT_FALSE(t.contains(id));
+}
+
+TEST(MappingTable, TrimNoIntersectionIsNoop) {
+  MappingTable t;
+  const EntryId id = t.insert(entry(0, 100, 500));
+  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
+  t.trim(id, 200, 50, freed);
+  EXPECT_TRUE(freed.empty());
+  EXPECT_TRUE(t.contains(id));
+}
+
+TEST(MappingTable, LruEvictsOldestTouchedLast) {
+  MappingTable t;
+  const EntryId a = t.insert(entry(0, 10, 0));
+  const EntryId b = t.insert(entry(100, 10, 100));
+  const EntryId c = t.insert(entry(200, 10, 200));
+  EXPECT_EQ(t.lru_victim(CacheClass::kRegular), a);
+  t.touch(a);
+  EXPECT_EQ(t.lru_victim(CacheClass::kRegular), b);
+  t.erase(b);
+  EXPECT_EQ(t.lru_victim(CacheClass::kRegular), c);
+}
+
+TEST(MappingTable, ClassesHaveIndependentLrus) {
+  MappingTable t;
+  const EntryId r = t.insert(entry(0, 10, 0, false, CacheClass::kRegular));
+  const EntryId f =
+      t.insert(entry(100, 10, 100, false, CacheClass::kFragment));
+  EXPECT_EQ(t.lru_victim(CacheClass::kRegular), r);
+  EXPECT_EQ(t.lru_victim(CacheClass::kFragment), f);
+  EXPECT_EQ(t.entry_count(CacheClass::kRegular), 1u);
+  EXPECT_EQ(t.entry_count(CacheClass::kFragment), 1u);
+}
+
+TEST(MappingTable, AccountingTracksBytesAndReturns) {
+  MappingTable t;
+  t.insert(entry(0, 30, 0, true, CacheClass::kFragment, 4.0));
+  t.insert(entry(100, 70, 100, false, CacheClass::kRegular, 2.0));
+  EXPECT_EQ(t.bytes_cached(), 100);
+  EXPECT_EQ(t.bytes_cached(CacheClass::kFragment), 30);
+  EXPECT_EQ(t.dirty_bytes(), 30);
+  EXPECT_DOUBLE_EQ(t.return_avg(CacheClass::kFragment), 4.0);
+  EXPECT_DOUBLE_EQ(t.return_avg(CacheClass::kRegular), 2.0);
+}
+
+TEST(MappingTable, MarkCleanAndDirtyAdjustAccounting) {
+  MappingTable t;
+  const EntryId id = t.insert(entry(0, 50, 0, true));
+  EXPECT_EQ(t.dirty_bytes(), 50);
+  t.mark_clean(id);
+  EXPECT_EQ(t.dirty_bytes(), 0);
+  t.mark_clean(id);  // idempotent
+  EXPECT_EQ(t.dirty_bytes(), 0);
+  t.mark_dirty(id);
+  EXPECT_EQ(t.dirty_bytes(), 50);
+}
+
+TEST(MappingTable, DirtyEntriesRespectsBudget) {
+  MappingTable t;
+  for (int i = 0; i < 10; ++i) {
+    t.insert(entry(i * 100, 50, i * 100, true));
+  }
+  auto batch = t.dirty_entries(120);
+  // 50-byte entries: budget 120 admits two (a third would exceed it).
+  EXPECT_EQ(batch.size(), 2u);
+  auto all = t.dirty_entries(1 << 30);
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(MappingTable, DirtyEntriesSkipsClean) {
+  MappingTable t;
+  const EntryId a = t.insert(entry(0, 50, 0, true));
+  t.insert(entry(100, 50, 100, false));
+  t.mark_clean(a);
+  EXPECT_TRUE(t.dirty_entries(1 << 30).empty());
+}
+
+TEST(MappingTable, EntriesInLogRange) {
+  MappingTable t;
+  const EntryId a = t.insert(entry(0, 50, 0));
+  const EntryId b = t.insert(entry(100, 50, 1000));
+  const EntryId c = t.insert(entry(200, 50, 2000));
+  auto in = t.entries_in_log_range(900, 1100);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0], b);
+  // Partial intersection from the left neighbour counts.
+  auto in2 = t.entries_in_log_range(40, 60);
+  ASSERT_EQ(in2.size(), 1u);
+  EXPECT_EQ(in2[0], a);
+  EXPECT_TRUE(t.entries_in_log_range(3000, 4000).empty());
+  (void)c;
+}
+
+TEST(MappingTable, EraseReturnsEntryAndCleansIndexes) {
+  MappingTable t;
+  const EntryId id = t.insert(entry(0, 50, 777, true));
+  const CacheEntry e = t.erase(id);
+  EXPECT_EQ(e.log_off, 777);
+  EXPECT_EQ(t.entry_count(), 0u);
+  EXPECT_EQ(t.dirty_bytes(), 0);
+  EXPECT_TRUE(t.coverage(kF, 0, 50).empty());
+  EXPECT_TRUE(t.entries_in_log_range(0, 10'000).empty());
+  // Space is reusable immediately.
+  t.insert(entry(0, 50, 777));
+  EXPECT_EQ(t.entry_count(), 1u);
+}
+
+TEST(MappingTable, MultipleFilesAreIsolated) {
+  MappingTable t;
+  t.insert(entry(0, 50, 0));
+  CacheEntry g = entry(0, 50, 100);
+  g.file = kG;
+  t.insert(g);
+  EXPECT_EQ(t.coverage(kF, 0, 50)[0].log_off, 0);
+  EXPECT_EQ(t.coverage(kG, 0, 50)[0].log_off, 100);
+  EXPECT_EQ(t.overlapping(kG, 0, 10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ibridge::core

@@ -1,0 +1,464 @@
+// Tests for the discrete-event simulation kernel: clock, event ordering,
+// coroutine tasks, and the awaitable synchronization primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace ibridge::sim {
+namespace {
+
+// ------------------------------------------------------------- SimTime ----
+
+TEST(SimTime, UnitConstructorsAgree) {
+  EXPECT_EQ(SimTime::micros(1).ns(), 1000);
+  EXPECT_EQ(SimTime::millis(1).ns(), 1'000'000);
+  EXPECT_EQ(SimTime::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(SimTime::seconds(2), SimTime::millis(2000));
+}
+
+TEST(SimTime, FromSecondsRoundTrips) {
+  const SimTime t = SimTime::from_seconds(1.5);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.to_millis(), 1500.0);
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const SimTime a = SimTime::millis(3), b = SimTime::millis(2);
+  EXPECT_EQ((a + b).ns(), SimTime::millis(5).ns());
+  EXPECT_EQ((a - b).ns(), SimTime::millis(1).ns());
+  EXPECT_EQ((a * 2).ns(), SimTime::millis(6).ns());
+  EXPECT_EQ((a / 3).ns(), SimTime::millis(1).ns());
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_EQ(SimTime::nanos(12).to_string(), "12ns");
+  EXPECT_NE(SimTime::micros(12).to_string().find("us"), std::string::npos);
+  EXPECT_NE(SimTime::millis(12).to_string().find("ms"), std::string::npos);
+  EXPECT_NE(SimTime::seconds(2).to_string().find("s"), std::string::npos);
+}
+
+// ----------------------------------------------------------- Simulator ----
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(SimTime::millis(3), [&] { order.push_back(3); });
+  sim.schedule(SimTime::millis(1), [&] { order.push_back(1); });
+  sim.schedule(SimTime::millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::millis(3));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, SameTickIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule(SimTime::millis(5), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, DeferRunsAfterCurrentTickCallbacks) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(SimTime::zero(), [&] {
+    sim.defer([&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  sim.schedule(SimTime::zero(), [&] { order.push_back(10); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 2}));
+}
+
+TEST(Simulator, NestedSchedulingAdvancesClock) {
+  Simulator sim;
+  SimTime inner_time;
+  sim.schedule(SimTime::millis(1), [&] {
+    sim.schedule(SimTime::millis(4), [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, SimTime::millis(5));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(SimTime::millis(1), [&] { ++fired; });
+  sim.schedule(SimTime::millis(10), [&] { ++fired; });
+  sim.run_until(SimTime::millis(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::millis(5));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunWhilePendingStopsOnPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(SimTime::millis(i), [&] { ++count; });
+  }
+  EXPECT_TRUE(sim.run_while_pending([&] { return count >= 4; }));
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, RunWhilePendingReturnsFalseWhenDrained) {
+  Simulator sim;
+  sim.schedule(SimTime::millis(1), [] {});
+  EXPECT_FALSE(sim.run_while_pending([] { return false; }));
+}
+
+// ---------------------------------------------------------------- Task ----
+
+Task<int> forty_two() { co_return 42; }
+
+Task<int> add(int a, int b) {
+  const int x = co_await forty_two();
+  co_return a + b + x - 42;
+}
+
+Task<> outer(Simulator& sim, std::vector<int>& log) {
+  log.push_back(1);
+  co_await Delay{sim, SimTime::millis(5)};
+  log.push_back(2);
+  const int v = co_await add(2, 3);
+  log.push_back(v);
+}
+
+TEST(Task, NestedAwaitReturnsValue) {
+  Simulator sim;
+  std::vector<int> log;
+  auto t = outer(sim, log);
+  t.start();
+  sim.run();
+  EXPECT_TRUE(t.finished());
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 5}));
+  EXPECT_EQ(sim.now(), SimTime::millis(5));
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  Simulator sim;
+  std::vector<int> log;
+  auto t = outer(sim, log);
+  Task<> u = std::move(t);
+  EXPECT_FALSE(t.valid());
+  EXPECT_TRUE(u.valid());
+  u.start();
+  sim.run();
+  EXPECT_TRUE(u.finished());
+}
+
+TEST(Task, UnstartedTaskIsDestroyedSafely) {
+  Simulator sim;
+  std::vector<int> log;
+  { auto t = outer(sim, log); }  // never started
+  EXPECT_TRUE(log.empty());
+}
+
+// --------------------------------------------------------------- Delay ----
+
+Task<> delayer(Simulator& sim, SimTime d, SimTime& when) {
+  co_await Delay{sim, d};
+  when = sim.now();
+}
+
+TEST(Delay, SuspendsForExactDuration) {
+  Simulator sim;
+  SimTime when;
+  auto t = delayer(sim, SimTime::micros(123), when);
+  t.start();
+  sim.run();
+  EXPECT_EQ(when, SimTime::micros(123));
+}
+
+TEST(Delay, ZeroDelayDoesNotSuspend) {
+  Simulator sim;
+  SimTime when = SimTime::millis(99);
+  auto t = delayer(sim, SimTime::zero(), when);
+  t.start();
+  EXPECT_EQ(when, SimTime::zero());  // completed synchronously
+}
+
+// ------------------------------------------------------------ SimFuture ----
+
+Task<> consume(SimFuture<int> f, int& out) { out = co_await f; }
+
+TEST(SimFuture, AwaitBeforeFulfill) {
+  Simulator sim;
+  SimPromise<int> p(sim);
+  int out = 0;
+  auto t = consume(p.get_future(), out);
+  t.start();
+  EXPECT_EQ(out, 0);
+  sim.schedule(SimTime::millis(2), [&] { p.set_value(7); });
+  sim.run();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(SimFuture, AwaitAfterFulfillIsImmediate) {
+  Simulator sim;
+  SimPromise<int> p(sim);
+  p.set_value(9);
+  int out = 0;
+  auto t = consume(p.get_future(), out);
+  t.start();
+  EXPECT_EQ(out, 9);  // ready future: no suspension
+}
+
+TEST(SimFuture, GetAfterRun) {
+  Simulator sim;
+  SimPromise<int> p(sim);
+  auto f = p.get_future();
+  EXPECT_FALSE(f.ready());
+  p.set_value(3);
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.get(), 3);
+}
+
+// ----------------------------------------------------------- SyncBarrier ----
+
+Task<> barrier_rank(Simulator& sim, SyncBarrier& b, SimTime d,
+                    std::vector<SimTime>& done) {
+  co_await Delay{sim, d};
+  co_await b.arrive();
+  done.push_back(sim.now());
+}
+
+TEST(SyncBarrier, ReleasesWhenAllArrive) {
+  Simulator sim;
+  SyncBarrier b(sim, 3);
+  std::vector<SimTime> done;
+  TaskGroup group(sim);
+  group.spawn(barrier_rank(sim, b, SimTime::millis(1), done));
+  group.spawn(barrier_rank(sim, b, SimTime::millis(5), done));
+  group.spawn(barrier_rank(sim, b, SimTime::millis(3), done));
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  for (const auto& t : done) EXPECT_EQ(t, SimTime::millis(5));
+}
+
+Task<> barrier_loop(Simulator& sim, SyncBarrier& b, int iters,
+                    std::vector<int>& log, int id) {
+  for (int i = 0; i < iters; ++i) {
+    co_await Delay{sim, SimTime::millis(id + 1)};
+    co_await b.arrive();
+    log.push_back(i * 10 + id);
+  }
+}
+
+TEST(SyncBarrier, IsReusableAcrossIterations) {
+  Simulator sim;
+  SyncBarrier b(sim, 2);
+  std::vector<int> log;
+  TaskGroup group(sim);
+  group.spawn(barrier_loop(sim, b, 3, log, 0));
+  group.spawn(barrier_loop(sim, b, 3, log, 1));
+  sim.run();
+  ASSERT_EQ(log.size(), 6u);
+  // Iterations complete in order; within an iteration both ranks release.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(log[static_cast<size_t>(2 * i)] / 10, i);
+    EXPECT_EQ(log[static_cast<size_t>(2 * i + 1)] / 10, i);
+  }
+}
+
+TEST(SyncBarrier, SinglePartyNeverBlocks) {
+  Simulator sim;
+  SyncBarrier b(sim, 1);
+  std::vector<SimTime> done;
+  TaskGroup group(sim);
+  group.spawn(barrier_rank(sim, b, SimTime::millis(1), done));
+  sim.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], SimTime::millis(1));
+}
+
+// ------------------------------------------------------------ Semaphore ----
+
+Task<> sem_user(Simulator& sim, Semaphore& s, SimTime hold, int id,
+                std::vector<int>& order) {
+  co_await s.acquire();
+  order.push_back(id);
+  co_await Delay{sim, hold};
+  s.release();
+}
+
+TEST(Semaphore, LimitsConcurrencyAndWakesFifo) {
+  Simulator sim;
+  Semaphore s(sim, 2);
+  std::vector<int> order;
+  TaskGroup group(sim);
+  for (int i = 0; i < 5; ++i) {
+    group.spawn(sem_user(sim, s, SimTime::millis(10), i, order));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(s.available(), 2);
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersIncrements) {
+  Simulator sim;
+  Semaphore s(sim, 0);
+  s.release();
+  EXPECT_EQ(s.available(), 1);
+}
+
+// -------------------------------------------------------------- Channel ----
+
+Task<> producer(Simulator& sim, Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await Delay{sim, SimTime::millis(1)};
+    ch.push(i);
+  }
+}
+
+Task<> chan_consumer(Channel<int>& ch, int n, std::vector<int>& got) {
+  for (int i = 0; i < n; ++i) {
+    got.push_back(co_await ch.pop());
+  }
+}
+
+TEST(Channel, DeliversInOrderAcrossSuspension) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  TaskGroup group(sim);
+  group.spawn(chan_consumer(ch, 5, got));  // consumer first: must block
+  group.spawn(producer(sim, ch, 5));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, BufferedPopIsImmediate) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.push(1);
+  ch.push(2);
+  EXPECT_EQ(ch.size(), 2u);
+  std::vector<int> got;
+  auto t = chan_consumer(ch, 2, got);
+  t.start();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+// -------------------------------------------------------------- JoinSet ----
+
+Task<> tick(Simulator& sim, SimTime d, int& counter) {
+  co_await Delay{sim, d};
+  ++counter;
+}
+
+Task<> join_parent(Simulator& sim, int n, int& counter, bool& joined) {
+  JoinSet js(sim);
+  for (int i = 0; i < n; ++i) {
+    js.add(tick(sim, SimTime::millis(i + 1), counter));
+  }
+  co_await js.join();
+  joined = true;
+}
+
+TEST(JoinSet, WaitsForAllChildren) {
+  Simulator sim;
+  int counter = 0;
+  bool joined = false;
+  auto t = join_parent(sim, 7, counter, joined);
+  t.start();
+  sim.run();
+  EXPECT_TRUE(joined);
+  EXPECT_EQ(counter, 7);
+  EXPECT_EQ(sim.now(), SimTime::millis(7));
+}
+
+TEST(JoinSet, EmptyJoinIsImmediate) {
+  Simulator sim;
+  int counter = 0;
+  bool joined = false;
+  auto t = join_parent(sim, 0, counter, joined);
+  t.start();
+  EXPECT_TRUE(joined);
+}
+
+// ------------------------------------------------------------ TaskGroup ----
+
+TEST(TaskGroup, TracksCompletionAndReaps) {
+  Simulator sim;
+  TaskGroup group(sim);
+  int counter = 0;
+  for (int i = 0; i < 100; ++i) {
+    group.spawn(tick(sim, SimTime::millis(1), counter));
+    sim.run();
+  }
+  EXPECT_EQ(counter, 100);
+  EXPECT_TRUE(group.all_finished());
+  // Finished frames at the front are reaped on spawn, bounding memory.
+  EXPECT_LE(group.size(), 2u);
+}
+
+// ------------------------------------------------------------------ Rng ----
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(10), 10u);
+}
+
+TEST(Rng, UniformCoversRangeInclusive) {
+  Rng r(7);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    lo = lo || v == 3;
+    hi = hi || v == 5;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  Rng a2(5);
+  (void)a2.fork();
+  // Parent stream after fork must equal a reference that also forked once.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), a2());
+  (void)child;
+}
+
+}  // namespace
+}  // namespace ibridge::sim

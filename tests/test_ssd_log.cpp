@@ -1,0 +1,109 @@
+// Tests for the segmented SSD log allocator.
+#include <gtest/gtest.h>
+
+#include "core/ssd_log.hpp"
+
+namespace ibridge::core {
+namespace {
+
+TEST(SsdLog, AppendsSequentiallyWithinSegment) {
+  SsdLog log(1000, 100);
+  EXPECT_EQ(log.append(30), 0);
+  EXPECT_EQ(log.append(30), 30);
+  EXPECT_EQ(log.append(30), 60);
+  EXPECT_EQ(log.live_bytes(), 90);
+}
+
+TEST(SsdLog, SealsSegmentWhenAllocationDoesNotFit) {
+  SsdLog log(1000, 100);
+  EXPECT_EQ(log.append(60), 0);
+  // 60 more does not fit in segment 0 (head 60) -> new segment at 100.
+  EXPECT_EQ(log.append(60), 100);
+}
+
+TEST(SsdLog, ReleaseFreesSegmentWhenFullyDead) {
+  SsdLog log(300, 100);
+  const auto a = log.append(100);  // fills segment 0
+  const auto b = log.append(100);  // fills segment 1
+  const auto c = log.append(100);  // fills segment 2
+  (void)b;
+  (void)c;
+  EXPECT_EQ(log.free_segment_count(), 0);
+  EXPECT_FALSE(log.has_room(10));
+  log.release(a, 100);
+  EXPECT_EQ(log.free_segment_count(), 1);
+  EXPECT_TRUE(log.has_room(10));
+  EXPECT_EQ(log.append(10), 0);  // reuses the freed segment
+}
+
+TEST(SsdLog, PartialReleaseKeepsSegmentLive) {
+  SsdLog log(300, 100);
+  const auto a = log.append(100);
+  log.append(100);
+  log.append(100);
+  log.release(a, 40);
+  EXPECT_EQ(log.free_segment_count(), 0);
+  log.release(a + 40, 60);
+  EXPECT_EQ(log.free_segment_count(), 1);
+}
+
+TEST(SsdLog, VictimIsLeastLiveNonActiveSegment) {
+  SsdLog log(300, 100);
+  const auto a = log.append(100);  // segment 0: live 100
+  const auto b = log.append(100);  // segment 1: live 100
+  log.append(10);                  // segment 2 active
+  log.release(a, 80);              // segment 0: live 20
+  log.release(b, 50);              // segment 1: live 50
+  EXPECT_EQ(log.victim_segment(), 0);
+  auto [begin, end] = log.segment_range(0);
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end, 100);
+}
+
+TEST(SsdLog, VictimIgnoresActiveAndEmptySegments) {
+  SsdLog log(300, 100);
+  log.append(10);  // segment 0 active, live 10
+  EXPECT_EQ(log.victim_segment(), -1);
+}
+
+TEST(SsdLog, HasRoomConsidersActiveHeadAndFreeList) {
+  SsdLog log(200, 100);
+  EXPECT_TRUE(log.has_room(100));
+  log.append(90);
+  EXPECT_TRUE(log.has_room(50));   // new segment available
+  log.append(90);                  // takes segment 1
+  EXPECT_TRUE(log.has_room(10));   // head room in segment 1
+  EXPECT_FALSE(log.has_room(50));  // neither head nor free segment
+}
+
+TEST(SsdLog, CapacityAndSegmentBytes) {
+  SsdLog log(1024, 256);
+  EXPECT_EQ(log.capacity(), 1024);
+  EXPECT_EQ(log.segment_bytes(), 256);
+}
+
+TEST(SsdLog, WastedTailIsReclaimedWithSegment) {
+  SsdLog log(200, 100);
+  const auto a = log.append(60);   // segment 0, head 60
+  EXPECT_EQ(log.append(60), 100);  // sealed with 40 bytes wasted
+  log.release(a, 60);              // segment 0 fully dead again
+  EXPECT_EQ(log.append(90), 0);    // whole segment reusable
+}
+
+TEST(SsdLog, ManyCyclesDoNotLeakSpace) {
+  SsdLog log(1000, 100);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> allocs;
+    for (int i = 0; i < 9; ++i) {
+      const auto off = log.append(95);
+      ASSERT_GE(off, 0) << "cycle " << cycle << " alloc " << i;
+      allocs.emplace_back(off, 95);
+    }
+    for (auto [off, len] : allocs) log.release(off, len);
+  }
+  EXPECT_EQ(log.live_bytes(), 0);
+  EXPECT_GE(log.free_segment_count(), 9);
+}
+
+}  // namespace
+}  // namespace ibridge::core

@@ -1,0 +1,166 @@
+// Tests for the statistics accumulators, blktrace recorder, and table
+// printers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/blocktrace.hpp"
+#include "stats/histogram.hpp"
+#include "stats/meters.hpp"
+#include "stats/table.hpp"
+
+namespace ibridge::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MergeMatchesCombinedStream) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  Summary a, empty;
+  a.add(3.0);
+  Summary c = a;
+  c.merge(empty);
+  EXPECT_EQ(c.count(), 1u);
+  Summary d = empty;
+  d.merge(a);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+}
+
+TEST(IntHistogram, CountsAndFractions) {
+  IntHistogram h;
+  h.add(128, 72);
+  h.add(256, 18);
+  h.add(2, 10);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.count(128), 72u);
+  EXPECT_DOUBLE_EQ(h.fraction(128), 0.72);
+  EXPECT_DOUBLE_EQ(h.fraction(999), 0.0);
+}
+
+TEST(IntHistogram, TopIsSortedByCount) {
+  IntHistogram h;
+  h.add(1, 5);
+  h.add(2, 50);
+  h.add(3, 20);
+  auto top = h.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 2);
+  EXPECT_EQ(top[1].first, 3);
+}
+
+TEST(IntHistogram, WeightedMean) {
+  IntHistogram h;
+  h.add(10, 1);
+  h.add(30, 3);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(IntHistogram, KeysSortedAndClear) {
+  IntHistogram h;
+  h.add(5);
+  h.add(1);
+  h.add(9);
+  EXPECT_EQ(h.keys(), (std::vector<std::int64_t>{1, 5, 9}));
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(BlockTraceRecorder, RoundsBytesUpToSectors) {
+  BlockTraceRecorder r;
+  r.record(sim::SimTime::zero(), IoDirection::kRead, 0, 1024,
+           sim::SimTime::millis(1));
+  r.record(sim::SimTime::zero(), IoDirection::kRead, 0, 1025,
+           sim::SimTime::millis(1));
+  EXPECT_EQ(r.size_histogram().count(2), 1u);
+  EXPECT_EQ(r.size_histogram().count(3), 1u);
+  EXPECT_EQ(r.requests(), 2u);
+  EXPECT_EQ(r.read_bytes(), 2049);
+}
+
+TEST(BlockTraceRecorder, DisabledRecordsNothing) {
+  BlockTraceRecorder r;
+  r.set_enabled(false);
+  r.record(sim::SimTime::zero(), IoDirection::kWrite, 0, 512,
+           sim::SimTime::millis(1));
+  EXPECT_EQ(r.requests(), 0u);
+  EXPECT_EQ(r.write_bytes(), 0);
+}
+
+TEST(BlockTraceRecorder, KeepsEntriesOnlyWhenAsked) {
+  BlockTraceRecorder r;
+  r.record(sim::SimTime::zero(), IoDirection::kRead, 7, 512,
+           sim::SimTime::millis(1));
+  EXPECT_TRUE(r.entries().empty());
+  r.set_keep_entries(true);
+  r.record(sim::SimTime::millis(2), IoDirection::kWrite, 9, 512,
+           sim::SimTime::millis(3));
+  ASSERT_EQ(r.entries().size(), 1u);
+  EXPECT_EQ(r.entries()[0].lbn, 9);
+  EXPECT_EQ(r.entries()[0].dir, IoDirection::kWrite);
+}
+
+TEST(Table, AlignsColumnsAndEmitsCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1\nb,22222\n");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt("%.1f", 3.14), "3.1");
+  EXPECT_EQ(Table::fmt("%lld", 7LL), "7");
+}
+
+TEST(ThroughputMeter, ComputesDecimalMbps) {
+  ThroughputMeter m;
+  m.start(sim::SimTime::zero());
+  m.add_bytes(10'000'000);
+  m.stop(sim::SimTime::seconds(2));
+  EXPECT_DOUBLE_EQ(m.mbps(), 5.0);
+  EXPECT_EQ(m.bytes(), 10'000'000);
+}
+
+TEST(ServiceTimeMeter, AveragesMillis) {
+  ServiceTimeMeter m;
+  m.add(sim::SimTime::millis(10));
+  m.add(sim::SimTime::millis(20));
+  EXPECT_DOUBLE_EQ(m.mean_ms(), 15.0);
+  EXPECT_EQ(m.count(), 2u);
+}
+
+}  // namespace
+}  // namespace ibridge::stats

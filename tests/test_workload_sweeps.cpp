@@ -1,0 +1,139 @@
+// Parameterized end-to-end sweeps: exact byte accounting and monotonic
+// ordering properties of the workload drivers across configurations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workloads/ior_mpi_io.hpp"
+#include "workloads/mpi_io_test.hpp"
+
+namespace ibridge::workloads {
+namespace {
+
+cluster::ClusterConfig cfg_for(bool ibridge, int servers) {
+  auto cc = ibridge ? cluster::ClusterConfig::with_ibridge()
+                    : cluster::ClusterConfig::stock();
+  cc.data_servers = servers;
+  return cc;
+}
+
+// (procs, request KB, write, ibridge, servers)
+using SweepParam = std::tuple<int, int, bool, bool, int>;
+
+class MpiIoTestSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MpiIoTestSweep, ExactAccountingAndSaneTiming) {
+  const auto [procs, kb, write, ibridge, servers] = GetParam();
+  cluster::Cluster c(cfg_for(ibridge, servers));
+  MpiIoTestConfig cfg;
+  cfg.nprocs = procs;
+  cfg.request_size = static_cast<std::int64_t>(kb) * 1024;
+  cfg.file_bytes = 1 << 30;
+  cfg.access_bytes = 24 << 20;
+  cfg.write = write;
+  const auto r = run_mpi_io_test(c, cfg);
+
+  // Exact byte/request accounting.
+  const std::int64_t per_iter =
+      static_cast<std::int64_t>(procs) * cfg.request_size;
+  const std::int64_t iters = std::max<std::int64_t>(
+      1, cfg.access_bytes / per_iter);
+  EXPECT_EQ(r.bytes, iters * per_iter);
+  EXPECT_EQ(r.requests, static_cast<std::uint64_t>(iters * procs));
+  // Server-side totals agree with the client's view.
+  EXPECT_EQ(c.total_bytes_served(), r.bytes);
+
+  // Timing sanity: positive, and total >= access phase.
+  EXPECT_GT(r.io_elapsed, sim::SimTime::zero());
+  EXPECT_GE(r.elapsed, r.io_elapsed);
+  EXPECT_GT(r.avg_request_ms, 0.0);
+
+  // Physical ceiling: cannot beat the aggregate sequential device rate by
+  // more than the SSD contribution allows.
+  const double ceiling = servers * 170.0;  // HDD+SSD peak, generous
+  EXPECT_LT(r.mbps(), ceiling);
+
+  if (ibridge) {
+    // No dirty data may survive the driver's drain.
+    for (int s = 0; s < c.server_count(); ++s) {
+      EXPECT_EQ(c.server(s).cache()->table().dirty_bytes(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MpiIoTestSweep,
+    ::testing::Combine(::testing::Values(4, 16),          // procs
+                       ::testing::Values(33, 64, 65),     // request KB
+                       ::testing::Bool(),                 // write
+                       ::testing::Bool(),                 // ibridge
+                       ::testing::Values(2, 8)),          // servers
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_kb" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_wr" : "_rd") +
+             (std::get<3>(info.param) ? "_ib" : "_stock") + "_s" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+// Ordering property: on the stock system, unaligned (65 KB) must never
+// beat aligned (64 KB) for the same process count and direction.
+class AlignmentOrdering
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(AlignmentOrdering, UnalignedNeverBeatsAligned) {
+  const auto [procs, write] = GetParam();
+  auto run = [&](std::int64_t req) {
+    cluster::Cluster c(cluster::ClusterConfig::stock());
+    MpiIoTestConfig cfg;
+    cfg.nprocs = procs;
+    cfg.request_size = req;
+    cfg.file_bytes = 1 << 30;
+    cfg.access_bytes = 32 << 20;
+    cfg.write = write;
+    return run_mpi_io_test(c, cfg).mbps();
+  };
+  EXPECT_GT(run(64 * 1024), run(65 * 1024))
+      << procs << " procs, " << (write ? "write" : "read");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlignmentOrdering,
+                         ::testing::Combine(::testing::Values(8, 32),
+                                            ::testing::Bool()),
+                         [](const auto& info) {
+                           return "p" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  (std::get<1>(info.param) ? "_wr" : "_rd");
+                         });
+
+// ior-mpi-io: per-chunk confinement — no process may touch another's chunk.
+TEST(IorSweep, ChunksAreDisjoint) {
+  cluster::Cluster c(cfg_for(false, 4));
+  IorMpiIoConfig cfg;
+  cfg.nprocs = 4;
+  cfg.request_size = 64 * 1024;
+  cfg.file_bytes = 32 << 20;
+  cfg.write = true;
+  const auto r = run_ior_mpi_io(c, cfg);
+  // Full sweep: every byte of the file written exactly once.
+  EXPECT_EQ(r.bytes, cfg.file_bytes);
+  EXPECT_EQ(c.total_bytes_served(), cfg.file_bytes);
+}
+
+TEST(IorSweep, ThroughputOrderingSmallVsLargeRequests) {
+  auto run = [&](std::int64_t req) {
+    cluster::Cluster c(cfg_for(false, 8));
+    IorMpiIoConfig cfg;
+    cfg.nprocs = 16;
+    cfg.request_size = req;
+    cfg.file_bytes = 1 << 30;
+    cfg.access_bytes = 32 << 20;
+    cfg.write = true;
+    return run_ior_mpi_io(c, cfg).mbps();
+  };
+  // Larger requests amortize positioning: 129 KB must beat 33 KB.
+  EXPECT_GT(run(129 * 1024), run(33 * 1024));
+}
+
+}  // namespace
+}  // namespace ibridge::workloads

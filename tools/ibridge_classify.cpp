@@ -1,0 +1,45 @@
+// ibridge-classify — Table I statistics for a text-format trace.
+//
+//   ibridge-classify [stripe-unit-KB] [random-threshold-KB] < trace.txt
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "workloads/trace.hpp"
+
+using namespace ibridge::workloads;
+
+int main(int argc, char** argv) {
+  const std::int64_t unit_kb = argc > 1 ? std::atoll(argv[1]) : 64;
+  const std::int64_t rand_kb = argc > 2 ? std::atoll(argv[2]) : 20;
+  if (unit_kb <= 0 || rand_kb <= 0) {
+    std::fprintf(stderr,
+                 "usage: ibridge-classify [stripe-unit-KB] "
+                 "[random-threshold-KB] < trace.txt\n");
+    return 2;
+  }
+
+  Trace trace;
+  try {
+    trace = read_trace(std::cin);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (trace.empty()) {
+    std::fprintf(stderr, "empty trace\n");
+    return 1;
+  }
+
+  const AccessClassifier cls(unit_kb * 1024, rand_kb * 1024);
+  const AccessStats s = cls.classify(trace);
+  std::printf("requests      : %llu\n",
+              static_cast<unsigned long long>(s.requests));
+  std::printf("unaligned     : %5.1f %%   (> %lld KB and not aligned)\n",
+              s.unaligned_pct, static_cast<long long>(unit_kb));
+  std::printf("random        : %5.1f %%   (< %lld KB)\n", s.random_pct,
+              static_cast<long long>(rand_kb));
+  std::printf("total         : %5.1f %%\n", s.total_pct);
+  std::printf("avg request   : %5.1f KB\n", s.avg_size / 1024.0);
+  return 0;
+}

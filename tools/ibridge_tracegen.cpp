@@ -1,0 +1,72 @@
+// ibridge-tracegen — synthesize an I/O trace in the text format.
+//
+//   ibridge-tracegen <profile> <requests> [file-bytes] [seed] > trace.txt
+//
+// Profiles: alegra-2744, alegra-5832, cth, s3d, or
+//   custom:<unaligned%>,<random%>,<large-KB>,<small-KB>,<write%>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "workloads/trace.hpp"
+
+using namespace ibridge::workloads;
+
+namespace {
+
+bool parse_custom(const std::string& spec, TraceProfile& out) {
+  double u, r, w;
+  long large_kb, small_kb;
+  if (std::sscanf(spec.c_str(), "%lf,%lf,%ld,%ld,%lf", &u, &r, &large_kb,
+                  &small_kb, &w) != 5) {
+    return false;
+  }
+  out = TraceProfile{"custom", u / 100.0, r / 100.0, large_kb * 1024,
+                     small_kb * 1024, w / 100.0};
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ibridge-tracegen <profile> <requests> [file-bytes] [seed]\n"
+      "  profiles: alegra-2744 | alegra-5832 | cth | s3d |\n"
+      "            custom:<unaligned%%>,<random%%>,<largeKB>,<smallKB>,"
+      "<write%%>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string name = argv[1];
+  TraceProfile profile;
+  if (name == "alegra-2744") {
+    profile = alegra_2744_profile();
+  } else if (name == "alegra-5832") {
+    profile = alegra_5832_profile();
+  } else if (name == "cth") {
+    profile = cth_profile();
+  } else if (name == "s3d") {
+    profile = s3d_profile();
+  } else if (name.rfind("custom:", 0) == 0 &&
+             parse_custom(name.substr(7), profile)) {
+    // parsed
+  } else {
+    return usage();
+  }
+
+  const auto n = static_cast<std::size_t>(std::atoll(argv[2]));
+  const std::int64_t file_bytes =
+      argc > 3 ? std::atoll(argv[3]) : 10LL * 1000 * 1000 * 1000;
+  const std::uint64_t seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+  if (n == 0 || file_bytes <= 0) return usage();
+
+  TraceSynthesizer synth(profile);
+  write_trace(std::cout, synth.generate(n, file_bytes, seed));
+  return 0;
+}
