@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_ssdonly.cpp" "bench/CMakeFiles/bench_fig10_ssdonly.dir/bench_fig10_ssdonly.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_ssdonly.dir/bench_fig10_ssdonly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ibridge_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ibridge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/ibridge_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/ibridge_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/ibridge_pvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibridge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/ibridge_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ibridge_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ibridge_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibridge_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ssdonly.dir/bench_fig10_ssdonly.cpp.o"
+  "CMakeFiles/bench_fig10_ssdonly.dir/bench_fig10_ssdonly.cpp.o.d"
+  "bench_fig10_ssdonly"
+  "bench_fig10_ssdonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ssdonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

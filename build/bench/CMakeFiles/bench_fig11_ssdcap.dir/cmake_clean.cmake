@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ssdcap.dir/bench_fig11_ssdcap.cpp.o"
+  "CMakeFiles/bench_fig11_ssdcap.dir/bench_fig11_ssdcap.cpp.o.d"
+  "bench_fig11_ssdcap"
+  "bench_fig11_ssdcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ssdcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

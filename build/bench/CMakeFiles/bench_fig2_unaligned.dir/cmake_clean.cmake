@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_unaligned.dir/bench_fig2_unaligned.cpp.o"
+  "CMakeFiles/bench_fig2_unaligned.dir/bench_fig2_unaligned.cpp.o.d"
+  "bench_fig2_unaligned"
+  "bench_fig2_unaligned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_unaligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

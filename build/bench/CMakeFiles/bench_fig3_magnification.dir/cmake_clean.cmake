@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_magnification.dir/bench_fig3_magnification.cpp.o"
+  "CMakeFiles/bench_fig3_magnification.dir/bench_fig3_magnification.cpp.o.d"
+  "bench_fig3_magnification"
+  "bench_fig3_magnification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_magnification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

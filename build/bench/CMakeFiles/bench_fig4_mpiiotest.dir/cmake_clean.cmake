@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mpiiotest.dir/bench_fig4_mpiiotest.cpp.o"
+  "CMakeFiles/bench_fig4_mpiiotest.dir/bench_fig4_mpiiotest.cpp.o.d"
+  "bench_fig4_mpiiotest"
+  "bench_fig4_mpiiotest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mpiiotest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

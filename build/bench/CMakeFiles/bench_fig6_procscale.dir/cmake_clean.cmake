@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_procscale.dir/bench_fig6_procscale.cpp.o"
+  "CMakeFiles/bench_fig6_procscale.dir/bench_fig6_procscale.cpp.o.d"
+  "bench_fig6_procscale"
+  "bench_fig6_procscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_procscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

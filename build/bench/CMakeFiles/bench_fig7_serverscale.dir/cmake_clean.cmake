@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_serverscale.dir/bench_fig7_serverscale.cpp.o"
+  "CMakeFiles/bench_fig7_serverscale.dir/bench_fig7_serverscale.cpp.o.d"
+  "bench_fig7_serverscale"
+  "bench_fig7_serverscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_serverscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plfs.dir/bench_plfs.cpp.o"
+  "CMakeFiles/bench_plfs.dir/bench_plfs.cpp.o.d"
+  "bench_plfs"
+  "bench_plfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

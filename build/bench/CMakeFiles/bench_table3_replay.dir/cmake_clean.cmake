@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_replay.dir/bench_table3_replay.cpp.o"
+  "CMakeFiles/bench_table3_replay.dir/bench_table3_replay.cpp.o.d"
+  "bench_table3_replay"
+  "bench_table3_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_replay.dir/checkpoint_replay.cpp.o"
+  "CMakeFiles/checkpoint_replay.dir/checkpoint_replay.cpp.o.d"
+  "checkpoint_replay"
+  "checkpoint_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

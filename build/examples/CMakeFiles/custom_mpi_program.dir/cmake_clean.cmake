@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_mpi_program.dir/custom_mpi_program.cpp.o"
+  "CMakeFiles/custom_mpi_program.dir/custom_mpi_program.cpp.o.d"
+  "custom_mpi_program"
+  "custom_mpi_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_mpi_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

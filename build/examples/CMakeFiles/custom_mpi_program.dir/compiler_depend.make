@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for custom_mpi_program.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tiering.dir/storage_tiering.cpp.o"
+  "CMakeFiles/storage_tiering.dir/storage_tiering.cpp.o.d"
+  "storage_tiering"
+  "storage_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

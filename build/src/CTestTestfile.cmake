@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("stats")
+subdirs("storage")
+subdirs("fsim")
+subdirs("net")
+subdirs("pvfs")
+subdirs("core")
+subdirs("mpiio")
+subdirs("workloads")
+subdirs("cluster")
+subdirs("plfs")

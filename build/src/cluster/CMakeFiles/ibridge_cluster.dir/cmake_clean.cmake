@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/ibridge_cluster.dir/cluster.cpp.o.d"
+  "libibridge_cluster.a"
+  "libibridge_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

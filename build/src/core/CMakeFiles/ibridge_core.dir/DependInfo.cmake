@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cpp" "src/core/CMakeFiles/ibridge_core.dir/cache.cpp.o" "gcc" "src/core/CMakeFiles/ibridge_core.dir/cache.cpp.o.d"
+  "/root/repo/src/core/mapping_table.cpp" "src/core/CMakeFiles/ibridge_core.dir/mapping_table.cpp.o" "gcc" "src/core/CMakeFiles/ibridge_core.dir/mapping_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsim/CMakeFiles/ibridge_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ibridge_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibridge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ibridge_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

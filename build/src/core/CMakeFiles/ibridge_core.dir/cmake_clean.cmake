@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_core.dir/cache.cpp.o"
+  "CMakeFiles/ibridge_core.dir/cache.cpp.o.d"
+  "CMakeFiles/ibridge_core.dir/mapping_table.cpp.o"
+  "CMakeFiles/ibridge_core.dir/mapping_table.cpp.o.d"
+  "libibridge_core.a"
+  "libibridge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsim/filesystem.cpp" "src/fsim/CMakeFiles/ibridge_fsim.dir/filesystem.cpp.o" "gcc" "src/fsim/CMakeFiles/ibridge_fsim.dir/filesystem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ibridge_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ibridge_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibridge_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

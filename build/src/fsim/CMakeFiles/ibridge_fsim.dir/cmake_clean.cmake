@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_fsim.dir/filesystem.cpp.o"
+  "CMakeFiles/ibridge_fsim.dir/filesystem.cpp.o.d"
+  "libibridge_fsim.a"
+  "libibridge_fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_mpiio.dir/collective.cpp.o"
+  "CMakeFiles/ibridge_mpiio.dir/collective.cpp.o.d"
+  "libibridge_mpiio.a"
+  "libibridge_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_plfs.dir/plfs.cpp.o"
+  "CMakeFiles/ibridge_plfs.dir/plfs.cpp.o.d"
+  "libibridge_plfs.a"
+  "libibridge_plfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_plfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

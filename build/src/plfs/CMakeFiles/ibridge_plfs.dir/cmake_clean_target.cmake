@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibridge_plfs.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pvfs/client.cpp" "src/pvfs/CMakeFiles/ibridge_pvfs.dir/client.cpp.o" "gcc" "src/pvfs/CMakeFiles/ibridge_pvfs.dir/client.cpp.o.d"
+  "/root/repo/src/pvfs/layout.cpp" "src/pvfs/CMakeFiles/ibridge_pvfs.dir/layout.cpp.o" "gcc" "src/pvfs/CMakeFiles/ibridge_pvfs.dir/layout.cpp.o.d"
+  "/root/repo/src/pvfs/metadata.cpp" "src/pvfs/CMakeFiles/ibridge_pvfs.dir/metadata.cpp.o" "gcc" "src/pvfs/CMakeFiles/ibridge_pvfs.dir/metadata.cpp.o.d"
+  "/root/repo/src/pvfs/server.cpp" "src/pvfs/CMakeFiles/ibridge_pvfs.dir/server.cpp.o" "gcc" "src/pvfs/CMakeFiles/ibridge_pvfs.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ibridge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/ibridge_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ibridge_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ibridge_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibridge_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

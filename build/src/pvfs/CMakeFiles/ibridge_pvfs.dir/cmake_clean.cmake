@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_pvfs.dir/client.cpp.o"
+  "CMakeFiles/ibridge_pvfs.dir/client.cpp.o.d"
+  "CMakeFiles/ibridge_pvfs.dir/layout.cpp.o"
+  "CMakeFiles/ibridge_pvfs.dir/layout.cpp.o.d"
+  "CMakeFiles/ibridge_pvfs.dir/metadata.cpp.o"
+  "CMakeFiles/ibridge_pvfs.dir/metadata.cpp.o.d"
+  "CMakeFiles/ibridge_pvfs.dir/server.cpp.o"
+  "CMakeFiles/ibridge_pvfs.dir/server.cpp.o.d"
+  "libibridge_pvfs.a"
+  "libibridge_pvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

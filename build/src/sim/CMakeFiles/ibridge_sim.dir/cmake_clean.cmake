@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_sim.dir/time.cpp.o"
+  "CMakeFiles/ibridge_sim.dir/time.cpp.o.d"
+  "libibridge_sim.a"
+  "libibridge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_stats.dir/table.cpp.o"
+  "CMakeFiles/ibridge_stats.dir/table.cpp.o.d"
+  "libibridge_stats.a"
+  "libibridge_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

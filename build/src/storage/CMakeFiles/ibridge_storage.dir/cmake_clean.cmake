@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_storage.dir/cfq.cpp.o"
+  "CMakeFiles/ibridge_storage.dir/cfq.cpp.o.d"
+  "CMakeFiles/ibridge_storage.dir/hdd.cpp.o"
+  "CMakeFiles/ibridge_storage.dir/hdd.cpp.o.d"
+  "CMakeFiles/ibridge_storage.dir/profiler.cpp.o"
+  "CMakeFiles/ibridge_storage.dir/profiler.cpp.o.d"
+  "CMakeFiles/ibridge_storage.dir/scheduler.cpp.o"
+  "CMakeFiles/ibridge_storage.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ibridge_storage.dir/ssd.cpp.o"
+  "CMakeFiles/ibridge_storage.dir/ssd.cpp.o.d"
+  "libibridge_storage.a"
+  "libibridge_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

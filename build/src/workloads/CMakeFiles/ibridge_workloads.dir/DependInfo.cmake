@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/btio.cpp" "src/workloads/CMakeFiles/ibridge_workloads.dir/btio.cpp.o" "gcc" "src/workloads/CMakeFiles/ibridge_workloads.dir/btio.cpp.o.d"
+  "/root/repo/src/workloads/ior_mpi_io.cpp" "src/workloads/CMakeFiles/ibridge_workloads.dir/ior_mpi_io.cpp.o" "gcc" "src/workloads/CMakeFiles/ibridge_workloads.dir/ior_mpi_io.cpp.o.d"
+  "/root/repo/src/workloads/mpi_io_test.cpp" "src/workloads/CMakeFiles/ibridge_workloads.dir/mpi_io_test.cpp.o" "gcc" "src/workloads/CMakeFiles/ibridge_workloads.dir/mpi_io_test.cpp.o.d"
+  "/root/repo/src/workloads/trace.cpp" "src/workloads/CMakeFiles/ibridge_workloads.dir/trace.cpp.o" "gcc" "src/workloads/CMakeFiles/ibridge_workloads.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ibridge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/ibridge_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/ibridge_pvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ibridge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsim/CMakeFiles/ibridge_fsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ibridge_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ibridge_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibridge_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge_workloads.dir/btio.cpp.o"
+  "CMakeFiles/ibridge_workloads.dir/btio.cpp.o.d"
+  "CMakeFiles/ibridge_workloads.dir/ior_mpi_io.cpp.o"
+  "CMakeFiles/ibridge_workloads.dir/ior_mpi_io.cpp.o.d"
+  "CMakeFiles/ibridge_workloads.dir/mpi_io_test.cpp.o"
+  "CMakeFiles/ibridge_workloads.dir/mpi_io_test.cpp.o.d"
+  "CMakeFiles/ibridge_workloads.dir/trace.cpp.o"
+  "CMakeFiles/ibridge_workloads.dir/trace.cpp.o.d"
+  "libibridge_workloads.a"
+  "libibridge_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

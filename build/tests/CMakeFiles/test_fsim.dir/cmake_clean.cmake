@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsim.dir/test_fsim.cpp.o"
+  "CMakeFiles/test_fsim.dir/test_fsim.cpp.o.d"
+  "test_fsim"
+  "test_fsim.pdb"
+  "test_fsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

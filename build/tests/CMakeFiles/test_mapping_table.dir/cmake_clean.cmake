@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping_table.dir/test_mapping_table.cpp.o"
+  "CMakeFiles/test_mapping_table.dir/test_mapping_table.cpp.o.d"
+  "test_mapping_table"
+  "test_mapping_table.pdb"
+  "test_mapping_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

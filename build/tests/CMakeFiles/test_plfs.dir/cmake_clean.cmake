@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plfs.dir/test_plfs.cpp.o"
+  "CMakeFiles/test_plfs.dir/test_plfs.cpp.o.d"
+  "test_plfs"
+  "test_plfs.pdb"
+  "test_plfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pvfs.dir/test_pvfs.cpp.o"
+  "CMakeFiles/test_pvfs.dir/test_pvfs.cpp.o.d"
+  "test_pvfs"
+  "test_pvfs.pdb"
+  "test_pvfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

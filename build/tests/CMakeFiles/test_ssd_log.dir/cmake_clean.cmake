@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd_log.dir/test_ssd_log.cpp.o"
+  "CMakeFiles/test_ssd_log.dir/test_ssd_log.cpp.o.d"
+  "test_ssd_log"
+  "test_ssd_log.pdb"
+  "test_ssd_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge-classify.dir/ibridge_classify.cpp.o"
+  "CMakeFiles/ibridge-classify.dir/ibridge_classify.cpp.o.d"
+  "ibridge-classify"
+  "ibridge-classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge-classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge-replay.dir/ibridge_replay.cpp.o"
+  "CMakeFiles/ibridge-replay.dir/ibridge_replay.cpp.o.d"
+  "ibridge-replay"
+  "ibridge-replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge-replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibridge-tracegen.dir/ibridge_tracegen.cpp.o"
+  "CMakeFiles/ibridge-tracegen.dir/ibridge_tracegen.cpp.o.d"
+  "ibridge-tracegen"
+  "ibridge-tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibridge-tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
