@@ -1,0 +1,64 @@
+// Randomized-mix comparison built on the SimCheck generator: each seeded
+// case draws a cluster geometry, iBridge knobs, and an interleaved
+// unaligned read/write trace, then runs it under the three storage
+// policies.  Unlike the per-figure benches (one workload shape each), this
+// reports how the policies rank across a *population* of adversarial
+// mixes, and doubles as a cheap payload-equivalence sweep: every case is
+// checked with the full differential oracle.
+#include <algorithm>
+
+#include "bench/bench_common.hpp"
+#include "check/differential.hpp"
+#include "check/generator.hpp"
+
+using namespace ibridge;
+using namespace ibridge::bench;
+using namespace ibridge::check;
+
+int main(int argc, char** argv) {
+  const Scale scale = Scale::parse(argc, argv);
+  const int cases = scale.trace_requests >= 20'000 ? 60 : 12;
+
+  banner("FuzzMix", "policy comparison over SimCheck-generated workloads");
+
+  double disk_s = 0, ib_s = 0, ssd_s = 0;
+  std::uint64_t requests = 0;
+  std::int64_t bytes = 0;
+  double worst_gap = 0.0;
+  int failures = 0;
+  for (int i = 0; i < cases; ++i) {
+    const FuzzCase c = generate_case(0xF022ULL + static_cast<std::uint64_t>(i));
+    const DiffReport d = run_differential(c);
+    if (!d.ok()) {
+      std::printf("  case seed %llu FAILED: %s\n",
+                  static_cast<unsigned long long>(c.seed), d.failure.c_str());
+      ++failures;
+      continue;
+    }
+    disk_s += d.disk.total_elapsed.to_seconds();
+    ib_s += d.ibridge.total_elapsed.to_seconds();
+    ssd_s += d.ssd.total_elapsed.to_seconds();
+    requests += d.ibridge.requests;
+    for (const auto& r : c.trace) bytes += std::min(r.size, c.file_bytes);
+    worst_gap = std::max(worst_gap, d.max_rel_time_gap);
+  }
+
+  stats::Table t({"policy", "total time (s)", "MB/s", "vs disk"});
+  const auto row = [&](const char* name, double s) {
+    t.add_row({name, stats::Table::fmt("%.3f", s),
+               stats::Table::fmt("%.1f",
+                                 s > 0 ? static_cast<double>(bytes) / 1e6 / s
+                                       : 0.0),
+               stats::Table::fmt("%.2fx", s > 0 ? disk_s / s : 0.0)});
+  };
+  row("disk-only", disk_s);
+  row("ibridge", ib_s);
+  row("ssd-only", ssd_s);
+  t.print();
+  std::printf("    %d cases, %llu requests, payload equivalence held on "
+              "%d/%d; max per-case divergence %.2fx\n",
+              cases, static_cast<unsigned long long>(requests),
+              cases - failures, cases, 1.0 + worst_gap);
+  footnote();
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// SimCheck pillar 3: differential policy checking and determinism.
+//
+// run_case() replays a generated workload through a cluster, driving
+// Client::read_at / write_at with deterministic payload bytes and checking
+// read-your-writes against a reference image on every read.  The returned
+// report digests everything observable: the bytes every read returned, the
+// final on-storage image, and the stats counters.
+//
+// run_differential() executes one case under disk-only, SSD-only and
+// iBridge storage and asserts payload equivalence (reads and final image
+// must be bit-identical across policies — storage policy is a performance
+// decision, never a correctness one) while recording the timing divergence
+// the policies are supposed to produce.
+//
+// check_determinism() runs one (case, policy) twice on fresh clusters and
+// compares event counts and digests bit-for-bit: the simulation must be a
+// pure function of its configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/generator.hpp"
+#include "check/invariants.hpp"
+#include "cluster/cluster.hpp"
+#include "sim/time.hpp"
+
+namespace ibridge::check {
+
+/// Everything observable from one workload execution.
+struct RunReport {
+  Policy policy = Policy::kIBridge;
+  std::uint64_t payload_digest = 0;  ///< all bytes returned by reads, in order
+  std::uint64_t image_digest = 0;    ///< final file contents after drain()
+  std::uint64_t stats_digest = 0;    ///< counters + timing, for determinism
+  std::uint64_t events = 0;          ///< simulator events executed by the run
+  sim::SimTime io_elapsed{};         ///< access phase
+  sim::SimTime total_elapsed{};      ///< access + write-back drain
+  std::uint64_t requests = 0;
+  bool read_your_writes_ok = true;
+  std::string failure;               ///< empty == clean run
+
+  bool ok() const { return failure.empty() && read_your_writes_ok; }
+};
+
+/// Replay `c` on `cluster` (which must have been built from
+/// make_config(c, p)).  `file_name` must be unique per (cluster, case) so a
+/// long-lived cluster creates a fresh zero-filled file per case; empty
+/// derives one from the seed.  When `obs` is non-null it is installed for
+/// the duration of the run (iBridge clusters only; no-op otherwise).
+RunReport run_case(cluster::Cluster& cluster, const FuzzCase& c, Policy p,
+                   core::CacheObserver* obs = nullptr,
+                   const std::string& file_name = {});
+
+/// Cross-policy comparison of one case.
+struct DiffReport {
+  RunReport disk;
+  RunReport ibridge;
+  RunReport ssd;
+  bool payload_equal = false;       ///< read + image digests agree everywhere
+  double max_rel_time_gap = 0.0;    ///< max pairwise |dt|/min(t) divergence
+  std::string failure;              ///< empty == equivalence holds
+
+  bool ok() const { return failure.empty(); }
+};
+
+/// Run `c` under all three policies on the given clusters (each built from
+/// the matching make_config flavour; reusing long-lived clusters across
+/// cases is supported and cheap).  The iBridge run carries an
+/// InvariantOracle and a quiescent audit after drain.
+DiffReport run_differential(cluster::Cluster& disk, cluster::Cluster& ib,
+                            cluster::Cluster& ssd, const FuzzCase& c,
+                            const std::string& file_name = {});
+
+/// Convenience: build three fresh clusters for `c` and compare.
+DiffReport run_differential(const FuzzCase& c);
+
+/// Same seed, fresh clusters, twice: every digest and count must match.
+struct DeterminismReport {
+  RunReport first;
+  RunReport second;
+  bool identical = false;
+  std::string failure;  ///< empty == bit-identical
+
+  bool ok() const { return failure.empty(); }
+};
+
+DeterminismReport check_determinism(const FuzzCase& c,
+                                    Policy p = Policy::kIBridge);
+
+}  // namespace ibridge::check

@@ -1,0 +1,91 @@
+// SimCheck pillar 1: the property-based workload fuzzer.
+//
+// generate_case() derives a randomized cluster configuration and an
+// interleaved read/write trace from a single 64-bit seed (via sim::Rng, so a
+// case is a pure function of its seed).  Traces deliberately stress the
+// paper's pain points: unaligned offsets, fragment-sized sub-requests,
+// extents overlapping earlier writes, and multi-stripe spans.
+//
+// make_config() projects one case onto the three storage policies the
+// differential checker compares; the iBridge knobs (thresholds, admission
+// policy, partitioning, log geometry) are part of the case so every policy
+// sees the same cluster otherwise.
+//
+// shrink() minimizes a failing trace with bounded delta debugging: chunk
+// removal at halving granularity, then per-record simplification (smaller
+// sizes, page-aligned then zero offsets).  The result still fails the given
+// predicate and serializes via workloads::write_trace for ibridge_replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "cluster/cluster.hpp"
+#include "workloads/trace.hpp"
+
+namespace ibridge::check {
+
+/// The three storage policies under differential test.
+enum class Policy { kDiskOnly, kIBridge, kSsdOnly };
+
+inline const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kDiskOnly: return "disk-only";
+    case Policy::kIBridge: return "ibridge";
+    case Policy::kSsdOnly: return "ssd-only";
+  }
+  return "?";
+}
+
+/// Bounds for generate_case().  Defaults keep a case cheap enough for a few
+/// hundred tier-1 iterations while still exercising eviction and cleaning
+/// (cache capacities are drawn well below the total bytes written).
+struct GenLimits {
+  int min_ops = 12;
+  int max_ops = 48;
+  std::int64_t min_file_bytes = 256 << 10;
+  std::int64_t max_file_bytes = 4 << 20;
+  int max_servers = 3;
+};
+
+/// One generated workload: a full cluster configuration (iBridge flavour —
+/// make_config() derives the other policies) plus the access trace.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  std::int64_t file_bytes = 1 << 20;
+  cluster::ClusterConfig base;
+  workloads::Trace trace;
+};
+
+/// Deterministically generate a case from a seed.
+FuzzCase generate_case(std::uint64_t seed, const GenLimits& limits = {});
+
+/// Project a case onto one storage policy.  All policy-independent knobs
+/// (servers, striping, client, data mode, randomized iBridge parameters)
+/// are preserved so runs differ only in the storage stack.
+cluster::ClusterConfig make_config(const FuzzCase& c, Policy p);
+
+/// Seed for record `index`'s payload within case `case_seed` — every policy
+/// run regenerates identical bytes without storing them in the trace.
+std::uint64_t record_seed(std::uint64_t case_seed, std::size_t index);
+
+/// Fill `out` with the deterministic payload stream for `seed`.
+void fill_payload(std::span<std::byte> out, std::uint64_t seed);
+
+/// Predicate handed to shrink(): true when the candidate trace still fails.
+using TracePredicate = std::function<bool(const workloads::Trace&)>;
+
+struct ShrinkResult {
+  workloads::Trace trace;        ///< minimized trace (still failing)
+  std::size_t evaluations = 0;   ///< predicate calls spent
+};
+
+/// Minimize a failing trace.  `still_fails` must return true for the input;
+/// the result is the smallest failing trace found within `max_evals`
+/// predicate evaluations.
+ShrinkResult shrink(const workloads::Trace& failing,
+                    const TracePredicate& still_fails,
+                    std::size_t max_evals = 512);
+
+}  // namespace ibridge::check

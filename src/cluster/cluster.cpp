@@ -123,6 +123,10 @@ sim::SimTime Cluster::drain() {
   return flushed;
 }
 
+void Cluster::install_observer(core::CacheObserver* obs) {
+  for (auto& s : servers_) s->set_observer(obs);
+}
+
 void Cluster::enable_disk_trace(int server, bool keep_entries) {
   auto& tr = servers_[static_cast<std::size_t>(server)]->disk().trace();
   tr.set_enabled(true);

@@ -72,6 +72,10 @@ class Cluster {
   /// Enable block tracing on one server's disk (Figs 2(c-e), 5).
   void enable_disk_trace(int server, bool keep_entries = false);
 
+  /// Attach a SimCheck observer to every iBridge cache in the cluster
+  /// (nullptr detaches; no-op on stock/SSD-only clusters).
+  void install_observer(core::CacheObserver* obs);
+
   // ---- aggregate metrics over all servers ----
   std::int64_t total_bytes_served() const;
   std::int64_t ssd_bytes_served() const;

@@ -61,12 +61,85 @@ std::int64_t IBridgeCache::disk_end_lbn(const CacheRequest& r) const {
   return pieces.back().lbn + pieces.back().sectors;
 }
 
+bool IBridgeCache::window_overlaps(const std::vector<RangeWindow>& ws,
+                                   fsim::FileId f, std::int64_t off,
+                                   std::int64_t len) {
+  for (const auto& w : ws) {
+    if (w.file == f && w.off < off + len && off < w.off + w.len) return true;
+  }
+  return false;
+}
+
+std::uint64_t IBridgeCache::open_window(std::vector<RangeWindow>& ws,
+                                        fsim::FileId f, std::int64_t off,
+                                        std::int64_t len) {
+  const std::uint64_t id = ++next_window_id_;
+  ws.push_back({id, f, off, len});
+  return id;
+}
+
+void IBridgeCache::close_window(std::vector<RangeWindow>& ws,
+                                std::uint64_t id) {
+  std::erase_if(ws, [id](const RangeWindow& w) { return w.id == id; });
+}
+
+sim::Task<> IBridgeCache::wait_flush_windows(fsim::FileId f, std::int64_t off,
+                                             std::int64_t len) {
+  // Broadcast wake-up, then re-check: another flush of the range may have
+  // started while this coroutine was parked (local classes in a member
+  // function share the enclosing class's access).
+  while (window_overlaps(flush_windows_, f, off, len)) {
+    struct FlushWake {
+      IBridgeCache& c;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        c.flush_waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await FlushWake{*this};
+  }
+}
+
+void IBridgeCache::notify_flush_waiters() {
+  if (flush_waiters_.empty()) return;
+  auto batch = std::move(flush_waiters_);
+  flush_waiters_.clear();
+  for (auto h : batch) {
+    sim_.defer([h] { h.resume(); });
+  }
+}
+
+std::uint64_t IBridgeCache::pin_log_range(std::int64_t off, std::int64_t len) {
+  return open_window(read_pins_, log_file_, off, len);
+}
+
+void IBridgeCache::unpin_log_range(std::uint64_t id) {
+  close_window(read_pins_, id);
+  std::erase_if(deferred_releases_, [this](const auto& r) {
+    if (window_overlaps(read_pins_, log_file_, r.first, r.second)) {
+      return false;  // still pinned by another reader
+    }
+    log_.release(r.first, r.second);
+    return true;
+  });
+}
+
+void IBridgeCache::release_log(std::int64_t off, std::int64_t len) {
+  if (len <= 0) return;
+  if (window_overlaps(read_pins_, log_file_, off, len)) {
+    deferred_releases_.emplace_back(off, len);
+  } else {
+    log_.release(off, len);
+  }
+}
+
 void IBridgeCache::invalidate_range(fsim::FileId file, std::int64_t off,
                                     std::int64_t len) {
   auto ids = table_.overlapping(file, off, len);
   std::vector<std::pair<std::int64_t, std::int64_t>> freed;
   for (EntryId id : ids) table_.trim(id, off, len, freed);
-  for (const auto& [log_off, n] : freed) log_.release(log_off, n);
+  for (const auto& [log_off, n] : freed) release_log(log_off, n);
 }
 
 bool IBridgeCache::note_region_access(const CacheRequest& r) {
@@ -137,8 +210,9 @@ sim::Task<bool> IBridgeCache::evict(EntryId id) {
     if (!table_.contains(id)) co_return false;
   }
   const CacheEntry e = table_.erase(id);
-  log_.release(e.log_off, e.length);
+  release_log(e.log_off, e.length);
   ++stats_.evictions;
+  check("evict");
   co_return true;
 }
 
@@ -163,10 +237,15 @@ sim::Task<> IBridgeCache::flush_entry(EntryId id) {
   // average service time of *workload* requests served by the disk, and
   // letting internal bulk flushes (large coalesced runs) into the average
   // would spike T and starve admission right after every flush.
+  const std::uint64_t win =
+      open_window(flush_windows_, e.file, e.file_off, e.length);
   co_await disk_fs_.write(e.file, e.file_off, e.length,
                           std::span<const std::byte>(span.data(), span.size()));
+  close_window(flush_windows_, win);
+  notify_flush_waiters();
   if (table_.contains(id)) table_.mark_clean(id);
   ++stats_.writebacks;
+  check("flush.entry");
 }
 
 void IBridgeCache::charge_mapping_update(std::int64_t near_log_off) {
@@ -192,6 +271,14 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
   const CacheClass klass = classify(r);
 
   if (r.dir == IoDirection::kWrite) {
+    // Write-after-write barrier: a write-back of an older version of this
+    // range may still be in flight, and if its disk write completed after
+    // ours the stale bytes would win.  Wait for overlapping flush windows
+    // first (both the admit and the disk branch supersede the range), then
+    // publish our own window so stage_read won't snapshot mid-write bytes.
+    co_await wait_flush_windows(r.file, r.offset, r.length);
+    const std::uint64_t win =
+        open_window(write_windows_, r.file, r.offset, r.length);
     const std::int64_t lbn = disk_lbn(r);
     const auto est = estimator_.estimate(stm_, lbn, r.length, r.dir,
                                          r.fragment, self_, r.siblings,
@@ -219,14 +306,20 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
       stats_.ssd_bytes_served += r.length;
       result.ssd = true;
       result.boosted = est.boosted;
+      check("serve.write.ssd");
     } else {
-      if (log_off >= 0) log_.release(log_off, r.length);
+      if (log_off >= 0) release_log(log_off, r.length);
       // Disk write supersedes any cached overlap.
       invalidate_range(r.file, r.offset, r.length);
       co_await disk_fs_.write(r.file, r.offset, r.length, wdata, r.tag);
       stm_.observe_disk(lbn, r.length, r.dir, disk_end_lbn(r));  // Eq. (1)
       ++stats_.write_disk;
       stats_.disk_bytes_served += r.length;
+      check("serve.write.disk");
+    }
+    close_window(write_windows_, win);
+    if (active_stages_ > 0) {
+      completed_writes_.push_back({win, r.file, r.offset, r.length});
     }
     result.elapsed = sim_.now() - t0;
     co_return result;
@@ -235,6 +328,12 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
   // ------------------------------------------------------------- read ----
   auto slices = table_.coverage(r.file, r.offset, r.length);
   if (!slices.empty()) {
+    // Pin every slice's log bytes for the duration of the reads: a
+    // concurrent eviction may erase these entries and recycle their log
+    // space mid-read (the stale-read hazard SimCheck's fuzzer caught).
+    std::vector<std::uint64_t> pins;
+    pins.reserve(slices.size());
+    for (const auto& s : slices) pins.push_back(pin_log_range(s.log_off, s.length));
     for (const auto& s : slices) {
       std::span<std::byte> sub;
       if (!rdata.empty()) {
@@ -244,10 +343,12 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
       co_await ssd_fs_.read(log_file_, s.log_off, s.length, sub);
       if (table_.contains(s.entry)) table_.touch(s.entry);
     }
+    for (const std::uint64_t p : pins) unpin_log_range(p);
     ++stats_.read_hits;
     stats_.ssd_bytes_served += r.length;
     result.ssd = true;
     result.elapsed = sim_.now() - t0;
+    check("serve.read.hit");
     co_return result;  // Eq. (2): disk untouched
   }
 
@@ -276,6 +377,7 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
     background_.spawn(stage_read(r, klass, est.ret_ms));
   }
   result.elapsed = sim_.now() - t0;
+  check("serve.read.miss");
   co_return result;
 }
 
@@ -284,6 +386,8 @@ sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
   const std::int64_t log_off = co_await make_room(klass, r.length);
   if (log_off < 0) co_return;
 
+  ++active_stages_;
+  const std::size_t mark = completed_writes_.size();
   std::vector<std::byte> buf;
   std::span<const std::byte> span;
   if (ssd_fs_.data_mode() == fsim::DataMode::kVerify) {
@@ -298,14 +402,26 @@ sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
 
   // While the copy was in flight, a write may have cached or rewritten the
   // range; if anything overlaps now, the staged copy is stale — drop it.
-  if (!table_.overlapping(r.file, r.offset, r.length).empty()) {
-    log_.release(log_off, r.length);
+  // A foreground write that is still in flight — or that started *and*
+  // finished while our SSD write was pending — is just as fatal: the peek
+  // above may predate its poke, so the staged bytes could be either version.
+  bool stale = !table_.overlapping(r.file, r.offset, r.length).empty() ||
+               window_overlaps(write_windows_, r.file, r.offset, r.length);
+  for (std::size_t k = mark; !stale && k < completed_writes_.size(); ++k) {
+    const RangeWindow& w = completed_writes_[k];
+    stale = w.file == r.file && w.off < r.offset + r.length &&
+            r.offset < w.off + w.len;
+  }
+  if (--active_stages_ == 0) completed_writes_.clear();
+  if (stale) {
+    release_log(log_off, r.length);
     co_return;
   }
   table_.insert({r.file, r.offset, r.length, log_off, /*dirty=*/false, klass,
                  ret_ms});
   ++stats_.stages;
   ++stats_.admit_by_class[static_cast<int>(klass)];
+  check("stage");
 }
 
 sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
@@ -383,7 +499,11 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
       span = run_buf;
     }
     // (As in flush_entry: internal write-back does not update Eq. (1).)
+    const std::uint64_t win =
+        open_window(flush_windows_, head.e.file, head.e.file_off, run_len);
     co_await disk_fs_.write(head.e.file, head.e.file_off, run_len, span);
+    close_window(flush_windows_, win);
+    notify_flush_waiters();
     for (std::size_t k = i; k < j; ++k) {
       if (table_.contains((*staged)[k].id)) {
         table_.mark_clean((*staged)[k].id);
@@ -392,6 +512,7 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
     }
     i = j;
   }
+  check("flush.batch");
 }
 
 sim::Task<> IBridgeCache::writeback_daemon() {
@@ -418,6 +539,7 @@ sim::Task<> IBridgeCache::drain() {
     if (batch.empty()) break;
     co_await flush_batch(std::move(batch));
   }
+  check("drain");
 }
 
 }  // namespace ibridge::core

@@ -13,6 +13,7 @@
 //      the idle-time write-back of dirty cached data to the disk.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -21,6 +22,7 @@
 
 #include "core/config.hpp"
 #include "core/mapping_table.hpp"
+#include "core/observer.hpp"
 #include "core/partition.hpp"
 #include "core/return_estimator.hpp"
 #include "core/service_time.hpp"
@@ -101,7 +103,13 @@ class IBridgeCache {
   const SsdLog& log() const { return log_; }
   const IBridgeConfig& config() const { return cfg_; }
   const ServiceTimeModel& service_model() const { return stm_; }
+  const PartitionController& partition() const { return partition_; }
+  const sim::Simulator& simulator() const { return sim_; }
   std::int64_t cached_bytes() const { return table_.bytes_cached(); }
+
+  /// Install a SimCheck observer (nullptr to detach).  Invoked after every
+  /// state-changing cache step; never installed on production paths.
+  void set_observer(CacheObserver* obs) { observer_ = obs; }
 
  private:
   CacheClass classify(const CacheRequest& r) const {
@@ -156,6 +164,44 @@ class IBridgeCache {
 
   sim::Task<> writeback_daemon();
 
+  /// A disk write in flight over a byte range of a datafile.  Two races hide
+  /// here: a write-back whose disk write completes *after* a newer foreground
+  /// write to the same range would resurrect stale bytes (write-after-write),
+  /// and a stage_read that snapshots the disk while a foreground write is in
+  /// flight would cache pre-write bytes as clean.  Windows make both visible:
+  /// foreground writes barrier on overlapping flush windows, and stage_read
+  /// drops its copy when a foreground write window overlaps.
+  struct RangeWindow {
+    std::uint64_t id;
+    fsim::FileId file;
+    std::int64_t off;
+    std::int64_t len;
+  };
+  static bool window_overlaps(const std::vector<RangeWindow>& ws,
+                              fsim::FileId f, std::int64_t off,
+                              std::int64_t len);
+  std::uint64_t open_window(std::vector<RangeWindow>& ws, fsim::FileId f,
+                            std::int64_t off, std::int64_t len);
+  void close_window(std::vector<RangeWindow>& ws, std::uint64_t id);
+  /// Suspend until no flush window overlaps [off, off+len) of `file`.
+  sim::Task<> wait_flush_windows(fsim::FileId f, std::int64_t off,
+                                 std::int64_t len);
+  void notify_flush_waiters();
+
+  /// Pin a byte range of the SSD log while a read streams out of it.  A
+  /// concurrent eviction (e.g. make_room on behalf of a sibling
+  /// sub-request's stage) may otherwise erase the entry being read and
+  /// recycle its log bytes mid-read, handing the reader whatever the new
+  /// tenant wrote.  Releases of pinned bytes are deferred to unpin time.
+  std::uint64_t pin_log_range(std::int64_t off, std::int64_t len);
+  void unpin_log_range(std::uint64_t id);
+  /// Every log release funnels through here so pins are honoured.
+  void release_log(std::int64_t off, std::int64_t len);
+
+  void check(const char* where) {
+    if (observer_) observer_->on_check(*this, where);
+  }
+
   sim::Simulator& sim_;
   IBridgeConfig cfg_;
   int self_;
@@ -171,8 +217,21 @@ class IBridgeCache {
   CacheStats stats_;
   // kHotBlock heat map: (file, region index) -> access count.
   std::unordered_map<std::uint64_t, int> region_heat_;
+  std::vector<RangeWindow> flush_windows_;  ///< write-back writes in flight
+  std::vector<RangeWindow> write_windows_;  ///< foreground writes in flight
+  std::vector<std::coroutine_handle<>> flush_waiters_;
+  std::uint64_t next_window_id_ = 0;
+  // Foreground writes that completed while at least one stage_read was in
+  // flight: a stage whose disk snapshot predates such a write must drop its
+  // copy even though the write's window is already closed.  Cleared whenever
+  // the last live stage retires, so the list stays tiny.
+  std::vector<RangeWindow> completed_writes_;
+  int active_stages_ = 0;
+  std::vector<RangeWindow> read_pins_;  ///< log ranges with reads in flight
+  std::vector<std::pair<std::int64_t, std::int64_t>> deferred_releases_;
   bool running_ = false;
   std::uint64_t daemon_epoch_ = 0;
+  CacheObserver* observer_ = nullptr;
   sim::TaskGroup background_;
 };
 

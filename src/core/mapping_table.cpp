@@ -1,7 +1,11 @@
 #include "core/mapping_table.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <istream>
+#include <ostream>
+#include <string>
 
 namespace ibridge::core {
 
@@ -176,6 +180,69 @@ std::vector<EntryId> MappingTable::entries_in_log_range(
   for (; it != by_log_.end() && it->first < log_end; ++it)
     out.push_back(it->second);
   return out;
+}
+
+std::vector<EntryId> MappingTable::all_entries() const {
+  std::vector<EntryId> out;
+  out.reserve(entries_.size());
+  std::vector<fsim::FileId> files;
+  files.reserve(by_file_.size());
+  for (const auto& [fid, _] : by_file_) files.push_back(fid);
+  std::sort(files.begin(), files.end());
+  for (fsim::FileId fid : files) {
+    for (const auto& [off, id] : by_file_.at(fid)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<EntryId> MappingTable::lru_order(CacheClass c) const {
+  const auto& lru = lru_[idx(c)];
+  return {lru.begin(), lru.end()};
+}
+
+namespace {
+constexpr const char* kTableMagic = "ibridge-mapping-table-v1";
+}
+
+void MappingTable::save(std::ostream& os) const {
+  os << kTableMagic << ' ' << entry_count() << '\n';
+  // LRU order per class: load() re-inserts in stream order, which appends
+  // to the back of each class list — front stays LRU, back stays MRU.
+  // ret_ms is stored as its IEEE-754 bit pattern for an exact round trip.
+  for (int c = 0; c < kNumClasses; ++c) {
+    for (EntryId id : lru_[c]) {
+      const CacheEntry& e = entries_.at(id).entry;
+      os << e.file << ' ' << e.file_off << ' ' << e.length << ' ' << e.log_off
+         << ' ' << (e.dirty ? 1 : 0) << ' ' << c << ' '
+         << std::bit_cast<std::uint64_t>(e.ret_ms) << '\n';
+    }
+  }
+}
+
+bool MappingTable::load(std::istream& is) {
+  assert(entries_.empty() && "load into a non-empty table");
+  std::string magic;
+  std::size_t n = 0;
+  if (!(is >> magic >> n) || magic != kTableMagic) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    CacheEntry e;
+    int dirty = 0, klass = 0;
+    std::uint64_t ret_bits = 0;
+    if (!(is >> e.file >> e.file_off >> e.length >> e.log_off >> dirty >>
+          klass >> ret_bits)) {
+      return false;
+    }
+    if (e.length <= 0 || e.log_off < 0 || klass < 0 || klass >= kNumClasses ||
+        (dirty != 0 && dirty != 1)) {
+      return false;
+    }
+    e.dirty = dirty != 0;
+    e.klass = static_cast<CacheClass>(klass);
+    e.ret_ms = std::bit_cast<double>(ret_bits);
+    if (!overlapping(e.file, e.file_off, e.length).empty()) return false;
+    insert(e);
+  }
+  return true;
 }
 
 void MappingTable::index_insert(EntryId id, const CacheEntry& e) {

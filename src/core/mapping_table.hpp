@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <map>
 #include <optional>
@@ -104,6 +105,23 @@ class MappingTable {
   /// Oldest dirty entries of either class, in LRU order, up to `max_bytes`
   /// total (used by the write-back daemon to build batches).
   std::vector<EntryId> dirty_entries(std::int64_t max_bytes) const;
+
+  /// Every entry id, in file/offset order (used by the SimCheck oracle to
+  /// audit the table exhaustively; not on any hot path).
+  std::vector<EntryId> all_entries() const;
+
+  /// The LRU list of a class, front (LRU) to back (MRU).
+  std::vector<EntryId> lru_order(CacheClass c) const;
+
+  /// Persist the table to a stream (the paper keeps the mapping table on
+  /// the SSD so cached data survives restarts).  Entries are written in LRU
+  /// order per class so load() reconstructs recency exactly; ret_ms is
+  /// written as hexfloat so the round trip is bit-exact.
+  void save(std::ostream& os) const;
+
+  /// Reload a table persisted by save() into *this (must be empty).
+  /// Returns false (leaving a partially loaded table) on malformed input.
+  bool load(std::istream& is);
 
   std::int64_t bytes_cached(CacheClass c) const { return bytes_[idx(c)]; }
   std::int64_t bytes_cached() const {

@@ -1,0 +1,26 @@
+// Checker hook for the iBridge cache (the SimCheck attachment point).
+//
+// An observer installed on an IBridgeCache is invoked after every
+// state-changing step of the serve/evict/stage/flush/drain machinery, with a
+// label naming the step that just completed.  Production paths never install
+// one — the hook is a single null-pointer test — while src/check/'s
+// InvariantOracle uses it to audit the mapping table, the SSD log, and the
+// partition after each transition.
+#pragma once
+
+namespace ibridge::core {
+
+class IBridgeCache;
+
+class CacheObserver {
+ public:
+  virtual ~CacheObserver() = default;
+
+  /// `where` names the step that just completed (e.g. "serve.read.hit",
+  /// "evict", "drain").  The cache is in a consistent externally-visible
+  /// state whenever this fires; steps labelled "drain" are also quiescent
+  /// with respect to dirty data.
+  virtual void on_check(const IBridgeCache& cache, const char* where) = 0;
+};
+
+}  // namespace ibridge::core

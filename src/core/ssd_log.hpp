@@ -101,6 +101,14 @@ class SsdLog {
 
   std::int64_t live_bytes() const { return live_bytes_; }
   std::int64_t segment_bytes() const { return segment_bytes_; }
+  int segment_count() const { return static_cast<int>(segments_.size()); }
+  /// Live bytes of one segment (SimCheck oracle: must equal the summed
+  /// lengths of the mapping-table entries whose log ranges fall inside it).
+  std::int64_t segment_live(int seg) const {
+    return segments_[static_cast<std::size_t>(seg)].live;
+  }
+  /// The segment currently receiving appends (-1 when the log is full).
+  int active_segment() const { return active_; }
   int free_segment_count() const {
     return static_cast<int>(free_segments_.size());
   }

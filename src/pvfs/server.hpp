@@ -83,6 +83,11 @@ class DataServer {
 
   bool has_cache() const { return cache_ != nullptr; }
   core::IBridgeCache* cache() { return cache_.get(); }
+
+  /// Attach a SimCheck observer to this server's cache (no-op when stock).
+  void set_observer(core::CacheObserver* obs) {
+    if (cache_) cache_->set_observer(obs);
+  }
   storage::BlockDevice& disk() { return *disk_; }
   storage::BlockDevice* ssd() { return ssd_.get(); }
   fsim::LocalFileSystem& fs() { return *primary_fs_; }

@@ -8,10 +8,10 @@
 // order they were scheduled (FIFO by sequence number).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -37,7 +37,8 @@ class Simulator {
   /// Schedule `fn` at an absolute simulated time (>= now).
   void schedule_at(SimTime when, Callback fn) {
     assert(when >= now_ && "cannot schedule into the past");
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
   }
 
   /// Schedule `fn` to run at the current time, after all callbacks already
@@ -47,11 +48,13 @@ class Simulator {
 
   /// Run a single event.  Returns false when the queue is empty.
   bool step() {
-    if (queue_.empty()) return false;
-    // Moving out of a priority_queue top requires const_cast; the element is
-    // popped immediately afterwards so the broken ordering is never observed.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    if (heap_.empty()) return false;
+    // pop_heap moves the minimum element to the back, where it can be moved
+    // out without touching heap-ordered elements (no const_cast needed, as
+    // std::priority_queue::top() would have required).
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     assert(ev.when >= now_);
     now_ = ev.when;
     ev.fn();
@@ -68,7 +71,7 @@ class Simulator {
   /// Run until the event queue drains or the clock passes `deadline`.
   /// Events scheduled after the deadline remain queued.
   void run_until(SimTime deadline) {
-    while (!queue_.empty() && queue_.top().when <= deadline) step();
+    while (!heap_.empty() && heap_.front().when <= deadline) step();
     if (now_ < deadline) now_ = deadline;
   }
 
@@ -82,21 +85,27 @@ class Simulator {
   }
 
   std::uint64_t events_executed() const { return executed_; }
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
 
  private:
   struct Event {
     SimTime when;
     std::uint64_t seq;
     Callback fn;
-    bool operator>(const Event& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
+  };
+
+  /// Heap comparator: "a fires after b" — std::push_heap/pop_heap build a
+  /// max-heap w.r.t. the comparator, so this yields a min-heap on
+  /// (when, seq) and heap_.front() is always the next event.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> heap_;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

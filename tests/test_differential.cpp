@@ -1,0 +1,84 @@
+// Differential policy checking: disk-only, SSD-only and iBridge are three
+// performance designs over one storage contract.  For every generated
+// workload the bytes a read returns — and the final file image — must be
+// bit-identical across the three, while the timings are free to (and do)
+// diverge.  A payload difference is a correctness bug in whichever stack
+// diverged; that is the oracle this suite enforces on 100+ cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "check/differential.hpp"
+#include "check/generator.hpp"
+
+namespace ibridge::check {
+namespace {
+
+TEST(Differential, PayloadEquivalenceAcrossPoliciesOn100Workloads) {
+  // Keep per-case cost small: the value is in breadth of configurations and
+  // access patterns, not in individual workload size.
+  GenLimits lim;
+  lim.min_ops = 8;
+  lim.max_ops = 20;
+  lim.min_file_bytes = 256 << 10;
+  lim.max_file_bytes = 1 << 20;
+
+  int with_time_divergence = 0;
+  std::uint64_t requests = 0;
+  constexpr int kCases = 100;
+  for (int i = 0; i < kCases; ++i) {
+    const std::uint64_t seed = 0xd1ffULL * 1000 + static_cast<std::uint64_t>(i);
+    const FuzzCase c = generate_case(seed, lim);
+    const DiffReport d = run_differential(c);
+    ASSERT_TRUE(d.ok()) << "failing seed=" << seed << ": " << d.failure;
+    ASSERT_TRUE(d.payload_equal) << "failing seed=" << seed;
+    if (d.max_rel_time_gap > 0.01) ++with_time_divergence;
+    requests += d.ibridge.requests;
+  }
+  EXPECT_GE(requests, static_cast<std::uint64_t>(8 * kCases));
+  // Timing divergence is the whole point of the three designs: if the
+  // policies never disagreed on time, the differential would be vacuous.
+  EXPECT_GT(with_time_divergence, kCases / 4)
+      << "policies agreed on timing almost everywhere — check the models";
+}
+
+TEST(Differential, SharedClustersAmortizeAcrossCases) {
+  // The three-cluster reuse path: one fixed configuration, many traces.
+  // Warm caches are a harder test for iBridge (staged entries from earlier
+  // cases can serve later reads) and must still be payload-equivalent.
+  const FuzzCase base = generate_case(2024);
+  cluster::Cluster disk(make_config(base, Policy::kDiskOnly));
+  cluster::Cluster ib(make_config(base, Policy::kIBridge));
+  cluster::Cluster ssd(make_config(base, Policy::kSsdOnly));
+
+  for (int i = 0; i < 12; ++i) {
+    const std::uint64_t seed = 0x7e51ULL + static_cast<std::uint64_t>(i);
+    FuzzCase c = generate_case(seed);
+    c.base = base.base;  // traces vary; the cluster geometry must not
+    c.file_bytes = std::min<std::int64_t>(c.file_bytes, 1 << 20);
+    const std::string name = "case-" + std::to_string(i) + ".dat";
+    const DiffReport d = run_differential(disk, ib, ssd, c, name);
+    ASSERT_TRUE(d.ok()) << "failing seed=" << seed << ": " << d.failure;
+    ASSERT_TRUE(d.payload_equal) << "failing seed=" << seed;
+  }
+}
+
+TEST(Differential, ReportsCarryTimingAndStats) {
+  const FuzzCase c = generate_case(9);
+  const DiffReport d = run_differential(c);
+  ASSERT_TRUE(d.ok()) << d.failure;
+  for (const RunReport* r : {&d.disk, &d.ibridge, &d.ssd}) {
+    EXPECT_GT(r->events, 0u);
+    EXPECT_GT(r->total_elapsed.ns(), 0);
+    EXPECT_GE(r->total_elapsed.ns(), r->io_elapsed.ns());
+    EXPECT_EQ(r->requests, c.trace.size());
+    EXPECT_TRUE(r->read_your_writes_ok);
+  }
+  EXPECT_EQ(d.disk.payload_digest, d.ssd.payload_digest);
+  EXPECT_EQ(d.disk.image_digest, d.ibridge.image_digest);
+}
+
+}  // namespace
+}  // namespace ibridge::check

@@ -82,6 +82,37 @@ TEST(Simulator, DeferRunsAfterCurrentTickCallbacks) {
   EXPECT_EQ(order, (std::vector<int>{1, 10, 2}));
 }
 
+TEST(Simulator, FifoSurvivesHeavyDeferChains) {
+  // Regression for the heap-based event queue: every defer() from inside a
+  // running event lands behind the callbacks already queued for the tick,
+  // and the relative order of concurrently growing defer chains is stable.
+  // The old priority_queue implementation moved events out of top() via
+  // const_cast; this exercises the pop path hard enough that any ordering
+  // corruption from the replacement idiom would scramble the transcript.
+  Simulator sim;
+  std::vector<std::pair<int, int>> order;  // (chain, depth)
+  constexpr int kChains = 16, kDepth = 32;
+  std::function<void(int, int)> link = [&](int chain, int depth) {
+    order.emplace_back(chain, depth);
+    if (depth + 1 < kDepth) sim.defer([&, chain, depth] { link(chain, depth + 1); });
+  };
+  for (int c = 0; c < kChains; ++c) {
+    sim.schedule(SimTime::millis(7), [&, c] { link(c, 0); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kChains * kDepth));
+  // Same-tick FIFO makes the chains advance in lockstep: the transcript is
+  // depth-major (all chains at depth 0, then all at depth 1, ...).
+  for (int d = 0; d < kDepth; ++d) {
+    for (int c = 0; c < kChains; ++c) {
+      const auto& [chain, depth] = order[static_cast<std::size_t>(d * kChains + c)];
+      EXPECT_EQ(chain, c) << "at depth " << d;
+      EXPECT_EQ(depth, d) << "for chain " << c;
+    }
+  }
+  EXPECT_EQ(sim.now(), SimTime::millis(7));
+}
+
 TEST(Simulator, NestedSchedulingAdvancesClock) {
   Simulator sim;
   SimTime inner_time;

@@ -1,0 +1,110 @@
+// ibridge-simcheck — standalone SimCheck fuzz runner.
+//
+//   ibridge-simcheck [--iters N] [--seed S] [--determinism] [--out FILE]
+//
+// Runs N generated cases (seeds S, S+1, ...) through the differential
+// checker (disk-only vs iBridge vs SSD-only on fresh clusters, with the
+// invariant oracle attached to the iBridge run).  With --determinism each
+// case is additionally executed twice to confirm bit-identical replay.
+//
+// On the first failure the trace is minimized with the delta-debugging
+// shrinker and written in the one-record-per-line text format, so the
+// shrunk repro replays directly:
+//
+//   ibridge-replay ibridge <servers> < simcheck-fail-<seed>.trace
+//
+// Exit status: 0 when every case passes, 1 on a (shrunk) failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "check/differential.hpp"
+#include "check/generator.hpp"
+#include "workloads/trace.hpp"
+
+using namespace ibridge;
+using namespace ibridge::check;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ibridge-simcheck [--iters N] [--seed S] "
+               "[--determinism] [--out FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int iters = 100;
+  std::uint64_t seed0 = 1;
+  bool determinism = false;
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed0 = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--determinism") == 0) {
+      determinism = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (iters <= 0) return usage();
+
+  std::uint64_t requests = 0;
+  double worst_gap = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
+    FuzzCase c = generate_case(seed);
+    DiffReport d = run_differential(c);
+    std::string failure = d.failure;
+    if (failure.empty() && determinism) {
+      DeterminismReport det = check_determinism(c);
+      failure = det.failure;
+    }
+    if (failure.empty()) {
+      requests += d.ibridge.requests;
+      worst_gap = std::max(worst_gap, d.max_rel_time_gap);
+      if ((i + 1) % 10 == 0 || i + 1 == iters) {
+        std::printf("[%d/%d] ok (last seed %llu)\n", i + 1, iters,
+                    static_cast<unsigned long long>(seed));
+        std::fflush(stdout);
+      }
+      continue;
+    }
+
+    std::printf("seed %llu FAILED: %s\n",
+                static_cast<unsigned long long>(seed), failure.c_str());
+    std::printf("shrinking (%zu records)...\n", c.trace.size());
+    auto fails = [&](const workloads::Trace& t) {
+      FuzzCase cand = c;
+      cand.trace = t;
+      if (!run_differential(cand).ok()) return true;
+      return determinism && !check_determinism(cand).ok();
+    };
+    ShrinkResult s = shrink(c.trace, fails);
+    std::printf("shrunk to %zu records in %zu evaluations\n", s.trace.size(),
+                s.evaluations);
+
+    const std::string path =
+        out.empty() ? "simcheck-fail-" + std::to_string(seed) + ".trace" : out;
+    std::ofstream os(path);
+    workloads::write_trace(os, s.trace);
+    std::printf("wrote %s — replay with:\n  ibridge-replay ibridge %d < %s\n",
+                path.c_str(), c.base.data_servers, path.c_str());
+    return 1;
+  }
+
+  std::printf("%d cases passed (%llu iBridge requests, max policy timing "
+              "divergence %.2fx)\n",
+              iters, static_cast<unsigned long long>(requests),
+              1.0 + worst_gap);
+  return 0;
+}
