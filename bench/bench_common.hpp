@@ -16,9 +16,9 @@
 #include <cstring>
 #include <string>
 
-#include "cluster/cluster.hpp"
-#include "stats/table.hpp"
-#include "workloads/btio.hpp"
+#include "cluster/cluster.hpp"  // lint: include-ok (umbrella: benches drive Clusters)
+#include "stats/table.hpp"      // lint: include-ok (umbrella: benches print Tables)
+#include "workloads/btio.hpp"   // lint: include-ok (umbrella: benches run BTIO)
 #include "workloads/ior_mpi_io.hpp"
 #include "workloads/mpi_io_test.hpp"
 #include "workloads/trace.hpp"

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     cluster::Cluster c(cluster::ClusterConfig::with_ibridge(ib));
     const auto r = run_mpi_io_test(c, cfg);
     const double mbps = mbps_total(r);
-    const double ssd_used = static_cast<double>(c.ssd_bytes_served());
+    const double ssd_used = static_cast<double>(c.ssd_bytes_served().count());
     t.add_row({std::to_string(kb) + " KB", stats::Table::fmt("%.1f", mbps),
                stats::Table::fmt("%.2f", mbps / aligned_mbps),
                stats::Table::fmt("%.0f MB", ssd_used / 1e6),

@@ -42,14 +42,16 @@ double run_case(const Scale& scale, bool ibridge, bool write,
     run_mpi_io_test(*c, cfg);
     run_mpi_io_test(*c, cfg);
   }
-  const std::int64_t ssd_before = c->ssd_bytes_served();
+  const sim::Bytes ssd_before = c->ssd_bytes_served();
   const auto r = run_mpi_io_test(*c, cfg);
   if (ssd_share) {
-    *ssd_share = r.bytes > 0 ? 100.0 *
-                                   static_cast<double>(c->ssd_bytes_served() -
-                                                       ssd_before) /
-                                   static_cast<double>(r.bytes)
-                             : 0.0;
+    *ssd_share =
+        r.bytes > 0
+            ? 100.0 *
+                  static_cast<double>(
+                      (c->ssd_bytes_served() - ssd_before).count()) /
+                  static_cast<double>(r.bytes)
+            : 0.0;
   }
   return mbps_total(r);
 }

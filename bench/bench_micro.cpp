@@ -31,12 +31,12 @@ void BM_SimulatorEventDispatch(benchmark::State& state) {
 BENCHMARK(BM_SimulatorEventDispatch);
 
 void BM_LayoutDecompose(benchmark::State& state) {
-  pvfs::StripingLayout layout(8, 64 * 1024);
+  pvfs::StripingLayout layout(8, sim::Bytes{64 * 1024});
   sim::Rng rng(1);
   std::int64_t sink = 0;
   for (auto _ : state) {
     const std::int64_t off = rng.uniform(0, 10'000'000'000LL);
-    auto v = layout.decompose(off, 65 * 1024);
+    auto v = layout.decompose(sim::Offset{off}, sim::Bytes{65 * 1024});
     sink += static_cast<std::int64_t>(v.size());
   }
   benchmark::DoNotOptimize(sink);
@@ -66,14 +66,16 @@ BENCHMARK(BM_CfqAddPop);
 void BM_MappingTableLookup(benchmark::State& state) {
   core::MappingTable table;
   for (int i = 0; i < 10'000; ++i) {
-    table.insert({1, static_cast<std::int64_t>(i) * 10'000, 8000,
-                  static_cast<std::int64_t>(i) * 8000, false,
+    table.insert({1, sim::Offset{static_cast<std::int64_t>(i) * 10'000},
+                  sim::Bytes{8000},
+                  sim::Offset{static_cast<std::int64_t>(i) * 8000}, false,
                   core::CacheClass::kRegular, 1.0});
   }
   sim::Rng rng(3);
   for (auto _ : state) {
     const std::int64_t off = rng.uniform(0, 9999) * 10'000;
-    benchmark::DoNotOptimize(table.coverage(1, off + 100, 4000));
+    benchmark::DoNotOptimize(
+        table.coverage(1, sim::Offset{off + 100}, sim::Bytes{4000}));
   }
 }
 BENCHMARK(BM_MappingTableLookup);
@@ -83,15 +85,17 @@ void BM_ReturnEstimate(benchmark::State& state) {
   profile.set_rotation(sim::SimTime::millis(2));
   profile.set_peak_bandwidth(85e6);
   core::ServiceTimeModel model(profile, 1.0 / 8.0);
-  model.observe_disk(0, 65536, storage::IoDirection::kRead, 128);
+  model.observe_disk(0, sim::Bytes{65536}, storage::IoDirection::kRead, 128);
   core::ReturnEstimator est(true);
   core::TBoard board{1.0, 2.0, 3.0, 4.0};
-  const std::vector<int> siblings{1, 2, 3};
+  const std::vector<sim::ServerId> siblings{sim::ServerId{1}, sim::ServerId{2},
+                                            sim::ServerId{3}};
   sim::Rng rng(4);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        est.estimate(model, rng.uniform(0, 1'000'000), 8192,
-                     storage::IoDirection::kWrite, true, 0, siblings, board));
+    benchmark::DoNotOptimize(est.estimate(
+        model, rng.uniform(0, 1'000'000), sim::Bytes{8192},
+        storage::IoDirection::kWrite, true, sim::ServerId{0}, siblings,
+        board));
   }
 }
 BENCHMARK(BM_ReturnEstimate);

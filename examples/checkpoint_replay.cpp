@@ -58,12 +58,12 @@ int main(int argc, char** argv) {
     std::printf("iBridge     : %7.2f ms/request  (%.0f%% faster)\n",
                 r.avg_request_ms,
                 100.0 * (1.0 - r.avg_request_ms / stock_ms));
-    std::int64_t ssd = 0;
+    sim::Bytes ssd = sim::Bytes::zero();
     for (int s = 0; s < c.server_count(); ++s) {
       ssd += c.server(s).cache()->stats().ssd_bytes_served;
     }
     std::printf("              %.1f MB served by the SSDs\n",
-                static_cast<double>(ssd) / 1e6);
+                static_cast<double>(ssd.count()) / 1e6);
   }
   return 0;
 }

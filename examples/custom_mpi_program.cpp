@@ -79,8 +79,8 @@ int main() {
     const auto* cache = c.server(s).cache();
     std::printf(
         "  server %d: %5.1f MB served, %4.1f MB via SSD, T=%.2f ms\n", s,
-        static_cast<double>(c.server(s).bytes_served()) / 1e6,
-        static_cast<double>(cache->stats().ssd_bytes_served) / 1e6,
+        static_cast<double>(c.server(s).bytes_served().count()) / 1e6,
+        static_cast<double>(cache->stats().ssd_bytes_served.count()) / 1e6,
         c.server(s).current_t());
   }
   return 0;

@@ -99,11 +99,11 @@ std::uint64_t stats_digest_of(cluster::Cluster& cl, const RunReport& r) {
       .update_u64(r.image_digest);
   for (int i = 0; i < cl.server_count(); ++i) {
     auto& s = cl.server(i);
-    d.update_i64(s.bytes_served());
+    d.update_i64(s.bytes_served().count());
     if (auto* cache = s.cache()) {
       const core::CacheStats& cs = cache->stats();
-      d.update_i64(cs.ssd_bytes_served)
-          .update_i64(cs.disk_bytes_served)
+      d.update_i64(cs.ssd_bytes_served.count())
+          .update_i64(cs.disk_bytes_served.count())
           .update_u64(cs.read_hits)
           .update_u64(cs.read_misses)
           .update_u64(cs.write_admits)
@@ -114,7 +114,7 @@ std::uint64_t stats_digest_of(cluster::Cluster& cl, const RunReport& r) {
           .update_u64(cs.boosts)
           .update_u64(cs.cleanings);
       for (auto n : cs.admit_by_class) d.update_u64(n);
-      d.update_i64(cache->cached_bytes());
+      d.update_i64(cache->cached_bytes().count());
       d.update_u64(table_digest(cache->table()));
     }
   }

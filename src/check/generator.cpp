@@ -37,7 +37,7 @@ FuzzCase generate_case(std::uint64_t seed, const GenLimits& lim) {
 
   // Payload comparison across policies needs byte-accurate backing stores.
   cfg.server.data_mode = fsim::DataMode::kVerify;
-  cfg.server.rmw_page_bytes = rng.chance(0.25) ? 0 : 4096;
+  cfg.server.rmw_page_bytes = sim::Bytes{rng.chance(0.25) ? 0 : 4096};
 
   // ---- iBridge knobs (small capacities force eviction and cleaning) ----
   core::IBridgeConfig& ib = cfg.server.ibridge;

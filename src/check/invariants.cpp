@@ -13,6 +13,8 @@ using core::CacheClass;
 using core::CacheEntry;
 using core::EntryId;
 using core::MappingTable;
+using sim::Bytes;
+using sim::Offset;
 
 namespace {
 
@@ -28,9 +30,9 @@ void fail(std::vector<std::string>& out, const std::string& msg) {
 
 std::string entry_str(EntryId id, const CacheEntry& e) {
   std::ostringstream ss;
-  ss << "entry " << id << " (file " << e.file << " [" << e.file_off << ","
-     << e.file_end() << ") log [" << e.log_off << ","
-     << e.log_off + e.length << ") " << to_string(e.klass)
+  ss << "entry " << id << " (file " << e.file << " [" << e.file_off.value()
+     << "," << e.file_end().value() << ") log [" << e.log_off.value() << ","
+     << (e.log_off + e.length).value() << ") " << to_string(e.klass)
      << (e.dirty ? " dirty" : " clean") << ")";
   return ss.str();
 }
@@ -58,7 +60,7 @@ std::vector<std::string> verify_table(const MappingTable& t) {
       fail(out, std::string("LRU list size mismatch for class ") +
                     to_string(c));
     }
-    std::int64_t bytes = 0;
+    Bytes bytes = Bytes::zero();
     double ret = 0.0;
     for (EntryId id : order) {
       if (!t.contains(id)) {
@@ -74,8 +76,9 @@ std::vector<std::string> verify_table(const MappingTable& t) {
     }
     if (bytes != t.bytes_cached(c)) {
       fail(out, std::string("bytes_cached(") + to_string(c) +
-                    ") diverged: recomputed " + std::to_string(bytes) +
-                    " vs reported " + std::to_string(t.bytes_cached(c)));
+                    ") diverged: recomputed " + std::to_string(bytes.count()) +
+                    " vs reported " +
+                    std::to_string(t.bytes_cached(c).count()));
     }
     if (!near(ret, t.return_sum(c))) {
       fail(out, std::string("return_sum(") + to_string(c) + ") diverged");
@@ -87,13 +90,14 @@ std::vector<std::string> verify_table(const MappingTable& t) {
 
   // Entry sanity, dirty accounting, per-file non-overlap (all_entries is
   // file/offset ordered), and coverage round trip.
-  std::int64_t dirty = 0;
-  std::vector<std::pair<std::int64_t, std::int64_t>> log_ranges;
+  Bytes dirty = Bytes::zero();
+  std::vector<std::pair<Offset, Bytes>> log_ranges;
   log_ranges.reserve(ids.size());
   const CacheEntry* prev = nullptr;
   for (EntryId id : ids) {
     const CacheEntry& e = t.get(id);
-    if (e.length <= 0 || e.file == fsim::kInvalidFile || e.log_off < 0) {
+    if (e.length <= Bytes::zero() || e.file == fsim::kInvalidFile ||
+        e.log_off < Offset::zero()) {
       fail(out, entry_str(id, e) + " is malformed");
       continue;
     }
@@ -111,10 +115,12 @@ std::vector<std::string> verify_table(const MappingTable& t) {
     }
   }
   if (dirty != t.dirty_bytes()) {
-    fail(out, "dirty_bytes diverged: recomputed " + std::to_string(dirty) +
-                  " vs reported " + std::to_string(t.dirty_bytes()));
+    fail(out, "dirty_bytes diverged: recomputed " +
+                  std::to_string(dirty.count()) + " vs reported " +
+                  std::to_string(t.dirty_bytes().count()));
   }
-  if (t.dirty_bytes() < 0 || t.dirty_bytes() > t.bytes_cached()) {
+  if (t.dirty_bytes() < Bytes::zero() ||
+      t.dirty_bytes() > t.bytes_cached()) {
     fail(out, "dirty_bytes outside [0, bytes_cached]");
   }
 
@@ -124,7 +130,7 @@ std::vector<std::string> verify_table(const MappingTable& t) {
     if (log_ranges[i - 1].first + log_ranges[i - 1].second >
         log_ranges[i].first) {
       fail(out, "log ranges overlap at log offset " +
-                    std::to_string(log_ranges[i].first));
+                    std::to_string(log_ranges[i].first.value()));
     }
   }
 
@@ -142,20 +148,21 @@ std::vector<std::string> verify_cache(const core::IBridgeCache& c,
   // background staging hold log space before their table insert, so the
   // running invariant is <=; at quiescence they must agree exactly.
   if (t.bytes_cached() > log.live_bytes()) {
-    fail(out, "table claims " + std::to_string(t.bytes_cached()) +
+    fail(out, "table claims " + std::to_string(t.bytes_cached().count()) +
                   " bytes but the log holds only " +
-                  std::to_string(log.live_bytes()));
+                  std::to_string(log.live_bytes().count()));
   }
   if (quiescent && t.bytes_cached() != log.live_bytes()) {
     fail(out, "table/log bytes diverged at quiescence: " +
-                  std::to_string(t.bytes_cached()) + " vs " +
-                  std::to_string(log.live_bytes()));
+                  std::to_string(t.bytes_cached().count()) + " vs " +
+                  std::to_string(log.live_bytes().count()));
   }
-  if (log.live_bytes() < 0 || log.live_bytes() > log.capacity()) {
+  if (log.live_bytes() < Bytes::zero() ||
+      log.live_bytes() > log.capacity()) {
     fail(out, "log live bytes outside [0, capacity]");
   }
   // Free segments hold no live data, so live bytes must fit the rest.
-  const std::int64_t non_free_capacity =
+  const Bytes non_free_capacity =
       log.capacity() -
       static_cast<std::int64_t>(log.free_segment_count()) *
           log.segment_bytes();
@@ -166,22 +173,24 @@ std::vector<std::string> verify_cache(const core::IBridgeCache& c,
   // Per-segment agreement: the summed lengths of the entries mapped into a
   // segment never exceed its live count (equality at quiescence), and no
   // entry straddles a segment boundary (append never splits).
-  const std::int64_t seg_bytes = log.segment_bytes();
+  const Bytes seg_bytes = log.segment_bytes();
   for (int seg = 0; seg < log.segment_count(); ++seg) {
     const auto [b, e] = log.segment_range(seg);
-    std::int64_t mapped = 0;
+    Bytes mapped = Bytes::zero();
     for (EntryId id : t.entries_in_log_range(b, e)) {
       const CacheEntry& ent = t.get(id);
       if (ent.log_off / seg_bytes !=
-          (ent.log_off + ent.length - 1) / seg_bytes) {
+          (ent.log_off + ent.length - Bytes{1}) / seg_bytes) {
         fail(out, entry_str(id, ent) + " straddles a log segment boundary");
       }
-      mapped += std::min(ent.log_off + ent.length, e) - std::max(ent.log_off, b);
+      mapped +=
+          std::min(ent.log_off + ent.length, e) - std::max(ent.log_off, b);
     }
     if (mapped > log.segment_live(seg)) {
       fail(out, "segment " + std::to_string(seg) + " maps " +
-                    std::to_string(mapped) + " table bytes but reports " +
-                    std::to_string(log.segment_live(seg)) + " live");
+                    std::to_string(mapped.count()) +
+                    " table bytes but reports " +
+                    std::to_string(log.segment_live(seg).count()) + " live");
     }
     if (quiescent && mapped != log.segment_live(seg)) {
       fail(out, "segment " + std::to_string(seg) +
@@ -192,38 +201,41 @@ std::vector<std::string> verify_cache(const core::IBridgeCache& c,
   // Entries must fit the log file.
   for (EntryId id : t.all_entries()) {
     const CacheEntry& ent = t.get(id);
-    if (ent.log_off + ent.length > log.capacity()) {
+    if (ent.log_off + ent.length > Offset::zero() + log.capacity()) {
       fail(out, entry_str(id, ent) + " maps past the log capacity");
     }
   }
 
   // Partition: the two class quotas tile the capacity exactly.
   const auto& part = c.partition();
-  const std::int64_t qr = part.quota(t, CacheClass::kRegular);
-  const std::int64_t qf = part.quota(t, CacheClass::kFragment);
-  if (qr < 0 || qf < 0 || qr > part.capacity() || qf > part.capacity()) {
+  const Bytes qr = part.quota(t, CacheClass::kRegular);
+  const Bytes qf = part.quota(t, CacheClass::kFragment);
+  if (qr < Bytes::zero() || qf < Bytes::zero() || qr > part.capacity() ||
+      qf > part.capacity()) {
     fail(out, "partition quota outside [0, capacity]");
   }
   if (qr + qf != part.capacity()) {
     fail(out, "partition quotas do not tile the capacity: " +
-                  std::to_string(qr) + " + " + std::to_string(qf) +
-                  " != " + std::to_string(part.capacity()));
+                  std::to_string(qr.count()) + " + " +
+                  std::to_string(qf.count()) + " != " +
+                  std::to_string(part.capacity().count()));
   }
 
   return out;
 }
 
 std::vector<std::string> verify_recovered_table(const MappingTable& t,
-                                                std::int64_t log_capacity,
-                                                std::int64_t segment_bytes) {
+                                                Bytes log_capacity,
+                                                Bytes segment_bytes) {
   std::vector<std::string> out = verify_table(t);
   for (EntryId id : t.all_entries()) {
     const CacheEntry& e = t.get(id);
-    if (e.log_off + e.length > log_capacity) {
+    if (e.log_off + e.length > Offset::zero() + log_capacity) {
       fail(out, entry_str(id, e) + " maps past the recovered log capacity");
     }
-    if (segment_bytes > 0 &&
-        e.log_off / segment_bytes != (e.log_off + e.length - 1) / segment_bytes) {
+    if (segment_bytes > Bytes::zero() &&
+        e.log_off / segment_bytes !=
+            (e.log_off + e.length - Bytes{1}) / segment_bytes) {
       fail(out, entry_str(id, e) + " straddles a recovered segment boundary");
     }
   }
@@ -235,9 +247,9 @@ std::uint64_t table_digest(const MappingTable& t) {
   for (EntryId id : t.all_entries()) {
     const CacheEntry& e = t.get(id);
     d.update_u64(e.file)
-        .update_i64(e.file_off)
-        .update_i64(e.length)
-        .update_i64(e.log_off)
+        .update_i64(e.file_off.value())
+        .update_i64(e.length.count())
+        .update_i64(e.log_off.value())
         .update_u64(e.dirty ? 1 : 0)
         .update_u64(static_cast<std::uint64_t>(e.klass));
     double ret = e.ret_ms;
@@ -252,11 +264,13 @@ std::uint64_t table_digest(const MappingTable& t) {
     d.update_u64(0x4c525500ULL + static_cast<std::uint64_t>(ci));  // "LRU"+class
     for (EntryId id : t.lru_order(static_cast<CacheClass>(ci))) {
       const CacheEntry& e = t.get(id);
-      d.update_u64(e.file).update_i64(e.file_off).update_i64(e.length);
+      d.update_u64(e.file)
+          .update_i64(e.file_off.value())
+          .update_i64(e.length.count());
     }
   }
-  d.update_i64(t.bytes_cached())
-      .update_i64(t.dirty_bytes())
+  d.update_i64(t.bytes_cached().count())
+      .update_i64(t.dirty_bytes().count())
       .update_u64(t.entry_count());
   return d.value();
 }

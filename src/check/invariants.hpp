@@ -25,6 +25,7 @@
 
 #include "core/cache.hpp"
 #include "core/mapping_table.hpp"
+#include "sim/units.hpp"
 #include "core/observer.hpp"
 
 namespace ibridge::check {
@@ -43,8 +44,8 @@ std::vector<std::string> verify_cache(const core::IBridgeCache& c,
 /// entries must fit the log geometry (within capacity, not straddling a
 /// segment boundary) on top of the plain table audit.
 std::vector<std::string> verify_recovered_table(const core::MappingTable& t,
-                                                std::int64_t log_capacity,
-                                                std::int64_t segment_bytes);
+                                                sim::Bytes log_capacity,
+                                                sim::Bytes segment_bytes);
 
 /// Digest of a table's full logical content: entries in file order, LRU
 /// order per class, and the accounting totals.  Two tables with equal

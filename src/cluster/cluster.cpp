@@ -54,8 +54,8 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   for (int i = 0; i < cfg.data_servers; ++i) {
     net::Nic& nic = net_->add_endpoint("ds" + std::to_string(i));
     server_nics_.push_back(&nic);
-    servers_.push_back(
-        std::make_unique<pvfs::DataServer>(sim_, i, cfg.server, nic, profile));
+    servers_.push_back(std::make_unique<pvfs::DataServer>(
+        sim_, sim::ServerId{i}, cfg.server, nic, profile));
     raw.push_back(servers_.back().get());
   }
 
@@ -134,28 +134,24 @@ void Cluster::enable_disk_trace(int server, bool keep_entries) {
   tr.clear();
 }
 
-std::int64_t Cluster::total_bytes_served() const {
-  std::int64_t sum = 0;
+sim::Bytes Cluster::total_bytes_served() const {
+  sim::Bytes sum = sim::Bytes::zero();
   for (const auto& s : servers_) sum += s->bytes_served();
   return sum;
 }
 
-std::int64_t Cluster::ssd_bytes_served() const {
-  std::int64_t sum = 0;
+sim::Bytes Cluster::ssd_bytes_served() const {
+  sim::Bytes sum = sim::Bytes::zero();
   for (const auto& s : servers_) {
-    if (auto* c = const_cast<pvfs::DataServer&>(*s).cache()) {
-      sum += c->stats().ssd_bytes_served;
-    }
+    if (const auto* c = s->cache()) sum += c->stats().ssd_bytes_served;
   }
   return sum;
 }
 
-std::int64_t Cluster::ssd_cached_bytes() const {
-  std::int64_t sum = 0;
+sim::Bytes Cluster::ssd_cached_bytes() const {
+  sim::Bytes sum = sim::Bytes::zero();
   for (const auto& s : servers_) {
-    if (auto* c = const_cast<pvfs::DataServer&>(*s).cache()) {
-      sum += c->cached_bytes();
-    }
+    if (const auto* c = s->cache()) sum += c->cached_bytes();
   }
   return sum;
 }

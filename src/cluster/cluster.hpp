@@ -16,8 +16,8 @@
 #include "pvfs/client.hpp"
 #include "pvfs/metadata.hpp"
 #include "pvfs/server.hpp"
-#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "sim/units.hpp"
 #include "storage/profiler.hpp"
 
 namespace ibridge::cluster {
@@ -77,9 +77,9 @@ class Cluster {
   void install_observer(core::CacheObserver* obs);
 
   // ---- aggregate metrics over all servers ----
-  std::int64_t total_bytes_served() const;
-  std::int64_t ssd_bytes_served() const;
-  std::int64_t ssd_cached_bytes() const;
+  sim::Bytes total_bytes_served() const;
+  sim::Bytes ssd_bytes_served() const;
+  sim::Bytes ssd_cached_bytes() const;
   double avg_service_ms() const;
 
  private:

@@ -9,18 +9,18 @@ namespace ibridge::core {
 using storage::IoDirection;
 
 IBridgeCache::IBridgeCache(sim::Simulator& sim, IBridgeConfig cfg,
-                           int self_server, fsim::LocalFileSystem& disk_fs,
+                           ServerId self, fsim::LocalFileSystem& disk_fs,
                            fsim::LocalFileSystem& ssd_fs,
                            storage::SeekProfile profile)
     : sim_(sim),
       cfg_(cfg),
-      self_(self_server),
+      self_(self),
       disk_fs_(disk_fs),
       ssd_fs_(ssd_fs),
       stm_(std::move(profile), cfg.t_old_weight),
       estimator_(cfg.fragment_boost),
-      log_(cfg.ssd_cache_bytes, cfg.log_segment_bytes),
-      partition_(cfg, cfg.ssd_cache_bytes),
+      log_(Bytes{cfg.ssd_cache_bytes}, Bytes{cfg.log_segment_bytes}),
+      partition_(cfg, Bytes{cfg.ssd_cache_bytes}),
       background_(sim) {
   // Pre-create the log file with slack for piggybacked mapping updates.
   log_file_ = ssd_fs_.create("ibridge.log",
@@ -42,28 +42,27 @@ void IBridgeCache::stop() {
 
 std::int64_t IBridgeCache::disk_lbn(const CacheRequest& r) const {
   const auto& f = disk_fs_.file(r.file);
-  if (r.offset + r.length > f.size()) {
+  if ((r.offset + r.length).value() > f.size()) {
     // Write extending the file: predict placement at the current tail.
     const auto& ext = f.extents();
     if (ext.empty()) return 0;
     return ext.back().lbn + ext.back().sectors;
   }
-  auto pieces = f.map(r.offset, r.length);
+  auto pieces = f.map(r.offset.value(), r.length.count());
   assert(!pieces.empty());
   return pieces.front().lbn;
 }
 
 std::int64_t IBridgeCache::disk_end_lbn(const CacheRequest& r) const {
   const auto& f = disk_fs_.file(r.file);
-  if (r.offset + r.length > f.size()) return disk_lbn(r);
-  auto pieces = f.map(r.offset, r.length);
+  if ((r.offset + r.length).value() > f.size()) return disk_lbn(r);
+  auto pieces = f.map(r.offset.value(), r.length.count());
   assert(!pieces.empty());
   return pieces.back().lbn + pieces.back().sectors;
 }
 
 bool IBridgeCache::window_overlaps(const std::vector<RangeWindow>& ws,
-                                   fsim::FileId f, std::int64_t off,
-                                   std::int64_t len) {
+                                   fsim::FileId f, Offset off, Bytes len) {
   for (const auto& w : ws) {
     if (w.file == f && w.off < off + len && off < w.off + w.len) return true;
   }
@@ -71,8 +70,8 @@ bool IBridgeCache::window_overlaps(const std::vector<RangeWindow>& ws,
 }
 
 std::uint64_t IBridgeCache::open_window(std::vector<RangeWindow>& ws,
-                                        fsim::FileId f, std::int64_t off,
-                                        std::int64_t len) {
+                                        fsim::FileId f, Offset off,
+                                        Bytes len) {
   const std::uint64_t id = ++next_window_id_;
   ws.push_back({id, f, off, len});
   return id;
@@ -83,8 +82,8 @@ void IBridgeCache::close_window(std::vector<RangeWindow>& ws,
   std::erase_if(ws, [id](const RangeWindow& w) { return w.id == id; });
 }
 
-sim::Task<> IBridgeCache::wait_flush_windows(fsim::FileId f, std::int64_t off,
-                                             std::int64_t len) {
+sim::Task<> IBridgeCache::wait_flush_windows(fsim::FileId f, Offset off,
+                                             Bytes len) {
   // Broadcast wake-up, then re-check: another flush of the range may have
   // started while this coroutine was parked (local classes in a member
   // function share the enclosing class's access).
@@ -110,7 +109,7 @@ void IBridgeCache::notify_flush_waiters() {
   }
 }
 
-std::uint64_t IBridgeCache::pin_log_range(std::int64_t off, std::int64_t len) {
+std::uint64_t IBridgeCache::pin_log_range(Offset off, Bytes len) {
   return open_window(read_pins_, log_file_, off, len);
 }
 
@@ -125,8 +124,8 @@ void IBridgeCache::unpin_log_range(std::uint64_t id) {
   });
 }
 
-void IBridgeCache::release_log(std::int64_t off, std::int64_t len) {
-  if (len <= 0) return;
+void IBridgeCache::release_log(Offset off, Bytes len) {
+  if (len <= Bytes::zero()) return;
   if (window_overlaps(read_pins_, log_file_, off, len)) {
     deferred_releases_.emplace_back(off, len);
   } else {
@@ -134,10 +133,9 @@ void IBridgeCache::release_log(std::int64_t off, std::int64_t len) {
   }
 }
 
-void IBridgeCache::invalidate_range(fsim::FileId file, std::int64_t off,
-                                    std::int64_t len) {
+void IBridgeCache::invalidate_range(fsim::FileId file, Offset off, Bytes len) {
   auto ids = table_.overlapping(file, off, len);
-  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
+  std::vector<std::pair<Offset, Bytes>> freed;
   for (EntryId id : ids) table_.trim(id, off, len, freed);
   for (const auto& [log_off, n] : freed) release_log(log_off, n);
 }
@@ -145,7 +143,7 @@ void IBridgeCache::invalidate_range(fsim::FileId file, std::int64_t off,
 bool IBridgeCache::note_region_access(const CacheRequest& r) {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(r.file) << 40) ^
-      static_cast<std::uint64_t>(r.offset / cfg_.hot_block_region);
+      static_cast<std::uint64_t>(r.offset / Bytes{cfg_.hot_block_region});
   return ++region_heat_[key] >= cfg_.hot_block_min_hits;
 }
 
@@ -162,10 +160,10 @@ bool IBridgeCache::admit(const CacheRequest& r, const ReturnEstimate& est) {
   return false;
 }
 
-sim::Task<std::int64_t> IBridgeCache::make_room(CacheClass c,
-                                                std::int64_t len) {
+sim::Task<std::optional<Offset>> IBridgeCache::make_room(CacheClass c,
+                                                         Bytes len) {
   if (len > partition_.quota(table_, c) || len > log_.segment_bytes()) {
-    co_return -1;
+    co_return std::nullopt;
   }
   // Quota pressure: evict LRU entries of the same class.
   while (partition_.over_quota(table_, c, len)) {
@@ -204,7 +202,8 @@ sim::Task<bool> IBridgeCache::evict(EntryId id) {
     // capacity pressure (every admission would pay a synchronous small
     // disk write).  Amortize: flush a whole file-ordered batch, which
     // coalesces into long runs and leaves a clean cohort to evict cheaply.
-    co_await flush_batch(table_.dirty_entries(cfg_.writeback_daemon_bytes));
+    co_await flush_batch(
+        table_.dirty_entries(Bytes{cfg_.writeback_daemon_bytes}));
     if (!table_.contains(id)) co_return false;  // raced with invalidation
     if (table_.get(id).dirty) co_await flush_entry(id);  // not in the batch
     if (!table_.contains(id)) co_return false;
@@ -223,11 +222,11 @@ sim::Task<> IBridgeCache::flush_entry(EntryId id) {
   std::vector<std::byte> buf;
   std::span<std::byte> span;
   if (ssd_fs_.data_mode() == fsim::DataMode::kVerify) {
-    buf.resize(static_cast<std::size_t>(e.length));
+    buf.resize(static_cast<std::size_t>(e.length.count()));
     span = buf;
   }
   // Read the payload from the log, then write it to its home location.
-  co_await ssd_fs_.read(log_file_, e.log_off, e.length, span);
+  co_await ssd_fs_.read(log_file_, e.log_off.value(), e.length.count(), span);
   // A concurrent write may have trimmed or replaced the entry while the log
   // read was in flight (trim re-inserts remainders under new ids).  If the
   // id is gone, this copy is partially stale: skip the disk write — the
@@ -239,7 +238,7 @@ sim::Task<> IBridgeCache::flush_entry(EntryId id) {
   // would spike T and starve admission right after every flush.
   const std::uint64_t win =
       open_window(flush_windows_, e.file, e.file_off, e.length);
-  co_await disk_fs_.write(e.file, e.file_off, e.length,
+  co_await disk_fs_.write(e.file, e.file_off.value(), e.length.count(),
                           std::span<const std::byte>(span.data(), span.size()));
   close_window(flush_windows_, win);
   notify_flush_waiters();
@@ -248,12 +247,12 @@ sim::Task<> IBridgeCache::flush_entry(EntryId id) {
   check("flush.entry");
 }
 
-void IBridgeCache::charge_mapping_update(std::int64_t near_log_off) {
+void IBridgeCache::charge_mapping_update(Offset near_log_off) {
   if (cfg_.mapping_entry_bytes <= 0) return;
   // Piggyback a tiny sequential write right behind the data (the real
   // implementation appends the updated table entry with the log record).
   const std::int64_t off =
-      std::min(near_log_off, ssd_fs_.file(log_file_).size() - 512);
+      std::min(near_log_off.value(), ssd_fs_.file(log_file_).size() - 512);
   auto pieces = ssd_fs_.file(log_file_).map(
       std::max<std::int64_t>(off, 0), cfg_.mapping_entry_bytes);
   if (pieces.empty()) return;
@@ -265,7 +264,7 @@ void IBridgeCache::charge_mapping_update(std::int64_t near_log_off) {
 sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
                                            std::span<const std::byte> wdata,
                                            std::span<std::byte> rdata) {
-  assert(r.length > 0);
+  assert(r.length > Bytes::zero());
   const sim::SimTime t0 = sim_.now();
   ServeResult result;
   const CacheClass klass = classify(r);
@@ -285,20 +284,21 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
                                          board_);
     if (est.boosted) ++stats_.boosts;
     bool admit = this->admit(r, est);
-    std::int64_t log_off = -1;
+    std::optional<Offset> log_off;
     if (admit) {
       // Any cached overlap is superseded by this write.
       invalidate_range(r.file, r.offset, r.length);
       log_off = co_await make_room(klass, r.length);
-      admit = log_off >= 0;
+      admit = log_off.has_value();
     }
     if (admit) {
-      co_await ssd_fs_.write(log_file_, log_off, r.length, wdata);
-      charge_mapping_update(log_off + r.length);
+      co_await ssd_fs_.write(log_file_, log_off->value(), r.length.count(),
+                             wdata);
+      charge_mapping_update(*log_off + r.length);
       // A concurrent admission may have cached the same range while the SSD
       // write was in flight; supersede it.
       invalidate_range(r.file, r.offset, r.length);
-      table_.insert({r.file, r.offset, r.length, log_off, /*dirty=*/true,
+      table_.insert({r.file, r.offset, r.length, *log_off, /*dirty=*/true,
                      klass, est.ret_ms});
       // Eq. (2): disk state unchanged.
       ++stats_.write_admits;
@@ -308,10 +308,11 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
       result.boosted = est.boosted;
       check("serve.write.ssd");
     } else {
-      if (log_off >= 0) release_log(log_off, r.length);
+      if (log_off) release_log(*log_off, r.length);
       // Disk write supersedes any cached overlap.
       invalidate_range(r.file, r.offset, r.length);
-      co_await disk_fs_.write(r.file, r.offset, r.length, wdata, r.tag);
+      co_await disk_fs_.write(r.file, r.offset.value(), r.length.count(),
+                              wdata, r.tag);
       stm_.observe_disk(lbn, r.length, r.dir, disk_end_lbn(r));  // Eq. (1)
       ++stats_.write_disk;
       stats_.disk_bytes_served += r.length;
@@ -337,10 +338,12 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
     for (const auto& s : slices) {
       std::span<std::byte> sub;
       if (!rdata.empty()) {
-        sub = rdata.subspan(static_cast<std::size_t>(s.file_off - r.offset),
-                            static_cast<std::size_t>(s.length));
+        sub = rdata.subspan(
+            static_cast<std::size_t>((s.file_off - r.offset).count()),
+            static_cast<std::size_t>(s.length.count()));
       }
-      co_await ssd_fs_.read(log_file_, s.log_off, s.length, sub);
+      co_await ssd_fs_.read(log_file_, s.log_off.value(), s.length.count(),
+                            sub);
       if (table_.contains(s.entry)) table_.touch(s.entry);
     }
     for (const std::uint64_t p : pins) unpin_log_range(p);
@@ -364,7 +367,8 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
   const auto est = estimator_.estimate(stm_, lbn, r.length, r.dir, r.fragment,
                                        self_, r.siblings, board_);
   if (est.boosted) ++stats_.boosts;
-  co_await disk_fs_.read(r.file, r.offset, r.length, rdata, r.tag);
+  co_await disk_fs_.read(r.file, r.offset.value(), r.length.count(),
+                         rdata, r.tag);
   stm_.observe_disk(lbn, r.length, r.dir, disk_end_lbn(r));  // Eq. (1)
   ++stats_.read_misses;
   stats_.disk_bytes_served += r.length;
@@ -383,22 +387,22 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
 
 sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
                                      double ret_ms) {
-  const std::int64_t log_off = co_await make_room(klass, r.length);
-  if (log_off < 0) co_return;
+  const std::optional<Offset> log_off = co_await make_room(klass, r.length);
+  if (!log_off) co_return;
 
   ++active_stages_;
   const std::size_t mark = completed_writes_.size();
   std::vector<std::byte> buf;
   std::span<const std::byte> span;
   if (ssd_fs_.data_mode() == fsim::DataMode::kVerify) {
-    buf.resize(static_cast<std::size_t>(r.length));
+    buf.resize(static_cast<std::size_t>(r.length.count()));
     // The bytes were just read from the disk; fetch them from its store.
     std::span<std::byte> mut(buf);
-    disk_fs_.peek_bytes(r.file, r.offset, mut);
+    disk_fs_.peek_bytes(r.file, r.offset.value(), mut);
     span = buf;
   }
-  co_await ssd_fs_.write(log_file_, log_off, r.length, span);
-  charge_mapping_update(log_off + r.length);
+  co_await ssd_fs_.write(log_file_, log_off->value(), r.length.count(), span);
+  charge_mapping_update(*log_off + r.length);
 
   // While the copy was in flight, a write may have cached or rewritten the
   // range; if anything overlaps now, the staged copy is stale — drop it.
@@ -414,10 +418,10 @@ sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
   }
   if (--active_stages_ == 0) completed_writes_.clear();
   if (stale) {
-    release_log(log_off, r.length);
+    release_log(*log_off, r.length);
     co_return;
   }
-  table_.insert({r.file, r.offset, r.length, log_off, /*dirty=*/false, klass,
+  table_.insert({r.file, r.offset, r.length, *log_off, /*dirty=*/false, klass,
                  ret_ms});
   ++stats_.stages;
   ++stats_.admit_by_class[static_cast<int>(klass)];
@@ -450,12 +454,12 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
     staged->push_back({id, table_.get(id), {}});
     if (verify) {
       staged->back().buf.resize(
-          static_cast<std::size_t>(staged->back().e.length));
+          static_cast<std::size_t>(staged->back().e.length.count()));
     }
     Staged* s = &staged->back();
     reads.add([](IBridgeCache& c, Staged* st) -> sim::Task<> {
-      co_await c.ssd_fs_.read(c.log_file_, st->e.log_off, st->e.length,
-                              st->buf);
+      co_await c.ssd_fs_.read(c.log_file_, st->e.log_off.value(),
+                              st->e.length.count(), st->buf);
     }(*this, s));
   }
   co_await reads.join();
@@ -465,7 +469,7 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
   // accesses as possible".  Without this, dense small dirty data (e.g.
   // BTIO's 640-2160 B strided records) would pay a positioning cost per
   // entry even though the union of the entries is one contiguous region.
-  constexpr std::int64_t kMaxRun = 8 << 20;
+  constexpr Bytes kMaxRun{8 << 20};
   std::size_t i = 0;
   while (i < staged->size()) {
     if (yield_to_foreground && disk_fs_.device().queue_depth() > 0) break;
@@ -476,7 +480,7 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
       continue;
     }
     std::size_t j = i + 1;
-    std::int64_t run_len = head.e.length;
+    Bytes run_len = head.e.length;
     while (j < staged->size() && run_len < kMaxRun) {
       const Staged& next = (*staged)[j];
       if (next.e.file != head.e.file ||
@@ -491,7 +495,7 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
     std::vector<std::byte> run_buf;
     std::span<const std::byte> span;
     if (verify) {
-      run_buf.reserve(static_cast<std::size_t>(run_len));
+      run_buf.reserve(static_cast<std::size_t>(run_len.count()));
       for (std::size_t k = i; k < j; ++k) {
         run_buf.insert(run_buf.end(), (*staged)[k].buf.begin(),
                        (*staged)[k].buf.end());
@@ -501,7 +505,8 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
     // (As in flush_entry: internal write-back does not update Eq. (1).)
     const std::uint64_t win =
         open_window(flush_windows_, head.e.file, head.e.file_off, run_len);
-    co_await disk_fs_.write(head.e.file, head.e.file_off, run_len, span);
+    co_await disk_fs_.write(head.e.file, head.e.file_off.value(),
+                            run_len.count(), span);
     close_window(flush_windows_, win);
     notify_flush_waiters();
     for (std::size_t k = i; k < j; ++k) {
@@ -525,17 +530,17 @@ sim::Task<> IBridgeCache::writeback_daemon() {
     // capacity limit, in which case flushing now is cheaper than letting
     // admissions evict synchronously later.
     const bool pressure =
-        table_.dirty_bytes() > partition_.capacity() / 2;
+        table_.dirty_bytes() > partition_.capacity() / 2;  // Bytes compare
     if (!pressure && disk_fs_.device().queue_depth() > 0) continue;
-    auto batch = table_.dirty_entries(cfg_.writeback_daemon_bytes);
+    auto batch = table_.dirty_entries(Bytes{cfg_.writeback_daemon_bytes});
     if (batch.empty()) continue;
     co_await flush_batch(std::move(batch), /*yield_to_foreground=*/!pressure);
   }
 }
 
 sim::Task<> IBridgeCache::drain() {
-  while (table_.dirty_bytes() > 0) {
-    auto batch = table_.dirty_entries(cfg_.writeback_batch_bytes);
+  while (table_.dirty_bytes() > Bytes::zero()) {
+    auto batch = table_.dirty_entries(Bytes{cfg_.writeback_batch_bytes});
     if (batch.empty()) break;
     co_await flush_batch(std::move(batch));
   }

@@ -16,6 +16,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "core/ssd_log.hpp"
 #include "fsim/filesystem.hpp"
 #include "sim/sync.hpp"
+#include "sim/units.hpp"
 
 namespace ibridge::core {
 
@@ -36,11 +38,11 @@ namespace ibridge::core {
 struct CacheRequest {
   storage::IoDirection dir = storage::IoDirection::kRead;
   fsim::FileId file = fsim::kInvalidFile;  ///< server-local datafile
-  std::int64_t offset = 0;                 ///< within the datafile
-  std::int64_t length = 0;
+  Offset offset;                           ///< within the datafile
+  Bytes length;
   bool fragment = false;
-  std::vector<int> siblings;  ///< servers of sibling sub-requests
-  int tag = 0;                ///< issuing process (scheduler anticipation)
+  std::vector<ServerId> siblings;  ///< servers of sibling sub-requests
+  int tag = 0;                     ///< issuing process (scheduler anticipation)
 };
 
 struct ServeResult {
@@ -51,8 +53,8 @@ struct ServeResult {
 
 /// Operation counters exposed to benchmarks and tests.
 struct CacheStats {
-  std::int64_t ssd_bytes_served = 0;   ///< payload bytes served by the SSD
-  std::int64_t disk_bytes_served = 0;  ///< payload bytes served by the disk
+  Bytes ssd_bytes_served;   ///< payload bytes served by the SSD
+  Bytes disk_bytes_served;  ///< payload bytes served by the disk
   std::uint64_t read_hits = 0;
   std::uint64_t read_misses = 0;
   std::uint64_t write_admits = 0;
@@ -70,7 +72,7 @@ class IBridgeCache {
   /// `disk_fs` holds the server's datafiles; `ssd_fs` is the file system on
   /// the companion SSD (the cache creates its log file there); `profile` is
   /// the offline-learned seek curve of the disk.
-  IBridgeCache(sim::Simulator& sim, IBridgeConfig cfg, int self_server,
+  IBridgeCache(sim::Simulator& sim, IBridgeConfig cfg, ServerId self,
                fsim::LocalFileSystem& disk_fs, fsim::LocalFileSystem& ssd_fs,
                storage::SeekProfile profile);
 
@@ -105,7 +107,7 @@ class IBridgeCache {
   const ServiceTimeModel& service_model() const { return stm_; }
   const PartitionController& partition() const { return partition_; }
   const sim::Simulator& simulator() const { return sim_; }
-  std::int64_t cached_bytes() const { return table_.bytes_cached(); }
+  Bytes cached_bytes() const { return table_.bytes_cached(); }
 
   /// Install a SimCheck observer (nullptr to detach).  Invoked after every
   /// state-changing cache step; never installed on production paths.
@@ -116,8 +118,8 @@ class IBridgeCache {
     return r.fragment ? CacheClass::kFragment : CacheClass::kRegular;
   }
   bool small_enough(const CacheRequest& r) const {
-    return r.length < (r.fragment ? cfg_.fragment_threshold
-                                  : cfg_.random_threshold);
+    return r.length < Bytes{r.fragment ? cfg_.fragment_threshold
+                                       : cfg_.random_threshold};
   }
 
   /// Admission decision for a small request under the configured policy.
@@ -129,18 +131,19 @@ class IBridgeCache {
   bool note_region_access(const CacheRequest& r);
 
   /// First disk LBN the request would touch (lambda_i of Equation 1).
+  // lint: units-ok (LBNs are device sector addresses, not byte offsets)
   std::int64_t disk_lbn(const CacheRequest& r) const;
-  std::int64_t disk_end_lbn(const CacheRequest& r) const;
+  std::int64_t disk_end_lbn(const CacheRequest& r) const;  // lint: units-ok (LBN)
 
   /// Trim every cached entry overlapping [off, off+len) of `file`,
   /// releasing the freed log space.  Dirty data in the range is dropped —
   /// callers only invalidate ranges that are being overwritten.
-  void invalidate_range(fsim::FileId file, std::int64_t off, std::int64_t len);
+  void invalidate_range(fsim::FileId file, Offset off, Bytes len);
 
   /// Allocate `len` log bytes for class `c`, evicting under quota pressure
-  /// and cleaning segments under space pressure.  Returns -1 when the class
-  /// quota cannot fit the allocation at all.
-  sim::Task<std::int64_t> make_room(CacheClass c, std::int64_t len);
+  /// and cleaning segments under space pressure.  Returns nullopt when the
+  /// class quota cannot fit the allocation at all.
+  sim::Task<std::optional<Offset>> make_room(CacheClass c, Bytes len);
 
   /// Evict one entry (write-back first when dirty); false if id vanished.
   sim::Task<bool> evict(EntryId id);
@@ -157,7 +160,7 @@ class IBridgeCache {
                           bool yield_to_foreground = false);
 
   /// Charge the SSD for persisting a mapping-table entry update.
-  void charge_mapping_update(std::int64_t near_log_off);
+  void charge_mapping_update(Offset near_log_off);
 
   /// Background copy of freshly disk-read data into the cache.
   sim::Task<> stage_read(CacheRequest r, CacheClass klass, double ret_ms);
@@ -174,18 +177,16 @@ class IBridgeCache {
   struct RangeWindow {
     std::uint64_t id;
     fsim::FileId file;
-    std::int64_t off;
-    std::int64_t len;
+    Offset off;
+    Bytes len;
   };
   static bool window_overlaps(const std::vector<RangeWindow>& ws,
-                              fsim::FileId f, std::int64_t off,
-                              std::int64_t len);
+                              fsim::FileId f, Offset off, Bytes len);
   std::uint64_t open_window(std::vector<RangeWindow>& ws, fsim::FileId f,
-                            std::int64_t off, std::int64_t len);
+                            Offset off, Bytes len);
   void close_window(std::vector<RangeWindow>& ws, std::uint64_t id);
   /// Suspend until no flush window overlaps [off, off+len) of `file`.
-  sim::Task<> wait_flush_windows(fsim::FileId f, std::int64_t off,
-                                 std::int64_t len);
+  sim::Task<> wait_flush_windows(fsim::FileId f, Offset off, Bytes len);
   void notify_flush_waiters();
 
   /// Pin a byte range of the SSD log while a read streams out of it.  A
@@ -193,10 +194,10 @@ class IBridgeCache {
   /// sub-request's stage) may otherwise erase the entry being read and
   /// recycle its log bytes mid-read, handing the reader whatever the new
   /// tenant wrote.  Releases of pinned bytes are deferred to unpin time.
-  std::uint64_t pin_log_range(std::int64_t off, std::int64_t len);
+  std::uint64_t pin_log_range(Offset off, Bytes len);
   void unpin_log_range(std::uint64_t id);
   /// Every log release funnels through here so pins are honoured.
-  void release_log(std::int64_t off, std::int64_t len);
+  void release_log(Offset off, Bytes len);
 
   void check(const char* where) {
     if (observer_) observer_->on_check(*this, where);
@@ -204,7 +205,7 @@ class IBridgeCache {
 
   sim::Simulator& sim_;
   IBridgeConfig cfg_;
-  int self_;
+  ServerId self_;
   fsim::LocalFileSystem& disk_fs_;
   fsim::LocalFileSystem& ssd_fs_;
   fsim::FileId log_file_ = fsim::kInvalidFile;
@@ -228,7 +229,7 @@ class IBridgeCache {
   std::vector<RangeWindow> completed_writes_;
   int active_stages_ = 0;
   std::vector<RangeWindow> read_pins_;  ///< log ranges with reads in flight
-  std::vector<std::pair<std::int64_t, std::int64_t>> deferred_releases_;
+  std::vector<std::pair<Offset, Bytes>> deferred_releases_;
   bool running_ = false;
   std::uint64_t daemon_epoch_ = 0;
   CacheObserver* observer_ = nullptr;

@@ -10,7 +10,7 @@
 namespace ibridge::core {
 
 EntryId MappingTable::insert(CacheEntry e) {
-  assert(e.length > 0);
+  assert(e.length > Bytes::zero());
   assert(overlapping(e.file, e.file_off, e.length).empty() &&
          "insert over existing cached range");
   const EntryId id = next_id_++;
@@ -66,16 +66,15 @@ void MappingTable::touch(EntryId id) {
   it->second.lru_it = std::prev(lru.end());
 }
 
-std::vector<LogSlice> MappingTable::coverage(fsim::FileId file,
-                                             std::int64_t off,
-                                             std::int64_t len) const {
+std::vector<LogSlice> MappingTable::coverage(fsim::FileId file, Offset off,
+                                             Bytes len) const {
   std::vector<LogSlice> out;
   auto fit = by_file_.find(file);
   if (fit == by_file_.end()) return out;
   const auto& index = fit->second;
-  const std::int64_t end = off + len;
+  const Offset end = off + len;
 
-  std::int64_t pos = off;
+  Offset pos = off;
   // Find the entry containing `pos`: the last entry starting at or before it.
   auto it = index.upper_bound(pos);
   if (it == index.begin()) return {};
@@ -83,7 +82,7 @@ std::vector<LogSlice> MappingTable::coverage(fsim::FileId file,
   while (pos < end) {
     const CacheEntry& e = entries_.at(it->second).entry;
     if (pos < e.file_off || pos >= e.file_end()) return {};  // gap
-    const std::int64_t take = std::min(end, e.file_end()) - pos;
+    const Bytes take = std::min(end, e.file_end()) - pos;
     out.push_back({it->second, pos, e.log_off + (pos - e.file_off), take});
     pos += take;
     if (pos >= end) break;
@@ -93,14 +92,13 @@ std::vector<LogSlice> MappingTable::coverage(fsim::FileId file,
   return out;
 }
 
-std::vector<EntryId> MappingTable::overlapping(fsim::FileId file,
-                                               std::int64_t off,
-                                               std::int64_t len) const {
+std::vector<EntryId> MappingTable::overlapping(fsim::FileId file, Offset off,
+                                               Bytes len) const {
   std::vector<EntryId> out;
   auto fit = by_file_.find(file);
   if (fit == by_file_.end()) return out;
   const auto& index = fit->second;
-  const std::int64_t end = off + len;
+  const Offset end = off + len;
 
   auto it = index.upper_bound(off);
   if (it != index.begin()) {
@@ -112,14 +110,13 @@ std::vector<EntryId> MappingTable::overlapping(fsim::FileId file,
   return out;
 }
 
-void MappingTable::trim(
-    EntryId id, std::int64_t off, std::int64_t len,
-    std::vector<std::pair<std::int64_t, std::int64_t>>& freed) {
+void MappingTable::trim(EntryId id, Offset off, Bytes len,
+                        std::vector<std::pair<Offset, Bytes>>& freed) {
   auto it = entries_.find(id);
   assert(it != entries_.end());
   const CacheEntry e = it->second.entry;
-  const std::int64_t cut_lo = std::max(off, e.file_off);
-  const std::int64_t cut_hi = std::min(off + len, e.file_end());
+  const Offset cut_lo = std::max(off, e.file_off);
+  const Offset cut_hi = std::min(off + len, e.file_end());
   if (cut_lo >= cut_hi) return;  // no intersection
 
   freed.emplace_back(e.log_off + (cut_lo - e.file_off), cut_hi - cut_lo);
@@ -144,32 +141,33 @@ EntryId MappingTable::lru_victim(CacheClass c) const {
   return lru.empty() ? kNoEntry : lru.front();
 }
 
-std::vector<EntryId> MappingTable::dirty_entries(std::int64_t max_bytes) const {
+std::vector<EntryId> MappingTable::dirty_entries(Bytes max_bytes) const {
   std::vector<EntryId> out;
-  std::int64_t budget = max_bytes;
+  Bytes budget = max_bytes;
   // Walk files in id order and entries in file-offset order, so a batch is
   // as contiguous as the dirty data allows — the write-back path coalesces
   // adjacent entries into single long disk writes ("as many long sequential
   // accesses as possible").
   std::vector<fsim::FileId> files;
   files.reserve(by_file_.size());
+  // lint: unordered-iteration-ok (keys are collected and sorted before use)
   for (const auto& [fid, _] : by_file_) files.push_back(fid);
   std::sort(files.begin(), files.end());
   for (fsim::FileId fid : files) {
     for (const auto& [off, id] : by_file_.at(fid)) {
       const CacheEntry& e = entries_.at(id).entry;
       if (!e.dirty) continue;
-      if (budget - e.length < 0 && !out.empty()) return out;
+      if (budget - e.length < Bytes::zero() && !out.empty()) return out;
       out.push_back(id);
       budget -= e.length;
-      if (budget <= 0) return out;
+      if (budget <= Bytes::zero()) return out;
     }
   }
   return out;
 }
 
-std::vector<EntryId> MappingTable::entries_in_log_range(
-    std::int64_t log_begin, std::int64_t log_end) const {
+std::vector<EntryId> MappingTable::entries_in_log_range(Offset log_begin,
+                                                        Offset log_end) const {
   std::vector<EntryId> out;
   auto it = by_log_.upper_bound(log_begin);
   if (it != by_log_.begin()) {
@@ -187,6 +185,7 @@ std::vector<EntryId> MappingTable::all_entries() const {
   out.reserve(entries_.size());
   std::vector<fsim::FileId> files;
   files.reserve(by_file_.size());
+  // lint: unordered-iteration-ok (keys are collected and sorted before use)
   for (const auto& [fid, _] : by_file_) files.push_back(fid);
   std::sort(files.begin(), files.end());
   for (fsim::FileId fid : files) {
@@ -212,9 +211,9 @@ void MappingTable::save(std::ostream& os) const {
   for (int c = 0; c < kNumClasses; ++c) {
     for (EntryId id : lru_[c]) {
       const CacheEntry& e = entries_.at(id).entry;
-      os << e.file << ' ' << e.file_off << ' ' << e.length << ' ' << e.log_off
-         << ' ' << (e.dirty ? 1 : 0) << ' ' << c << ' '
-         << std::bit_cast<std::uint64_t>(e.ret_ms) << '\n';
+      os << e.file << ' ' << e.file_off.value() << ' ' << e.length.count()
+         << ' ' << e.log_off.value() << ' ' << (e.dirty ? 1 : 0) << ' ' << c
+         << ' ' << std::bit_cast<std::uint64_t>(e.ret_ms) << '\n';
     }
   }
 }
@@ -226,16 +225,20 @@ bool MappingTable::load(std::istream& is) {
   if (!(is >> magic >> n) || magic != kTableMagic) return false;
   for (std::size_t i = 0; i < n; ++i) {
     CacheEntry e;
+    std::int64_t file_off = 0, length = 0, log_off = 0;
     int dirty = 0, klass = 0;
     std::uint64_t ret_bits = 0;
-    if (!(is >> e.file >> e.file_off >> e.length >> e.log_off >> dirty >>
-          klass >> ret_bits)) {
+    if (!(is >> e.file >> file_off >> length >> log_off >> dirty >> klass >>
+          ret_bits)) {
       return false;
     }
-    if (e.length <= 0 || e.log_off < 0 || klass < 0 || klass >= kNumClasses ||
+    if (length <= 0 || log_off < 0 || klass < 0 || klass >= kNumClasses ||
         (dirty != 0 && dirty != 1)) {
       return false;
     }
+    e.file_off = Offset{file_off};
+    e.length = Bytes{length};
+    e.log_off = Offset{log_off};
     e.dirty = dirty != 0;
     e.klass = static_cast<CacheClass>(klass);
     e.ret_ms = std::bit_cast<double>(ret_bits);

@@ -22,11 +22,17 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fsim/filesystem.hpp"
+#include "sim/units.hpp"
 
 namespace ibridge::core {
+
+using sim::Bytes;
+using sim::Offset;
+using sim::ServerId;
 
 enum class CacheClass : std::uint8_t { kRegular = 0, kFragment = 1 };
 inline constexpr int kNumClasses = 2;
@@ -40,23 +46,23 @@ inline constexpr EntryId kNoEntry = 0;
 
 struct CacheEntry {
   fsim::FileId file = fsim::kInvalidFile;
-  std::int64_t file_off = 0;
-  std::int64_t length = 0;
-  std::int64_t log_off = 0;  ///< byte offset within the SSD log file
+  Offset file_off;
+  Bytes length;
+  Offset log_off;  ///< byte position within the SSD log file
   bool dirty = false;
   CacheClass klass = CacheClass::kRegular;
   double ret_ms = 0.0;
 
-  std::int64_t file_end() const { return file_off + length; }
+  Offset file_end() const { return file_off + length; }
 };
 
 /// A piece of a lookup result: `log_off`..`log_off+length` in the SSD log
 /// holds file bytes `file_off`..`file_off+length`.
 struct LogSlice {
   EntryId entry = kNoEntry;
-  std::int64_t file_off = 0;
-  std::int64_t log_off = 0;
-  std::int64_t length = 0;
+  Offset file_off;
+  Offset log_off;
+  Bytes length;
 };
 
 class MappingTable {
@@ -80,31 +86,31 @@ class MappingTable {
 
   /// Full-coverage lookup: non-empty iff [off, off+len) of `file` is
   /// entirely cached.  Slices are returned in file-offset order.
-  std::vector<LogSlice> coverage(fsim::FileId file, std::int64_t off,
-                                 std::int64_t len) const;
+  std::vector<LogSlice> coverage(fsim::FileId file, Offset off,
+                                 Bytes len) const;
 
   /// All entries intersecting [off, off+len).
-  std::vector<EntryId> overlapping(fsim::FileId file, std::int64_t off,
-                                   std::int64_t len) const;
+  std::vector<EntryId> overlapping(fsim::FileId file, Offset off,
+                                   Bytes len) const;
 
   /// Remove the intersection of entry `id` with [off, off+len).  The parts
   /// of the entry outside the range stay cached (an interior cut splits the
   /// entry in two; the new piece inherits class/dirty/ret).  Each
   /// (log_off, length) pair freed is appended to `freed`.
-  void trim(EntryId id, std::int64_t off, std::int64_t len,
-            std::vector<std::pair<std::int64_t, std::int64_t>>& freed);
+  void trim(EntryId id, Offset off, Bytes len,
+            std::vector<std::pair<Offset, Bytes>>& freed);
 
   /// Least-recently-used entry of a class (kNoEntry if none).
   EntryId lru_victim(CacheClass c) const;
 
   /// All entries whose log ranges intersect [log_begin, log_end) — used by
   /// the log cleaner to empty a victim segment.
-  std::vector<EntryId> entries_in_log_range(std::int64_t log_begin,
-                                            std::int64_t log_end) const;
+  std::vector<EntryId> entries_in_log_range(Offset log_begin,
+                                            Offset log_end) const;
 
   /// Oldest dirty entries of either class, in LRU order, up to `max_bytes`
   /// total (used by the write-back daemon to build batches).
-  std::vector<EntryId> dirty_entries(std::int64_t max_bytes) const;
+  std::vector<EntryId> dirty_entries(Bytes max_bytes) const;
 
   /// Every entry id, in file/offset order (used by the SimCheck oracle to
   /// audit the table exhaustively; not on any hot path).
@@ -116,18 +122,16 @@ class MappingTable {
   /// Persist the table to a stream (the paper keeps the mapping table on
   /// the SSD so cached data survives restarts).  Entries are written in LRU
   /// order per class so load() reconstructs recency exactly; ret_ms is
-  /// written as hexfloat so the round trip is bit-exact.
+  /// written as its bit pattern so the round trip is bit-exact.
   void save(std::ostream& os) const;
 
   /// Reload a table persisted by save() into *this (must be empty).
   /// Returns false (leaving a partially loaded table) on malformed input.
   bool load(std::istream& is);
 
-  std::int64_t bytes_cached(CacheClass c) const { return bytes_[idx(c)]; }
-  std::int64_t bytes_cached() const {
-    return bytes_[0] + bytes_[1];
-  }
-  std::int64_t dirty_bytes() const { return dirty_bytes_; }
+  Bytes bytes_cached(CacheClass c) const { return bytes_[idx(c)]; }
+  Bytes bytes_cached() const { return bytes_[0] + bytes_[1]; }
+  Bytes dirty_bytes() const { return dirty_bytes_; }
   std::size_t entry_count() const { return entries_.size(); }
   std::size_t entry_count(CacheClass c) const { return lru_[idx(c)].size(); }
   double return_sum(CacheClass c) const { return ret_sum_[idx(c)]; }
@@ -152,13 +156,13 @@ class MappingTable {
   std::unordered_map<EntryId, Node> entries_;
   // Per-file ordered index: first file offset -> entry id.  Entries never
   // overlap, so the key uniquely orders them.
-  std::unordered_map<fsim::FileId, std::map<std::int64_t, EntryId>> by_file_;
+  std::unordered_map<fsim::FileId, std::map<Offset, EntryId>> by_file_;
   // Log-offset index (entries' log ranges never overlap).
-  std::map<std::int64_t, EntryId> by_log_;
+  std::map<Offset, EntryId> by_log_;
   std::list<EntryId> lru_[kNumClasses];  // front = LRU, back = MRU
-  std::int64_t bytes_[kNumClasses] = {0, 0};
+  Bytes bytes_[kNumClasses];
   double ret_sum_[kNumClasses] = {0.0, 0.0};
-  std::int64_t dirty_bytes_ = 0;
+  Bytes dirty_bytes_;
   EntryId next_id_ = 1;
 };
 

@@ -20,13 +20,13 @@ namespace ibridge::core {
 
 class PartitionController {
  public:
-  PartitionController(const IBridgeConfig& cfg, std::int64_t capacity_bytes)
+  PartitionController(const IBridgeConfig& cfg, Bytes capacity)
       : mode_(cfg.partition_mode),
         static_frag_share_(cfg.static_fragment_share),
-        capacity_(capacity_bytes) {}
+        capacity_(capacity) {}
 
   /// Byte quota for a class given the table's current contents.
-  std::int64_t quota(const MappingTable& table, CacheClass c) const {
+  Bytes quota(const MappingTable& table, CacheClass c) const {
     double frag_share;
     if (mode_ == PartitionMode::kStatic) {
       frag_share = static_frag_share_;
@@ -42,24 +42,23 @@ class PartitionController {
       // admissions of that class are not starved outright.
       frag_share = std::clamp(frag_share, 0.05, 0.95);
     }
-    const auto frag_quota =
-        static_cast<std::int64_t>(static_cast<double>(capacity_) * frag_share);
+    const Bytes frag_quota{static_cast<std::int64_t>(
+        static_cast<double>(capacity_.count()) * frag_share)};
     return c == CacheClass::kFragment ? frag_quota : capacity_ - frag_quota;
   }
 
   /// True when inserting `len` bytes of class `c` would overflow its quota.
-  bool over_quota(const MappingTable& table, CacheClass c,
-                  std::int64_t len) const {
+  bool over_quota(const MappingTable& table, CacheClass c, Bytes len) const {
     return table.bytes_cached(c) + len > quota(table, c);
   }
 
-  std::int64_t capacity() const { return capacity_; }
+  Bytes capacity() const { return capacity_; }
   PartitionMode mode() const { return mode_; }
 
  private:
   PartitionMode mode_;
   double static_frag_share_;
-  std::int64_t capacity_;
+  Bytes capacity_;
 };
 
 }  // namespace ibridge::core

@@ -24,8 +24,11 @@
 #include <vector>
 
 #include "core/service_time.hpp"
+#include "sim/units.hpp"
 
 namespace ibridge::core {
+
+using sim::ServerId;
 
 /// A snapshot of all servers' T values as last broadcast by the metadata
 /// server (ms; index = server id).
@@ -42,17 +45,19 @@ class ReturnEstimator {
       : fragment_boost_(fragment_boost) {}
 
   /// Base return for any request (Eq. 1 minus Eq. 2).
+  // lint: units-ok (LBNs are device sector addresses, not byte offsets)
   static double base_return(const ServiceTimeModel& model, std::int64_t lbn,
-                            std::int64_t bytes, storage::IoDirection dir) {
+                            Bytes bytes, storage::IoDirection dir) {
     return model.t_if_disk(lbn, bytes, dir) - model.t_if_ssd();
   }
 
   /// Full estimate.  `self` is this server's id; `siblings` are the servers
   /// holding the fragment's sibling sub-requests (empty for non-fragments).
-  ReturnEstimate estimate(const ServiceTimeModel& model, std::int64_t lbn,
-                          std::int64_t bytes, storage::IoDirection dir,
-                          bool is_fragment, int self,
-                          std::span<const int> siblings,
+  ReturnEstimate estimate(const ServiceTimeModel& model,
+                          std::int64_t lbn,  // lint: units-ok (LBN)
+                          Bytes bytes, storage::IoDirection dir,
+                          bool is_fragment, ServerId self,
+                          std::span<const ServerId> siblings,
                           const TBoard& board) const {
     ReturnEstimate e;
     e.ret_ms = base_return(model, lbn, bytes, dir);
@@ -64,10 +69,11 @@ class ReturnEstimator {
     double t_max = t_self;
     double t_sec = 0.0;
     bool self_is_max = true;
-    for (int s : siblings) {
+    for (ServerId s : siblings) {
       if (s == self) continue;
-      const double t =
-          s >= 0 && std::cmp_less(s, board.size()) ? board[s] : 0.0;
+      const double t = s.index() >= 0 && std::cmp_less(s.index(), board.size())
+                           ? board[static_cast<std::size_t>(s.index())]
+                           : 0.0;
       if (t > t_max) {
         self_is_max = false;
         t_sec = std::max(t_sec, t_max);

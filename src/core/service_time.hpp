@@ -16,10 +16,12 @@
 #include <cstdint>
 
 #include "sim/time.hpp"
-#include "stats/blocktrace.hpp"
+#include "sim/units.hpp"
 #include "storage/profiler.hpp"
 
 namespace ibridge::core {
+
+using sim::Bytes;
 
 class ServiceTimeModel {
  public:
@@ -32,7 +34,8 @@ class ServiceTimeModel {
   /// given the location of the last disk-served request.  The profile is
   /// direction-aware: discontinuous writes carry the measured surcharge
   /// (Table II's random-write weakness) and use the write streaming rate.
-  double predict_ms(std::int64_t lbn, std::int64_t bytes,
+  // lint: units-ok (LBNs are device sector addresses, not byte offsets)
+  double predict_ms(std::int64_t lbn, Bytes bytes,
                     storage::IoDirection dir) const {
     const std::int64_t dist =
         last_lbn_ < 0 ? 0 : (lbn > last_lbn_ ? lbn - last_lbn_
@@ -44,12 +47,12 @@ class ServiceTimeModel {
     const double bw = is_write ? profile_.peak_write_bandwidth()
                                : profile_.peak_bandwidth();
     const double xfer_ms =
-        bw > 0 ? static_cast<double>(bytes) / bw * 1e3 : 0.0;
+        bw > 0 ? static_cast<double>(bytes.count()) / bw * 1e3 : 0.0;
     return pos_ms + xfer_ms;
   }
 
   /// What T would become if this request were served at the disk (Eq. 1).
-  double t_if_disk(std::int64_t lbn, std::int64_t bytes,
+  double t_if_disk(std::int64_t lbn, Bytes bytes,  // lint: units-ok (LBN)
                    storage::IoDirection dir) const {
     return old_weight_ * t_ +
            (1.0 - old_weight_) * predict_ms(lbn, bytes, dir);
@@ -59,8 +62,10 @@ class ServiceTimeModel {
   double t_if_ssd() const { return t_; }
 
   /// Commit: the request was dispatched to the disk.
-  void observe_disk(std::int64_t lbn, std::int64_t bytes,
-                    storage::IoDirection dir, std::int64_t end_lbn) {
+  // lint: units-ok (LBNs are device sector addresses, not byte offsets)
+  void observe_disk(std::int64_t lbn, Bytes bytes,
+                    storage::IoDirection dir,
+                    std::int64_t end_lbn) {  // lint: units-ok (LBN)
     t_ = t_if_disk(lbn, bytes, dir);
     last_lbn_ = end_lbn;
   }
@@ -74,7 +79,7 @@ class ServiceTimeModel {
   storage::SeekProfile profile_;
   double old_weight_;
   double t_ = 0.0;
-  std::int64_t last_lbn_ = -1;
+  std::int64_t last_lbn_ = -1;  // lint: units-ok (LBN)
 };
 
 }  // namespace ibridge::core

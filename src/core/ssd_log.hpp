@@ -15,47 +15,49 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <utility>
 #include <vector>
+
+#include "sim/units.hpp"
 
 namespace ibridge::core {
 
 class SsdLog {
  public:
-  SsdLog(std::int64_t capacity_bytes, std::int64_t segment_bytes)
+  SsdLog(sim::Bytes capacity, sim::Bytes segment_bytes)
       : segment_bytes_(segment_bytes),
-        segments_(static_cast<std::size_t>(
-            capacity_bytes / segment_bytes)) {
-    assert(segment_bytes > 0 && capacity_bytes >= segment_bytes);
+        segments_(static_cast<std::size_t>(capacity / segment_bytes)) {
+    assert(segment_bytes > sim::Bytes::zero() && capacity >= segment_bytes);
     for (std::size_t i = 0; i < segments_.size(); ++i)
       free_segments_.push_back(static_cast<int>(i));
     activate_next();
   }
 
   /// Byte capacity of the log file.
-  std::int64_t capacity() const {
+  sim::Bytes capacity() const {
     return static_cast<std::int64_t>(segments_.size()) * segment_bytes_;
   }
 
   /// Try to allocate `len` contiguous bytes at the log head.  Returns the
-  /// log offset, or -1 when no segment can take it (caller must clean or
-  /// evict first).  `len` must fit in one segment.
-  std::int64_t append(std::int64_t len) {
-    assert(len > 0 && len <= segment_bytes_);
+  /// log offset, or nullopt when no segment can take it (caller must clean
+  /// or evict first).  `len` must fit in one segment.
+  std::optional<sim::Offset> append(sim::Bytes len) {
+    assert(len > sim::Bytes::zero() && len <= segment_bytes_);
     if (active_ < 0) {
-      if (!activate_next()) return -1;
+      if (!activate_next()) return std::nullopt;
     }
     if (head_ + len > segment_bytes_) {
       // Active segment cannot fit the allocation; seal it and move on.
       // If everything in it was already released, it goes straight back to
       // the free list (release() cannot free the active segment itself).
-      if (segments_[static_cast<std::size_t>(active_)].live == 0) {
+      if (segments_[static_cast<std::size_t>(active_)].live ==
+          sim::Bytes::zero()) {
         free_segments_.push_back(active_);
       }
-      if (!activate_next()) return -1;
+      if (!activate_next()) return std::nullopt;
     }
-    const std::int64_t off =
-        static_cast<std::int64_t>(active_) * segment_bytes_ + head_;
+    const sim::Offset off = segment_start(active_) + head_;
     head_ += len;
     segments_[static_cast<std::size_t>(active_)].live += len;
     live_bytes_ += len;
@@ -63,15 +65,15 @@ class SsdLog {
   }
 
   /// Release a previously appended range (entry evicted or trimmed).
-  void release(std::int64_t off, std::int64_t len) {
-    assert(len > 0);
+  void release(sim::Offset off, sim::Bytes len) {
+    assert(len > sim::Bytes::zero());
     const int seg = static_cast<int>(off / segment_bytes_);
     assert(seg >= 0 && std::cmp_less(seg, segments_.size()));
     auto& s = segments_[static_cast<std::size_t>(seg)];
     s.live -= len;
     live_bytes_ -= len;
-    assert(s.live >= 0);
-    if (s.live == 0 && seg != active_) {
+    assert(s.live >= sim::Bytes::zero());
+    if (s.live == sim::Bytes::zero() && seg != active_) {
       free_segments_.push_back(seg);
     }
   }
@@ -80,12 +82,12 @@ class SsdLog {
   /// Used by the cleaner to pick a victim.
   int victim_segment() const {
     int best = -1;
-    std::int64_t best_live = segment_bytes_ + 1;
+    sim::Bytes best_live = segment_bytes_ + sim::Bytes{1};
     for (std::size_t i = 0; i < segments_.size(); ++i) {
       const int seg = static_cast<int>(i);
       if (seg == active_) continue;
-      const std::int64_t live = segments_[i].live;
-      if (live > 0 && live < best_live) {
+      const sim::Bytes live = segments_[i].live;
+      if (live > sim::Bytes::zero() && live < best_live) {
         best = seg;
         best_live = live;
       }
@@ -94,17 +96,17 @@ class SsdLog {
   }
 
   /// Byte range [begin, end) of a segment within the log file.
-  std::pair<std::int64_t, std::int64_t> segment_range(int seg) const {
-    const std::int64_t b = static_cast<std::int64_t>(seg) * segment_bytes_;
+  std::pair<sim::Offset, sim::Offset> segment_range(int seg) const {
+    const sim::Offset b = segment_start(seg);
     return {b, b + segment_bytes_};
   }
 
-  std::int64_t live_bytes() const { return live_bytes_; }
-  std::int64_t segment_bytes() const { return segment_bytes_; }
+  sim::Bytes live_bytes() const { return live_bytes_; }
+  sim::Bytes segment_bytes() const { return segment_bytes_; }
   int segment_count() const { return static_cast<int>(segments_.size()); }
   /// Live bytes of one segment (SimCheck oracle: must equal the summed
   /// lengths of the mapping-table entries whose log ranges fall inside it).
-  std::int64_t segment_live(int seg) const {
+  sim::Bytes segment_live(int seg) const {
     return segments_[static_cast<std::size_t>(seg)].live;
   }
   /// The segment currently receiving appends (-1 when the log is full).
@@ -112,12 +114,16 @@ class SsdLog {
   int free_segment_count() const {
     return static_cast<int>(free_segments_.size());
   }
-  bool has_room(std::int64_t len) const {
+  bool has_room(sim::Bytes len) const {
     return (active_ >= 0 && head_ + len <= segment_bytes_) ||
            !free_segments_.empty();
   }
 
  private:
+  sim::Offset segment_start(int seg) const {
+    return sim::Offset::zero() + static_cast<std::int64_t>(seg) * segment_bytes_;
+  }
+
   bool activate_next() {
     if (free_segments_.empty()) {
       active_ = -1;
@@ -125,20 +131,20 @@ class SsdLog {
     }
     active_ = free_segments_.front();
     free_segments_.pop_front();
-    head_ = 0;
+    head_ = sim::Bytes::zero();
     return true;
   }
 
   struct Segment {
-    std::int64_t live = 0;
+    sim::Bytes live;
   };
 
-  std::int64_t segment_bytes_;
+  sim::Bytes segment_bytes_;
   std::vector<Segment> segments_;
   std::deque<int> free_segments_;
   int active_ = -1;
-  std::int64_t head_ = 0;
-  std::int64_t live_bytes_ = 0;
+  sim::Bytes head_;
+  sim::Bytes live_bytes_;
 };
 
 }  // namespace ibridge::core

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "sim/units.hpp"
 
 namespace ibridge::core {
 
@@ -19,16 +20,17 @@ namespace ibridge::core {
 /// striping layout.  (core does not depend on pvfs; pvfs adapts its
 /// SubRequestSpec into this.)
 struct TaggedSubRequest {
-  int server = 0;
-  std::int64_t server_offset = 0;
-  std::int64_t length = 0;
+  sim::ServerId server;
+  sim::Offset server_offset;
+  sim::Bytes length;
   bool fragment = false;
-  std::vector<int> sibling_servers;  ///< servers of the other sub-requests
+  /// Servers of the other sub-requests.
+  std::vector<sim::ServerId> sibling_servers;
 };
 
 class FragmentTagger {
  public:
-  explicit FragmentTagger(std::int64_t fragment_threshold)
+  explicit FragmentTagger(sim::Bytes fragment_threshold)
       : threshold_(fragment_threshold) {}
 
   /// Annotate the pieces of one parent request.  `pieces` is the per-piece
@@ -55,10 +57,10 @@ class FragmentTagger {
     return out;
   }
 
-  std::int64_t threshold() const { return threshold_; }
+  sim::Bytes threshold() const { return threshold_; }
 
  private:
-  std::int64_t threshold_;
+  sim::Bytes threshold_;
 };
 
 }  // namespace ibridge::core

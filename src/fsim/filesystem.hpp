@@ -23,7 +23,7 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -152,13 +152,13 @@ class LocalFileSystem {
   DataMode mode_;
   std::int64_t rmw_page_ = 0;
   ExtentAllocator alloc_;
-  std::unordered_map<FileId, LocalFile> files_;
-  std::unordered_map<std::string, FileId> by_name_;
+  // Ordered maps so any iteration (extent scans, verify-mode dumps) visits
+  // files and chunks in a deterministic order.
+  std::map<FileId, LocalFile> files_;
+  std::map<std::string, FileId> by_name_;
   // kVerify backing store: per file, 4 KiB chunks.
   static constexpr std::int64_t kChunk = 4096;
-  std::unordered_map<FileId,
-                     std::unordered_map<std::int64_t, std::vector<std::byte>>>
-      data_;
+  std::map<FileId, std::map<std::int64_t, std::vector<std::byte>>> data_;
   FileId next_id_ = 1;
 };
 

@@ -1,0 +1,230 @@
+// A lightweight C++ tokenizer for ibridge-lint.  It does not aim to be a
+// full lexer: it distinguishes identifiers, numbers, string/char literals,
+// comments, and punctuation, which is all the token-level rules need.
+// Comments and #include directives are captured as structured side channels.
+#include <cctype>
+#include <cstddef>
+#include <utility>
+
+#include "lint/lint.hpp"
+
+namespace ibridge::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string module_of(const std::string& rel) {
+  const auto slash = rel.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string first = rel.substr(0, slash);
+  if (first != "src") return first;
+  const auto second = rel.find('/', slash + 1);
+  if (second == std::string::npos) return "";
+  return rel.substr(slash + 1, second - slash - 1);
+}
+
+class Lexer {
+ public:
+  Lexer(std::string rel, const std::string& text) : text_(text) {
+    out_.rel = std::move(rel);
+    out_.module = module_of(out_.rel);
+  }
+
+  SourceFile run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (starts_with("//")) {
+        line_comment();
+        continue;
+      }
+      if (starts_with("/*")) {
+        block_comment();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        number();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool starts_with(const char* s) const {
+    return text_.compare(pos_, __builtin_strlen(s), s) == 0;
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const int start = line_;
+    pos_ += 2;
+    std::string body;
+    while (pos_ < text_.size() && text_[pos_] != '\n') body += text_[pos_++];
+    out_.comments.push_back(Comment{start, std::move(body)});
+  }
+
+  void block_comment() {
+    const int start = line_;
+    pos_ += 2;
+    std::string body;
+    while (pos_ < text_.size() && !starts_with("*/")) {
+      if (text_[pos_] == '\n') ++line_;
+      body += text_[pos_++];
+    }
+    pos_ += 2;  // past the close (or EOF; the overshoot is harmless)
+    out_.comments.push_back(Comment{start, std::move(body)});
+  }
+
+  void string_literal() {
+    const int start = line_;
+    // Raw string: the token before the quote was the R prefix.
+    if (!out_.tokens.empty() && out_.tokens.back().kind == TokKind::kIdent &&
+        out_.tokens.back().line == line_ &&
+        (out_.tokens.back().text == "R" || out_.tokens.back().text == "LR" ||
+         out_.tokens.back().text == "u8R")) {
+      raw_string_literal(start);
+      return;
+    }
+    ++pos_;  // opening quote
+    std::string body;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        body += text_[pos_++];
+      }
+      if (text_[pos_] == '\n') ++line_;
+      body += text_[pos_++];
+    }
+    ++pos_;  // closing quote
+    emit(TokKind::kString, std::move(body), start);
+  }
+
+  void raw_string_literal(int start) {
+    out_.tokens.pop_back();  // the R prefix is part of the literal
+    ++pos_;                  // opening quote
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') delim += text_[pos_++];
+    ++pos_;  // '('
+    const std::string close = ")" + delim + "\"";
+    std::string body;
+    while (pos_ < text_.size() && !starts_with(close.c_str())) {
+      if (text_[pos_] == '\n') ++line_;
+      body += text_[pos_++];
+    }
+    pos_ += close.size();
+    emit(TokKind::kString, std::move(body), start);
+  }
+
+  void char_literal() {
+    const int start = line_;
+    ++pos_;
+    std::string body;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) body += text_[pos_++];
+      body += text_[pos_++];
+    }
+    ++pos_;
+    emit(TokKind::kChar, std::move(body), start);
+  }
+
+  void identifier() {
+    const int start = line_;
+    std::string name;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) {
+      name += text_[pos_++];
+    }
+    // `#include` is handled as a unit so the path (which is not a normal
+    // token) never reaches the token stream.
+    if (name == "include" && !out_.tokens.empty() &&
+        out_.tokens.back().text == "#") {
+      out_.tokens.pop_back();
+      include_directive(start);
+      return;
+    }
+    emit(TokKind::kIdent, std::move(name), start);
+  }
+
+  void include_directive(int line) {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return;
+    const char open = text_[pos_];
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"') return;  // computed include; ignore
+    ++pos_;
+    std::string path;
+    while (pos_ < text_.size() && text_[pos_] != close &&
+           text_[pos_] != '\n') {
+      path += text_[pos_++];
+    }
+    if (pos_ < text_.size() && text_[pos_] == close) ++pos_;
+    out_.includes.push_back(IncludeDirective{line, std::move(path), open == '"'});
+  }
+
+  void number() {
+    const int start = line_;
+    std::string body;
+    // Good enough for 0x1f, 1'000'000, 1e9, 3.14f, 64LL, and friends.
+    while (pos_ < text_.size() &&
+           (ident_char(text_[pos_]) || text_[pos_] == '.' ||
+            text_[pos_] == '\'')) {
+      body += text_[pos_++];
+    }
+    emit(TokKind::kNumber, std::move(body), start);
+  }
+
+  void punct() {
+    // "::" matters to the rules (std-qualification); everything else can be
+    // single characters.
+    if (starts_with("::")) {
+      emit(TokKind::kPunct, "::", line_);
+      pos_ += 2;
+      return;
+    }
+    emit(TokKind::kPunct, std::string(1, text_[pos_]), line_);
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  SourceFile out_;
+};
+
+}  // namespace
+
+SourceFile lex_source(std::string rel, const std::string& text) {
+  return Lexer(std::move(rel), text).run();
+}
+
+}  // namespace ibridge::lint

@@ -1,0 +1,604 @@
+// The ibridge-lint rule engine: determinism, layering, and unit-safety
+// checks over the token streams produced by lexer.cpp, plus the suppression
+// audit.  Every container in this file is ordered (std::map / std::set /
+// sorted vectors) so the linter's own output is deterministic — the same
+// property it enforces on the simulator.
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace ibridge::lint {
+namespace {
+
+// ---------------------------------------------------------------- tables ----
+
+/// The module DAG: which src/ modules each module may #include.  A module may
+/// always include itself.  Directories outside src/ (tests, bench, tools,
+/// examples) are unrestricted consumers.
+const std::map<std::string, std::set<std::string>>& layer_allowlist() {
+  static const std::map<std::string, std::set<std::string>> kAllow = {
+      {"sim", {}},
+      {"stats", {"sim"}},
+      {"net", {"sim"}},
+      {"storage", {"sim", "stats"}},
+      {"fsim", {"sim", "stats", "storage"}},
+      {"core", {"sim", "stats", "storage", "fsim"}},
+      {"pvfs", {"sim", "stats", "net", "storage", "fsim", "core"}},
+      {"cluster", {"sim", "stats", "net", "storage", "fsim", "core", "pvfs"}},
+      {"mpiio", {"sim", "stats", "net", "storage", "fsim", "core", "pvfs"}},
+      {"plfs",
+       {"sim", "stats", "net", "storage", "fsim", "core", "pvfs", "cluster",
+        "mpiio"}},
+      {"workloads",
+       {"sim", "stats", "net", "storage", "fsim", "core", "pvfs", "cluster",
+        "mpiio"}},
+      {"check",
+       {"sim", "stats", "net", "storage", "fsim", "core", "pvfs", "cluster",
+        "mpiio", "plfs", "workloads"}},
+      {"lint", {}},
+  };
+  return kAllow;
+}
+
+/// Suppression key -> the rule it silences.  Rules absent from this table
+/// (rand, const-cast, layering) are hard bans with no escape hatch.
+const std::map<std::string, std::string>& suppression_keys() {
+  static const std::map<std::string, std::string> kKeys = {
+      {"units-ok", "raw-unit-type"},
+      {"unordered-iteration-ok", "unordered-iteration"},
+      {"ordered-ok", "unordered-iteration"},
+      {"include-ok", "include-what-you-use"},
+      {"pointer-key-ok", "pointer-key"},
+      {"rng-ok", "rng-construction"},
+      {"wall-clock-ok", "wall-clock"},
+  };
+  return kKeys;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string stem_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+// ---------------------------------------------------------- rule context ----
+
+struct Context {
+  std::set<std::string> project_files;  ///< every rel path in the corpus
+  /// include path ("core/cache.hpp") -> names the header declares.
+  std::map<std::string, std::set<std::string>> markers;
+  /// Names declared anywhere in the corpus with an unordered container type
+  /// (members live in headers, iteration in .cpp files, so this is global).
+  std::set<std::string> unordered_names;
+};
+
+using Diags = std::vector<Diagnostic>;
+
+void report(Diags& out, const SourceFile& f, int line, const char* rule,
+            std::string message) {
+  out.push_back(Diagnostic{f.rel, line, rule, std::move(message)});
+}
+
+bool is_ident(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdent;
+}
+bool text_is(const std::vector<Token>& t, std::size_t i, const char* s) {
+  return i < t.size() && t[i].text == s;
+}
+
+/// Index just past the '>' matching the '<' at `open`, or t.size().
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "<") ++depth;
+    if (t[i].text == ">" && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+// ----------------------------------------------------- determinism rules ----
+
+void check_wall_clock(const SourceFile& f, Diags& out) {
+  const auto& t = f.tokens;
+  static const std::set<std::string> kBannedCalls = {
+      "clock_gettime", "gettimeofday", "localtime", "gmtime", "ctime",
+      "asctime"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& s = t[i].text;
+    if (s == "system_clock") {
+      report(out, f, t[i].line, "wall-clock",
+             "std::chrono::system_clock reads the wall clock; the simulator "
+             "must depend only on sim::Simulator::now()");
+      continue;
+    }
+    if (kBannedCalls.count(s) != 0) {
+      report(out, f, t[i].line, "wall-clock",
+             "'" + s + "' reads ambient time; use simulated time instead");
+      continue;
+    }
+    if (s == "time" && text_is(t, i + 1, "(")) {
+      // Member access (sim.time()) and non-std qualification are fine; a
+      // bare or std-qualified call is the C library wall clock.
+      const bool qualified = i >= 1 && t[i - 1].text == "::";
+      const bool member = i >= 1 && t[i - 1].text == ".";
+      const bool std_qualified =
+          qualified && i >= 2 && t[i - 2].text == "std";
+      if ((qualified && !std_qualified) || member ||
+          (i >= 1 && t[i - 1].kind == TokKind::kIdent)) {
+        continue;
+      }
+      report(out, f, t[i].line, "wall-clock",
+             "time() reads the wall clock; use simulated time instead");
+    }
+  }
+}
+
+void check_rand(const SourceFile& f, Diags& out) {
+  const auto& t = f.tokens;
+  static const std::set<std::string> kBanned = {"rand", "srand", "rand_r",
+                                                "drand48", "srand48"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || kBanned.count(t[i].text) == 0) {
+      continue;
+    }
+    if (!text_is(t, i + 1, "(")) continue;
+    const bool member = i >= 1 && t[i - 1].text == ".";
+    const bool qualified = i >= 1 && t[i - 1].text == "::";
+    const bool std_qualified = qualified && i >= 2 && t[i - 2].text == "std";
+    if (member || (qualified && !std_qualified)) continue;
+    report(out, f, t[i].line, "rand",
+           "'" + t[i].text +
+               "' draws from hidden global state; use sim::Rng with an "
+               "explicit seed");
+  }
+}
+
+void check_rng_construction(const SourceFile& f, Diags& out) {
+  if (f.rel == "src/sim/rng.hpp" || f.rel == "src/sim/rng.cpp") return;
+  static const std::set<std::string> kEngines = {
+      "mt19937",      "mt19937_64", "minstd_rand",           "minstd_rand0",
+      "ranlux24",     "ranlux48",   "default_random_engine", "knuth_b"};
+  for (const Token& tok : f.tokens) {
+    if (tok.kind != TokKind::kIdent) continue;
+    if (tok.text == "random_device") {
+      report(out, f, tok.line, "rng-construction",
+             "std::random_device is nondeterministic; seed sim::Rng "
+             "explicitly instead");
+    } else if (kEngines.count(tok.text) != 0) {
+      report(out, f, tok.line, "rng-construction",
+             "raw <random> engine '" + tok.text +
+                 "' outside sim/rng.hpp; use sim::Rng so seeding stays "
+                 "auditable");
+    }
+  }
+}
+
+void check_const_cast(const SourceFile& f, Diags& out) {
+  for (const Token& tok : f.tokens) {
+    if (tok.kind == TokKind::kIdent && tok.text == "const_cast") {
+      report(out, f, tok.line, "const-cast",
+             "const_cast subverts the const API surface; add a const "
+             "overload instead");
+    }
+  }
+}
+
+/// Names declared in `f` with an unordered container type, including through
+/// local `using X = std::unordered_map<...>` aliases.
+std::set<std::string> collect_unordered_names(const SourceFile& f) {
+  const auto& t = f.tokens;
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  std::set<std::string> aliases;
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t, i)) continue;
+    if (t[i].text == "using" && is_ident(t, i + 1) &&
+        text_is(t, i + 2, "=")) {
+      for (std::size_t j = i + 3; j < t.size() && t[j].text != ";"; ++j) {
+        if (is_ident(t, j) && (kUnordered.count(t[j].text) != 0 ||
+                               aliases.count(t[j].text) != 0)) {
+          aliases.insert(t[i + 1].text);
+          break;
+        }
+      }
+      continue;
+    }
+    if (kUnordered.count(t[i].text) == 0 && aliases.count(t[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (text_is(t, j, "<")) j = skip_angles(t, j);
+    while (text_is(t, j, "&") || text_is(t, j, "*") ||
+           (is_ident(t, j) && t[j].text == "const")) {
+      ++j;
+    }
+    if (is_ident(t, j)) names.insert(t[j].text);
+  }
+  return names;
+}
+
+void check_unordered_iteration(const SourceFile& f, const Context& ctx,
+                               Diags& out) {
+  const auto& t = f.tokens;
+  if (ctx.unordered_names.empty()) return;
+
+  // Range-for whose sequence expression is a plain access chain (no calls,
+  // no arithmetic) ending in a name declared unordered somewhere in the
+  // corpus.  Calls are skipped on purpose: `by_file_.at(fid)` may well yield
+  // an ordered inner container, and flagging it would teach people to
+  // suppress reflexively.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(is_ident(t, i) && t[i].text == "for" && text_is(t, i + 1, "("))) {
+      continue;
+    }
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = t.size();
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") ++depth;
+      if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
+    }
+    if (colon == 0) continue;  // a classic for loop
+    bool plain_chain = true;
+    std::string hit;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (t[j].kind == TokKind::kIdent) {
+        if (ctx.unordered_names.count(t[j].text) != 0) hit = t[j].text;
+        continue;
+      }
+      if (t[j].text == "." || t[j].text == "::" || t[j].text == "-" ||
+          t[j].text == ">") {
+        continue;  // member access (-> lexes as two puncts)
+      }
+      plain_chain = false;
+      break;
+    }
+    if (plain_chain && !hit.empty()) {
+      report(out, f, t[i].line, "unordered-iteration",
+             "iterating '" + hit +
+                 "' (an unordered container) makes results depend on hash "
+                 "order; iterate a sorted copy or switch to std::map");
+    }
+  }
+}
+
+void check_pointer_key(const SourceFile& f, Diags& out) {
+  const auto& t = f.tokens;
+  static const std::set<std::string> kAssoc = {
+      "map", "set", "multimap", "multiset", "unordered_map", "unordered_set"};
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(is_ident(t, i) && kAssoc.count(t[i].text) != 0 &&
+          text_is(t, i + 1, "<"))) {
+      continue;
+    }
+    int depth = 1;
+    std::size_t last = 0;
+    for (std::size_t j = i + 2; j < t.size(); ++j) {
+      if (t[j].text == "<") ++depth;
+      if (t[j].text == ">" && --depth == 0) break;
+      if (t[j].text == "," && depth == 1) break;
+      last = j;
+    }
+    if (last != 0 && t[last].text == "*") {
+      report(out, f, t[i].line, "pointer-key",
+             "pointer-keyed '" + t[i].text +
+                 "' orders results by allocation address; key by a stable id "
+                 "instead");
+    }
+  }
+}
+
+// -------------------------------------------------------- layering rules ----
+
+void check_layering(const SourceFile& f, const Context& ctx, Diags& out) {
+  const auto it = layer_allowlist().find(f.module);
+  if (it == layer_allowlist().end()) return;  // tests/bench/tools/examples
+  if (!starts_with(f.rel, "src/")) return;
+  for (const IncludeDirective& inc : f.includes) {
+    if (!inc.quoted) continue;
+    if (ctx.project_files.count("src/" + inc.path) == 0) continue;
+    const auto slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string target = inc.path.substr(0, slash);
+    if (target == f.module || it->second.count(target) != 0) continue;
+    report(out, f, inc.line, "layering",
+           "module '" + f.module + "' may not include '" + inc.path +
+               "': '" + target + "' is not among its allowed dependencies");
+  }
+}
+
+void check_include_what_you_use(const SourceFile& f, const Context& ctx,
+                                Diags& out) {
+  std::set<std::string> used;
+  for (const Token& tok : f.tokens) {
+    if (tok.kind == TokKind::kIdent) used.insert(tok.text);
+  }
+  for (const IncludeDirective& inc : f.includes) {
+    if (!inc.quoted) continue;
+    const auto m = ctx.markers.find(inc.path);
+    if (m == ctx.markers.end() || m->second.empty()) continue;
+    if (stem_of(inc.path) == stem_of(f.rel)) continue;  // foo.cpp -> foo.hpp
+    bool any = false;
+    for (const std::string& name : m->second) {
+      if (used.count(name) != 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      report(out, f, inc.line, "include-what-you-use",
+             "nothing declared in '" + inc.path +
+                 "' is referenced here; drop the include");
+    }
+  }
+}
+
+/// Names a header declares, for the include-what-you-use pass.  Extraction
+/// is deliberately generous (every callee-position identifier counts), so a
+/// header is only flagged when the includer shares *nothing* with it.
+std::set<std::string> extract_markers(const SourceFile& f) {
+  std::set<std::string> out;
+  const auto& t = f.tokens;
+  static const std::set<std::string> kNoise = {
+      "if",     "else",     "for",       "while",   "switch", "return",
+      "sizeof", "alignof",  "decltype",  "case",    "do",     "catch",
+      "new",    "delete",   "co_await",  "co_return", "co_yield",
+      "throw",  "static_assert", "defined", "assert", "auto", "const",
+      "constexpr", "static", "inline", "void", "bool", "int", "char",
+      "double", "float", "operator", "requires", "noexcept", "explicit"};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t, i)) continue;
+    const std::string& s = t[i].text;
+    if (s == "class" || s == "struct") {
+      if (is_ident(t, i + 1)) out.insert(t[i + 1].text);
+      continue;
+    }
+    if (s == "enum") {
+      std::size_t j = i + 1;
+      if (is_ident(t, j) && (t[j].text == "class" || t[j].text == "struct")) {
+        ++j;
+      }
+      if (is_ident(t, j)) out.insert(t[j].text);
+      continue;
+    }
+    if (s == "using") {
+      if (is_ident(t, i + 1) && t[i + 1].text != "namespace" &&
+          text_is(t, i + 2, "=")) {
+        out.insert(t[i + 1].text);
+      }
+      continue;
+    }
+    if (s == "define" && i >= 1 && t[i - 1].text == "#") {
+      if (is_ident(t, i + 1)) out.insert(t[i + 1].text);
+      continue;
+    }
+    if (s == "namespace") {
+      ++i;  // a namespace name is not a usable marker
+      continue;
+    }
+    if (kNoise.count(s) != 0) continue;
+    if (text_is(t, i + 1, "(")) {
+      out.insert(s);  // function declaration or call
+    } else if ((text_is(t, i + 1, "=") || text_is(t, i + 1, "{")) && i >= 1 &&
+               (t[i - 1].kind == TokKind::kIdent || t[i - 1].text == ">" ||
+                t[i - 1].text == "&" || t[i - 1].text == "*")) {
+      out.insert(s);  // constant / variable declaration
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------- unit-safety rules ----
+
+/// The typed core: headers whose public surface must speak Bytes/Offset/
+/// ServerId.  config.hpp is the declared raw-integer boundary (tunables come
+/// from flag parsing), and client.hpp/metadata.hpp form the raw byte API the
+/// workloads drive.
+bool unit_rule_applies(const std::string& rel) {
+  if (rel == "src/pvfs/layout.hpp" || rel == "src/pvfs/server.hpp") {
+    return true;
+  }
+  return starts_with(rel, "src/core/") && ends_with(rel, ".hpp") &&
+         rel != "src/core/config.hpp";
+}
+
+void check_raw_unit_type(const SourceFile& f, Diags& out) {
+  if (!unit_rule_applies(f.rel)) return;
+  static const std::vector<std::string> kSuspicious = {
+      "off", "len", "byte", "size", "capacity", "quota", "server", "lbn"};
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(is_ident(t, i) &&
+          (t[i].text == "int64_t" || t[i].text == "uint64_t"))) {
+      continue;
+    }
+    if (!is_ident(t, i + 1)) continue;  // template arg, cast, unnamed param
+    const std::string& name = t[i + 1].text;
+    for (const std::string& hint : kSuspicious) {
+      if (name.find(hint) != std::string::npos) {
+        report(out, f, t[i + 1].line, "raw-unit-type",
+               "'" + name +
+                   "' looks like a byte quantity but is raw int64; use "
+                   "sim::Bytes / sim::Offset / sim::ServerId");
+        break;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- suppression ----
+
+struct Suppression {
+  int line = 0;
+  std::string key;
+  std::string reason;
+  std::string rule;  ///< empty when the key is unknown
+  bool used = false;
+};
+
+std::vector<Suppression> parse_suppressions(const SourceFile& f) {
+  std::vector<Suppression> out;
+  for (const Comment& c : f.comments) {
+    const auto start = c.text.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (c.text.compare(start, 5, "lint:") != 0) continue;
+    std::size_t p = start + 5;
+    while (p < c.text.size() && c.text[p] == ' ') ++p;
+    std::string key;
+    while (p < c.text.size() &&
+           (std::isalnum(static_cast<unsigned char>(c.text[p])) != 0 ||
+            c.text[p] == '-')) {
+      key += c.text[p++];
+    }
+    std::string reason;
+    const auto open = c.text.find('(', p);
+    const auto close = c.text.rfind(')');
+    if (open != std::string::npos && close != std::string::npos &&
+        close > open) {
+      reason = c.text.substr(open + 1, close - open - 1);
+    }
+    Suppression s;
+    s.line = c.line;
+    s.key = std::move(key);
+    s.reason = std::move(reason);
+    const auto it = suppression_keys().find(s.key);
+    if (it != suppression_keys().end()) s.rule = it->second;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"wall-clock", "no reads of ambient time; sim time only"},
+      {"rand", "no hidden-state C randomness; sim::Rng only"},
+      {"rng-construction", "no raw <random> engines outside sim/rng"},
+      {"const-cast", "no const_cast; add const overloads"},
+      {"unordered-iteration", "no iteration over unordered containers"},
+      {"pointer-key", "no pointer-keyed associative containers"},
+      {"layering", "module #includes must follow the DAG"},
+      {"include-what-you-use", "project includes must be used"},
+      {"raw-unit-type", "typed-core headers use Bytes/Offset/ServerId"},
+      {"lint-annotation", "suppressions need a known key and a reason"},
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> lint_corpus(const std::vector<SourceFile>& files) {
+  Context ctx;
+  for (const SourceFile& f : files) {
+    ctx.project_files.insert(f.rel);
+    if (starts_with(f.rel, "src/") && ends_with(f.rel, ".hpp")) {
+      ctx.markers[f.rel.substr(4)] = extract_markers(f);
+    }
+    const auto names = collect_unordered_names(f);
+    ctx.unordered_names.insert(names.begin(), names.end());
+  }
+
+  Diags all;
+  for (const SourceFile& f : files) {
+    Diags raw;
+    check_wall_clock(f, raw);
+    check_rand(f, raw);
+    check_rng_construction(f, raw);
+    check_const_cast(f, raw);
+    check_unordered_iteration(f, ctx, raw);
+    check_pointer_key(f, raw);
+    check_layering(f, ctx, raw);
+    check_include_what_you_use(f, ctx, raw);
+    check_raw_unit_type(f, raw);
+
+    auto sups = parse_suppressions(f);
+    for (Diagnostic& d : raw) {
+      bool suppressed = false;
+      for (Suppression& s : sups) {
+        if (s.rule == d.rule && (s.line == d.line || s.line + 1 == d.line)) {
+          s.used = true;
+          suppressed = true;
+        }
+      }
+      if (!suppressed) all.push_back(std::move(d));
+    }
+    for (const Suppression& s : sups) {
+      if (s.rule.empty()) {
+        report(all, f, s.line, "lint-annotation",
+               "unknown suppression key '" + s.key + "'");
+      } else if (s.reason.find_first_not_of(" \t") == std::string::npos) {
+        report(all, f, s.line, "lint-annotation",
+               "suppression '" + s.key +
+                   "' is missing its mandatory (reason)");
+      } else if (!s.used) {
+        report(all, f, s.line, "lint-annotation",
+               "suppression '" + s.key +
+                   "' matches no diagnostic on this or the next line; "
+                   "delete it");
+      }
+    }
+  }
+
+  std::sort(all.begin(), all.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return all;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (const char* top : {"src", "tests", "bench", "tools", "examples"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      if (rel.find("lint_fixtures") != std::string::npos) continue;
+      std::ifstream in(entry.path());
+      std::ostringstream text;
+      text << in.rdbuf();
+      files.push_back(lex_source(rel, text.str()));
+    }
+  }
+  // Directory iteration order is filesystem-dependent; the corpus is not.
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  return lint_corpus(files);
+}
+
+}  // namespace ibridge::lint

@@ -56,7 +56,7 @@ sim::Task<> CollectiveContext::run_round(bool write) {
     hi = std::max(hi, c.offset + c.length);
   }
   const std::int64_t unit =
-      env_.client().mds().file(file_.handle()).layout.unit();
+      env_.client().mds().file(file_.handle()).layout.unit().count();
   const std::int64_t domain =
       std::max<std::int64_t>(unit, (cfg_.buffer_bytes / unit) * unit);
   lo = (lo / unit) * unit;

@@ -16,7 +16,7 @@ Client::Client(sim::Simulator& sim, MetadataServer& mds,
       net_(net),
       node_nics_(std::move(node_nics)),
       cfg_(cfg),
-      tagger_(cfg.fragment_threshold),
+      tagger_(sim::Bytes{cfg.fragment_threshold}),
       rng_(cfg.seed) {
   assert(!servers_.empty());
   assert(!node_nics_.empty());
@@ -56,7 +56,7 @@ sim::Task<sim::SimTime> Client::request(int rank, FileHandle fh,
   LogicalFile& f = mds_.file(fh);
 
   // Decompose (io_datafile_setup_msgpairs) and tag fragments client-side.
-  auto pieces = f.layout.decompose(offset, length);
+  auto pieces = f.layout.decompose(sim::Offset{offset}, sim::Bytes{length});
   std::vector<core::TaggedSubRequest> tagged;
   if (cfg_.tag_fragments) {
     tagged = tagger_.tag(pieces);
@@ -72,16 +72,16 @@ sim::Task<sim::SimTime> Client::request(int rank, FileHandle fh,
   std::int64_t consumed = 0;
   for (std::size_t i = 0; i < tagged.size(); ++i) {
     const std::int64_t piece_off = consumed;
-    consumed += tagged[i].length;
+    consumed += tagged[i].length.count();
     std::span<const std::byte> wsub;
     std::span<std::byte> rsub;
     if (!wdata.empty()) {
       wsub = wdata.subspan(static_cast<std::size_t>(piece_off),
-                           static_cast<std::size_t>(tagged[i].length));
+                           static_cast<std::size_t>(tagged[i].length.count()));
     }
     if (!rdata.empty()) {
       rsub = rdata.subspan(static_cast<std::size_t>(piece_off),
-                           static_cast<std::size_t>(tagged[i].length));
+                           static_cast<std::size_t>(tagged[i].length.count()));
     }
     join.add(
         subrequest(rank, f, std::move(tagged[i]), offset, dir, wsub, rsub));
@@ -98,19 +98,19 @@ sim::Task<> Client::subrequest(int rank, const LogicalFile& f,
                                std::int64_t /*parent_off*/, IoDirection dir,
                                std::span<const std::byte> wdata,
                                std::span<std::byte> rdata) {
-  DataServer& server = *servers_[static_cast<std::size_t>(sub.server)];
+  DataServer& server = *servers_[static_cast<std::size_t>(sub.server.index())];
   net::Nic& cnic = nic_of_rank(rank);
 
   // Request message (and payload, for writes) to the server.
   if (dir == IoDirection::kWrite) {
-    co_await net_.transfer(cnic, server.nic(), sub.length + 256);
+    co_await net_.transfer(cnic, server.nic(), sub.length.count() + 256);
   } else {
     co_await net_.message(cnic, server.nic());
   }
 
   core::CacheRequest req;
   req.dir = dir;
-  req.file = f.datafiles[static_cast<std::size_t>(sub.server)];
+  req.file = f.datafiles[static_cast<std::size_t>(sub.server.index())];
   req.offset = sub.server_offset;
   req.length = sub.length;
   req.fragment = sub.fragment;
@@ -120,7 +120,7 @@ sim::Task<> Client::subrequest(int rank, const LogicalFile& f,
 
   // Payload (reads) or ack (writes) back to the client.
   if (dir == IoDirection::kRead) {
-    co_await net_.transfer(server.nic(), cnic, sub.length + 256);
+    co_await net_.transfer(server.nic(), cnic, sub.length.count() + 256);
   } else {
     co_await net_.message(server.nic(), cnic);
   }

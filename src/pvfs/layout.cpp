@@ -2,33 +2,35 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <map>
 
 namespace ibridge::pvfs {
 
-std::int64_t StripingLayout::server_share(std::int64_t file_size,
-                                          int server) const {
-  assert(server >= 0 && server < servers_);
-  if (file_size <= 0) return 0;
+Bytes StripingLayout::server_share(Bytes file_size, ServerId server) const {
+  assert(server.index() >= 0 && server.index() < servers_);
+  if (file_size <= Bytes::zero()) return Bytes::zero();
   const std::int64_t full_stripes = file_size / unit_;
-  const std::int64_t rem = file_size % unit_;
+  const Bytes rem = file_size % unit_;
   const std::int64_t rounds = full_stripes / servers_;
   const std::int64_t extra = full_stripes % servers_;
-  std::int64_t share = rounds * unit_;
-  if (server < extra) share += unit_;
-  if (server == static_cast<int>(extra) && rem > 0) share += rem;
+  Bytes share = rounds * unit_;
+  if (server.index() < extra) share += unit_;
+  if (server.index() == static_cast<int>(extra) && rem > Bytes::zero()) {
+    share += rem;
+  }
   return share;
 }
 
-std::vector<SubRequestSpec> StripingLayout::decompose(
-    std::int64_t offset, std::int64_t length) const {
-  assert(offset >= 0 && length > 0);
+std::vector<SubRequestSpec> StripingLayout::decompose(Offset offset,
+                                                      Bytes length) const {
+  assert(offset >= Offset::zero() && length > Bytes::zero());
   std::vector<SubRequestSpec> out;
-  std::int64_t pos = offset;
-  std::int64_t remaining = length;
-  while (remaining > 0) {
-    const std::int64_t in_unit = pos % unit_;
-    const std::int64_t take = std::min(remaining, unit_ - in_unit);
+  Offset pos = offset;
+  Bytes remaining = length;
+  while (remaining > Bytes::zero()) {
+    const Bytes in_unit = pos % unit_;
+    const Bytes take = std::min(remaining, unit_ - in_unit);
     SubRequestSpec s;
     s.server = server_of(pos);
     s.logical_offset = pos;
@@ -50,12 +52,12 @@ std::vector<SubRequestSpec> StripingLayout::decompose(
 }
 
 std::vector<SubRequestSpec> StripingLayout::decompose_per_server(
-    std::int64_t offset, std::int64_t length) const {
+    Offset offset, Bytes length) const {
   auto pieces = decompose(offset, length);
   // Merge pieces per server, keeping the first piece's offsets and summing
   // lengths.  Preserve first-touch order.
   std::vector<SubRequestSpec> out;
-  std::map<int, std::size_t> index;
+  std::map<ServerId, std::size_t> index;
   for (const auto& p : pieces) {
     auto [it, inserted] = index.emplace(p.server, out.size());
     if (inserted) {

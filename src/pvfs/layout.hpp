@@ -11,17 +11,22 @@
 // is a *fragment*.
 #pragma once
 
-#include <cstdint>
 #include <vector>
+
+#include "sim/units.hpp"
 
 namespace ibridge::pvfs {
 
+using sim::Bytes;
+using sim::Offset;
+using sim::ServerId;
+
 /// One per-server piece of a decomposed request.
 struct SubRequestSpec {
-  int server = 0;                ///< data server index
-  std::int64_t logical_offset = 0;  ///< offset in the logical file
-  std::int64_t server_offset = 0;   ///< offset in the server's datafile
-  std::int64_t length = 0;          ///< bytes
+  ServerId server;        ///< data server identity
+  Offset logical_offset;  ///< offset in the logical file
+  Offset server_offset;   ///< offset in the server's datafile
+  Bytes length;
 };
 
 /// Round-robin striping over `servers` data servers with `unit` bytes per
@@ -29,30 +34,30 @@ struct SubRequestSpec {
 /// (k % servers), at datafile offset (k / servers) * unit.
 class StripingLayout {
  public:
-  StripingLayout(int servers, std::int64_t unit_bytes)
-      : servers_(servers), unit_(unit_bytes) {}
+  StripingLayout(int servers, Bytes unit) : servers_(servers), unit_(unit) {}
 
   int servers() const { return servers_; }
-  std::int64_t unit() const { return unit_; }
+  Bytes unit() const { return unit_; }
 
   /// True when [offset, offset+length) starts and ends on striping-unit
   /// boundaries (no fragments possible).
-  bool aligned(std::int64_t offset, std::int64_t length) const {
-    return offset % unit_ == 0 && length % unit_ == 0;
+  bool aligned(Offset offset, Bytes length) const {
+    return offset % unit_ == Bytes::zero() &&
+           length % unit_ == Bytes::zero();
   }
 
-  int server_of(std::int64_t offset) const {
-    return static_cast<int>((offset / unit_) % servers_);
+  ServerId server_of(Offset offset) const {
+    return ServerId{static_cast<int>((offset / unit_) % servers_)};
   }
 
-  std::int64_t server_offset_of(std::int64_t offset) const {
+  Offset server_offset_of(Offset offset) const {
     const std::int64_t stripe = offset / unit_;
-    return (stripe / servers_) * unit_ + offset % unit_;
+    return Offset::zero() + (stripe / servers_) * unit_ + offset % unit_;
   }
 
   /// Bytes of the logical file that land on `server` if the file has
   /// `file_size` bytes (used for datafile preallocation).
-  std::int64_t server_share(std::int64_t file_size, int server) const;
+  Bytes server_share(Bytes file_size, ServerId server) const;
 
   /// Decompose a logical byte range into per-server sub-requests.  Pieces
   /// that touch the same server are coalesced when they are contiguous in
@@ -62,19 +67,18 @@ class StripingLayout {
   /// builds per-server I/O lists.  For servers_ > 1, a parent of size <=
   /// unit*servers touches each server at most once, so the returned list has
   /// one entry per touched server in stripe order.
-  std::vector<SubRequestSpec> decompose(std::int64_t offset,
-                                        std::int64_t length) const;
+  std::vector<SubRequestSpec> decompose(Offset offset, Bytes length) const;
 
   /// Like decompose(), but merges multiple pieces of the same parent landing
   /// on the same server into that server's I/O list entry (contiguous or
   /// not, PVFS2 ships one request list per server pair).  Each element is a
   /// server's total work for this parent.
-  std::vector<SubRequestSpec> decompose_per_server(std::int64_t offset,
-                                                   std::int64_t length) const;
+  std::vector<SubRequestSpec> decompose_per_server(Offset offset,
+                                                   Bytes length) const;
 
  private:
   int servers_;
-  std::int64_t unit_;
+  Bytes unit_;
 };
 
 }  // namespace ibridge::pvfs

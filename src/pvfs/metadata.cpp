@@ -8,14 +8,16 @@ FileHandle MetadataServer::create_file(const std::string& name,
   assert(by_name_.find(name) == by_name_.end());
   LogicalFile f;
   f.name = name;
-  f.layout = StripingLayout(server_count(), stripe_unit);
+  f.layout = StripingLayout(server_count(), sim::Bytes{stripe_unit});
   f.size = size;
   f.datafiles.reserve(servers_.size());
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     // Preallocate each server's share (plus one unit of slack for writes
     // that extend slightly past the nominal size).
-    const std::int64_t share =
-        f.layout.server_share(size, static_cast<int>(s)) + stripe_unit;
+    const sim::Bytes share =
+        f.layout.server_share(sim::Bytes{size},
+                              sim::ServerId{static_cast<int>(s)}) +
+        sim::Bytes{stripe_unit};
     f.datafiles.push_back(servers_[s]->create_datafile(
         name + ".df" + std::to_string(s), share));
   }

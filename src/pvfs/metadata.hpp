@@ -11,8 +11,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/return_estimator.hpp"
@@ -29,7 +29,7 @@ inline constexpr FileHandle kInvalidHandle = 0;
 /// A striped logical file.
 struct LogicalFile {
   std::string name;
-  StripingLayout layout{1, 64 * 1024};
+  StripingLayout layout{1, sim::Bytes{64 * 1024}};
   std::int64_t size = 0;
   std::vector<fsim::FileId> datafiles;  ///< one per data server
 };
@@ -83,8 +83,11 @@ class MetadataServer {
   net::Nic& nic_;
   sim::SimTime interval_;
   sim::TaskGroup daemons_;
-  std::unordered_map<FileHandle, LogicalFile> files_;
-  std::unordered_map<std::string, FileHandle> by_name_;
+  // Ordered maps: iteration over the file registry reaches simulation
+  // results (datafile creation order, board daemon), so the containers are
+  // deterministic by construction.
+  std::map<FileHandle, LogicalFile> files_;
+  std::map<std::string, FileHandle> by_name_;
   core::TBoard board_;
   FileHandle next_ = 1;
   bool running_ = false;

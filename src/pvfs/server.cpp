@@ -5,14 +5,14 @@
 
 namespace ibridge::pvfs {
 
-DataServer::DataServer(sim::Simulator& sim, int id,
+DataServer::DataServer(sim::Simulator& sim, sim::ServerId id,
                        const DataServerConfig& cfg, net::Nic& nic,
                        storage::SeekProfile profile)
     : sim_(sim), id_(id), nic_(nic), io_slots_(sim, cfg.io_concurrency) {
   disk_ = std::make_unique<storage::HddModel>(sim, cfg.hdd);
   disk_fs_ =
       std::make_unique<fsim::LocalFileSystem>(sim, *disk_, cfg.data_mode);
-  disk_fs_->set_rmw_page_bytes(cfg.rmw_page_bytes);
+  disk_fs_->set_rmw_page_bytes(cfg.rmw_page_bytes.count());
   primary_fs_ = disk_fs_.get();
 
   const bool want_ssd =
@@ -25,7 +25,7 @@ DataServer::DataServer(sim::Simulator& sim, int id,
   if (cfg.storage_mode == StorageMode::kSsdOnly) {
     // Datafiles live on the SSD: the OS cache still does page-granular RMW
     // there.  (iBridge's log file is exempt — see DataServerConfig.)
-    ssd_fs_->set_rmw_page_bytes(cfg.rmw_page_bytes);
+    ssd_fs_->set_rmw_page_bytes(cfg.rmw_page_bytes.count());
     primary_fs_ = ssd_fs_.get();
   } else if (cfg.ibridge.enabled) {
     cache_ = std::make_unique<core::IBridgeCache>(
@@ -39,8 +39,8 @@ DataServer::~DataServer() {
 }
 
 fsim::FileId DataServer::create_datafile(const std::string& name,
-                                         std::int64_t prealloc_bytes) {
-  const fsim::FileId id = primary_fs_->create(name, prealloc_bytes);
+                                         sim::Bytes prealloc) {
+  const fsim::FileId id = primary_fs_->create(name, prealloc.count());
   assert(id != fsim::kInvalidFile && "data server out of space");
   return id;
 }
@@ -49,7 +49,7 @@ sim::Task<core::ServeResult> DataServer::io(core::CacheRequest req,
                                             std::span<const std::byte> wdata,
                                             std::span<std::byte> rdata) {
   const sim::SimTime t0 = sim_.now();
-  const std::int64_t length = req.length;
+  const sim::Bytes length = req.length;
   // Take a Trove I/O slot: pvfs2-server performs a bounded number of local
   // I/O jobs concurrently.
   co_await io_slots_.acquire();
@@ -58,11 +58,11 @@ sim::Task<core::ServeResult> DataServer::io(core::CacheRequest req,
     result = co_await cache_->serve(std::move(req), wdata, rdata);
   } else {
     if (req.dir == storage::IoDirection::kWrite) {
-      co_await primary_fs_->write(req.file, req.offset, req.length, wdata,
-                                  req.tag);
+      co_await primary_fs_->write(req.file, req.offset.value(),
+                                  req.length.count(), wdata, req.tag);
     } else {
-      co_await primary_fs_->read(req.file, req.offset, req.length, rdata,
-                                 req.tag);
+      co_await primary_fs_->read(req.file, req.offset.value(),
+                                 req.length.count(), rdata, req.tag);
     }
   }
   io_slots_.release();

@@ -22,6 +22,7 @@
 #include "fsim/filesystem.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/units.hpp"
 #include "stats/meters.hpp"
 #include "storage/calibration.hpp"
 #include "storage/hdd.hpp"
@@ -45,27 +46,27 @@ struct DataServerConfig {
   /// writes read the boundary pages first.  Applies to the datafiles on
   /// disk and (in SSD-only mode) on the SSD; iBridge's log file is packed
   /// and flushed in whole pages, so it is exempt — that asymmetry is the
-  /// Figure 10 effect.  0 disables.
-  std::int64_t rmw_page_bytes = 4096;
+  /// Figure 10 effect.  Zero disables.
+  sim::Bytes rmw_page_bytes{4096};
 };
 
 class DataServer {
  public:
   /// `profile` is the offline-learned seek curve for this server's disk
   /// model (needed only when iBridge is enabled).
-  DataServer(sim::Simulator& sim, int id, const DataServerConfig& cfg,
-             net::Nic& nic, storage::SeekProfile profile = {});
+  DataServer(sim::Simulator& sim, sim::ServerId id,
+             const DataServerConfig& cfg, net::Nic& nic,
+             storage::SeekProfile profile = {});
 
   DataServer(const DataServer&) = delete;
   DataServer& operator=(const DataServer&) = delete;
   ~DataServer();
 
-  int id() const { return id_; }
+  sim::ServerId id() const { return id_; }
   net::Nic& nic() { return nic_; }
 
   /// Create this server's datafile for a striped logical file.
-  fsim::FileId create_datafile(const std::string& name,
-                               std::int64_t prealloc_bytes);
+  fsim::FileId create_datafile(const std::string& name, sim::Bytes prealloc);
 
   /// Handle one sub-request (already decomposed and tagged by the client).
   sim::Task<core::ServeResult> io(core::CacheRequest req,
@@ -83,6 +84,7 @@ class DataServer {
 
   bool has_cache() const { return cache_ != nullptr; }
   core::IBridgeCache* cache() { return cache_.get(); }
+  const core::IBridgeCache* cache() const { return cache_.get(); }
 
   /// Attach a SimCheck observer to this server's cache (no-op when stock).
   void set_observer(core::CacheObserver* obs) {
@@ -94,11 +96,11 @@ class DataServer {
   const stats::ServiceTimeMeter& service_meter() const { return service_; }
 
   /// Total payload bytes this server has served.
-  std::int64_t bytes_served() const { return bytes_served_; }
+  sim::Bytes bytes_served() const { return bytes_served_; }
 
  private:
   sim::Simulator& sim_;
-  int id_;
+  sim::ServerId id_;
   net::Nic& nic_;
   sim::Semaphore io_slots_;
   std::unique_ptr<storage::HddModel> disk_;
@@ -108,7 +110,7 @@ class DataServer {
   fsim::LocalFileSystem* primary_fs_ = nullptr;  // where datafiles live
   std::unique_ptr<core::IBridgeCache> cache_;
   stats::ServiceTimeMeter service_;
-  std::int64_t bytes_served_ = 0;
+  sim::Bytes bytes_served_;
 };
 
 }  // namespace ibridge::pvfs

@@ -1,0 +1,135 @@
+// Unit-safe vocabulary types: Bytes, Offset, ServerId.
+//
+// Extends the SimTime strong-type discipline (sim/time.hpp) to the other
+// quantities the simulator mixes freely in arithmetic: byte counts, byte
+// positions, and data-server identities.  Each wrapper is a thin strongly-
+// typed integer, so offset/length/id confusion — the second bug class PR 1's
+// fuzzer hunted dynamically — becomes a compile error instead.
+//
+// Dimensional rules (everything else does not compile):
+//   Bytes  ± Bytes  -> Bytes      Offset ± Bytes  -> Offset
+//   Offset - Offset -> Bytes      Offset % Bytes  -> Bytes   (alignment)
+//   Bytes  * int    -> Bytes      Offset / Bytes  -> int64   (unit index)
+//   Bytes  / int    -> Bytes      Bytes  / Bytes  -> int64   (ratio)
+//
+// Raw values enter via the explicit constructors and leave via
+// Bytes::count() / Offset::value() / ServerId::index() — grep for those
+// names to audit every typed/untyped boundary (the fsim and storage block
+// layers below core speak raw sectors and bytes).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace ibridge::sim {
+
+/// A byte count (a length, a capacity, a distance between two offsets).
+/// May be transiently negative in budget arithmetic.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  explicit constexpr Bytes(std::int64_t n) : n_(n) {}
+
+  static constexpr Bytes zero() { return Bytes(0); }
+
+  constexpr std::int64_t count() const { return n_; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes o) {
+    n_ += o.n_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    n_ -= o.n_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.n_ + b.n_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.n_ - b.n_);
+  }
+  friend constexpr Bytes operator-(Bytes a) { return Bytes(-a.n_); }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) {
+    return Bytes(a.n_ * k);
+  }
+  friend constexpr Bytes operator*(std::int64_t k, Bytes a) {
+    return Bytes(a.n_ * k);
+  }
+  friend constexpr Bytes operator/(Bytes a, std::int64_t k) {
+    return Bytes(a.n_ / k);
+  }
+  /// How many times `b` fits into `a` (e.g. bytes per stripe unit).
+  friend constexpr std::int64_t operator/(Bytes a, Bytes b) {
+    return a.n_ / b.n_;
+  }
+  friend constexpr Bytes operator%(Bytes a, Bytes b) {
+    return Bytes(a.n_ % b.n_);
+  }
+
+ private:
+  std::int64_t n_ = 0;
+};
+
+/// A byte position within a file, a device, or the SSD log.
+class Offset {
+ public:
+  constexpr Offset() = default;
+  explicit constexpr Offset(std::int64_t v) : v_(v) {}
+
+  static constexpr Offset zero() { return Offset(0); }
+
+  constexpr std::int64_t value() const { return v_; }
+
+  constexpr auto operator<=>(const Offset&) const = default;
+
+  constexpr Offset& operator+=(Bytes o) {
+    v_ += o.count();
+    return *this;
+  }
+  constexpr Offset& operator-=(Bytes o) {
+    v_ -= o.count();
+    return *this;
+  }
+  friend constexpr Offset operator+(Offset p, Bytes n) {
+    return Offset(p.v_ + n.count());
+  }
+  friend constexpr Offset operator+(Bytes n, Offset p) {
+    return Offset(p.v_ + n.count());
+  }
+  friend constexpr Offset operator-(Offset p, Bytes n) {
+    return Offset(p.v_ - n.count());
+  }
+  /// The distance between two positions is a length.
+  friend constexpr Bytes operator-(Offset a, Offset b) {
+    return Bytes(a.v_ - b.v_);
+  }
+  /// Misalignment of a position within `unit`-sized tiles.
+  friend constexpr Bytes operator%(Offset p, Bytes unit) {
+    return Bytes(p.v_ % unit.count());
+  }
+  /// Index of the `unit`-sized tile containing the position.
+  friend constexpr std::int64_t operator/(Offset p, Bytes unit) {
+    return p.v_ / unit.count();
+  }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+/// Identity of a data server (an index into server arrays and the T board).
+class ServerId {
+ public:
+  constexpr ServerId() = default;
+  explicit constexpr ServerId(int i) : i_(i) {}
+
+  constexpr int index() const { return i_; }
+
+  constexpr auto operator<=>(const ServerId&) const = default;
+
+ private:
+  int i_ = 0;
+};
+
+}  // namespace ibridge::sim

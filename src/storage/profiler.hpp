@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/units.hpp"
 #include "storage/block.hpp"
 
 namespace ibridge::storage {
@@ -52,8 +53,8 @@ class SeekProfile {
   /// Measured extra positioning cost of discontinuous writes relative to
   /// reads (ms) — small requests pay settle + read-modify-write, large ones
   /// only settle.  The boundary mirrors the profiling request sizes.
-  double write_surcharge_ms(std::int64_t bytes) const {
-    return bytes < 32 * 1024 ? write_small_ms_ : write_large_ms_;
+  double write_surcharge_ms(sim::Bytes bytes) const {
+    return bytes < sim::Bytes{32 * 1024} ? write_small_ms_ : write_large_ms_;
   }
   void set_write_surcharge(double small_ms, double large_ms) {
     write_small_ms_ = small_ms;

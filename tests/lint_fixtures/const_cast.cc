@@ -1,0 +1,6 @@
+// Fixture: const_cast must trip its rule (once).
+namespace fixture {
+
+inline int& mut(const int& v) { return const_cast<int&>(v); }
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: lexed as a src/cluster/ file (which MAY include core/), but
+// nothing widget.hpp declares is referenced, so include-what-you-use must
+// fire (once).
+#include "core/widget.hpp"
+
+namespace fixture {
+
+inline int unrelated() { return 7; }
+
+}  // namespace fixture

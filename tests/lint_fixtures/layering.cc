@@ -1,0 +1,10 @@
+// Fixture: lexed as a src/sim/ file, so including a core/ header points the
+// module DAG upward and must trip the layering rule (once).  The Widget use
+// keeps include-what-you-use satisfied.
+#include "core/widget.hpp"
+
+namespace fixture {
+
+inline void poke_widget(ibridge::core::Widget& w) { w.poke(); }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: a pointer-keyed associative container must trip the pointer-key
+// rule (once) — iteration order would be allocation order.
+#include <map>
+
+namespace fixture {
+
+struct AddrIndex {
+  std::map<int*, int> by_addr_;
+};
+
+}  // namespace fixture

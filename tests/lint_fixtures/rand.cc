@@ -1,0 +1,8 @@
+// Fixture: hidden-state C randomness must trip the rand rule (once).
+#include <cstdlib>
+
+namespace fixture {
+
+inline int roll() { return std::rand() % 6; }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: lexed as a typed-core header (src/core/*.hpp), where a raw int64
+// with a byte-quantity name must trip the raw-unit-type rule (once).
+#include <cstdint>
+
+namespace fixture {
+
+struct Span {
+  std::int64_t byte_offset = 0;
+};
+
+}  // namespace fixture

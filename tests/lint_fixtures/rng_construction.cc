@@ -1,0 +1,12 @@
+// Fixture: a raw <random> engine outside sim/rng.hpp must trip the
+// rng-construction rule (once).
+#include <random>
+
+namespace fixture {
+
+inline unsigned draw() {
+  std::mt19937 gen(42);
+  return gen();
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: a suppression without its mandatory (reason) still silences the
+// underlying rule, but the annotation audit must fire instead (once).
+#include <cstdint>
+
+namespace fixture {
+
+struct Span {
+  std::int64_t raw_len = 0;  // lint: units-ok
+};
+
+}  // namespace fixture

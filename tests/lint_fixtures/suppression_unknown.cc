@@ -1,0 +1,7 @@
+// Fixture: a suppression with an unrecognized key must trip the annotation
+// audit (once).
+namespace fixture {
+
+inline int x = 0;  // lint: frobnicate-ok (no such rule)
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: a well-formed suppression that silences nothing must trip the
+// annotation audit (once), so stale escapes get deleted.
+namespace fixture {
+
+inline int plain = 0;  // lint: units-ok (nothing here needs this)
+
+}  // namespace fixture

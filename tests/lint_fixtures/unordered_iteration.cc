@@ -1,0 +1,17 @@
+// Fixture: a range-for over an unordered container must trip the
+// unordered-iteration rule (once).
+#include <unordered_map>
+
+namespace fixture {
+
+struct Registry {
+  std::unordered_map<int, int> table_;
+
+  int sum() const {
+    int s = 0;
+    for (const auto& kv : table_) s += kv.second;
+    return s;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: reading the wall clock must trip the determinism rule (once).
+#include <chrono>
+
+namespace fixture {
+
+inline long now_ms() {
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace fixture

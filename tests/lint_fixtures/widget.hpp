@@ -1,0 +1,13 @@
+// Helper header for the lint fixtures: lexed into each fixture corpus as
+// "src/core/widget.hpp" so layering and include-what-you-use have a real
+// project header to point at.  Produces no diagnostics of its own.
+#pragma once
+
+namespace ibridge::core {
+
+class Widget {
+ public:
+  void poke();
+};
+
+}  // namespace ibridge::core

@@ -52,8 +52,8 @@ struct CacheFixture : ::testing::Test {
 
   void build(IBridgeConfig cfg = {}) {
     cfg.enabled = true;
-    cache = std::make_unique<IBridgeCache>(sim, cfg, /*self=*/0, disk_fs,
-                                           ssd_fs, test_profile());
+    cache = std::make_unique<IBridgeCache>(sim, cfg, /*self=*/ServerId{0},
+                                           disk_fs, ssd_fs, test_profile());
     cache->start();
     file = disk_fs.create("datafile", 64 << 20);
   }
@@ -65,12 +65,12 @@ struct CacheFixture : ::testing::Test {
   ServeResult do_io(IoDirection dir, std::int64_t off, std::int64_t len,
                     std::span<const std::byte> wdata = {},
                     std::span<std::byte> rdata = {}, bool fragment = false,
-                    std::vector<int> siblings = {}) {
+                    std::vector<ServerId> siblings = {}) {
     CacheRequest r;
     r.dir = dir;
     r.file = file;
-    r.offset = off;
-    r.length = len;
+    r.offset = Offset{off};
+    r.length = Bytes{len};
     r.fragment = fragment;
     r.siblings = std::move(siblings);
     ServeResult out;
@@ -87,7 +87,8 @@ struct CacheFixture : ::testing::Test {
   }
 
   ServeResult write(std::int64_t off, std::span<const std::byte> data,
-                    bool fragment = false, std::vector<int> siblings = {}) {
+                    bool fragment = false,
+                    std::vector<ServerId> siblings = {}) {
     return do_io(IoDirection::kWrite, off,
                  static_cast<std::int64_t>(data.size()), data, {}, fragment,
                  std::move(siblings));
@@ -129,7 +130,7 @@ TEST_F(CacheFixture, SmallWriteWithPositiveReturnGoesToSsd) {
   const auto r = write(1'000'000, data);
   EXPECT_TRUE(r.ssd);
   EXPECT_EQ(cache->stats().write_admits, 1u);
-  EXPECT_EQ(cache->table().dirty_bytes(), 8192);
+  EXPECT_EQ(cache->table().dirty_bytes(), Bytes{8192});
 }
 
 TEST_F(CacheFixture, LargeWriteAlwaysGoesToDisk) {
@@ -139,7 +140,7 @@ TEST_F(CacheFixture, LargeWriteAlwaysGoesToDisk) {
   const auto r = write(1'000'000, data);
   EXPECT_FALSE(r.ssd);
   EXPECT_GE(cache->stats().write_disk, 1u);
-  EXPECT_EQ(cache->table().dirty_bytes(), 0);
+  EXPECT_EQ(cache->table().dirty_bytes(), Bytes::zero());
 }
 
 TEST_F(CacheFixture, ReadYourCachedWrite) {
@@ -192,7 +193,7 @@ TEST_F(CacheFixture, DrainFlushesDirtyDataToDisk) {
   const auto data = pattern(8192, 9);
   ASSERT_TRUE(write(5'000'000, data).ssd);
   drain();
-  EXPECT_EQ(cache->table().dirty_bytes(), 0);
+  EXPECT_EQ(cache->table().dirty_bytes(), Bytes::zero());
   // The disk's own store now holds the bytes (read bypassing the cache).
   std::vector<std::byte> direct(8192);
   disk_fs.peek_bytes(file, 5'000'000, direct);
@@ -239,7 +240,7 @@ TEST_F(CacheFixture, EvictionKicksInUnderTinyCapacity) {
     write(8'000'000 + i * 100'000, pattern(8192, static_cast<uint8_t>(i)));
   }
   EXPECT_GT(cache->stats().evictions, 0u);
-  EXPECT_LE(cache->table().bytes_cached(), 64 * 1024);
+  EXPECT_LE(cache->table().bytes_cached(), Bytes{64 * 1024});
   // All data must still be readable and correct, wherever it lives.
   for (int i = 0; i < 12; ++i) {
     const auto expect = pattern(8192, static_cast<uint8_t>(i));
@@ -254,7 +255,8 @@ TEST_F(CacheFixture, FragmentBoostCountsWhenSelfSlowest) {
   warm_t();
   cache->set_board({10.0, 0.1, 0.1});  // placeholder: self=0 uses live T
   const auto data = pattern(4096, 12);
-  write(9'000'000, data, /*fragment=*/true, /*siblings=*/{1, 2});
+  write(9'000'000, data, /*fragment=*/true,
+        /*siblings=*/{ServerId{1}, ServerId{2}});
   EXPECT_GE(cache->stats().boosts, 1u);
 }
 
@@ -267,7 +269,7 @@ TEST_F(CacheFixture, StatsBytesConserveTotals) {
   const auto& after = cache->stats();
   EXPECT_EQ(after.ssd_bytes_served + after.disk_bytes_served -
                 (before.ssd_bytes_served + before.disk_bytes_served),
-            8192 + 40'000);
+            Bytes{8192 + 40'000});
 }
 
 TEST_F(CacheFixture, RandomMixedOpsMatchReference) {
@@ -287,7 +289,7 @@ TEST_F(CacheFixture, RandomMixedOpsMatchReference) {
     if (rng.chance(0.6)) {
       auto data = pattern(static_cast<std::size_t>(len),
                           static_cast<std::uint8_t>(op));
-      write(off, data, /*fragment=*/rng.chance(0.3), {1});
+      write(off, data, /*fragment=*/rng.chance(0.3), {ServerId{1}});
       std::memcpy(ref.data() + off, data.data(),
                   static_cast<std::size_t>(len));
     } else {

@@ -58,8 +58,8 @@ class CacheInvariants : public ::testing::TestWithParam<Param> {
     cfg.fragment_threshold = static_cast<std::int64_t>(thresh_kb) * 1024;
     cfg.random_threshold = cfg.fragment_threshold;
     cfg.admission = policy;
-    cache = std::make_unique<IBridgeCache>(*sim, cfg, 0, *disk_fs, *ssd_fs,
-                                           profile());
+    cache = std::make_unique<IBridgeCache>(*sim, cfg, ServerId{0}, *disk_fs,
+                                           *ssd_fs, profile());
     cache->start();
     file = disk_fs->create("df", kSpan + (1 << 20));
     ref.assign(kSpan, 0);
@@ -74,7 +74,9 @@ class CacheInvariants : public ::testing::TestWithParam<Param> {
       data[static_cast<std::size_t>(i)] =
           static_cast<std::byte>((seed + i) & 0xff);
     }
-    CacheRequest r{IoDirection::kWrite, file, off, len, fragment, {1}, 0};
+    CacheRequest r{IoDirection::kWrite, file,    Offset{off},
+                   Bytes{len},          fragment, {ServerId{1}},
+                   0};
     bool done = false;
     auto t = [](IBridgeCache& c, CacheRequest req,
                 std::span<const std::byte> d, bool& flag) -> sim::Task<> {
@@ -88,7 +90,8 @@ class CacheInvariants : public ::testing::TestWithParam<Param> {
 
   std::vector<std::byte> op_read(std::int64_t off, std::int64_t len) {
     std::vector<std::byte> buf(static_cast<std::size_t>(len));
-    CacheRequest r{IoDirection::kRead, file, off, len, false, {}, 0};
+    CacheRequest r{IoDirection::kRead, file, Offset{off}, Bytes{len},
+                   false, {}, 0};
     bool done = false;
     auto t = [](IBridgeCache& c, CacheRequest req, std::span<std::byte> d,
                 bool& flag) -> sim::Task<> {
@@ -157,11 +160,11 @@ TEST_P(CacheInvariants, RandomOpsPreserveAllInvariants) {
   t.start();
   sim->run_while_pending([&] { return drained; });
 
-  ASSERT_EQ(cache->table().dirty_bytes(), 0) << "(I5)";
+  ASSERT_EQ(cache->table().dirty_bytes(), Bytes::zero()) << "(I5)";
   check_quiescent_invariants("after drain");
   // Capacity respected at quiescence (I3).
   ASSERT_LE(cache->table().bytes_cached(),
-            cache->config().ssd_cache_bytes);
+            Bytes{cache->config().ssd_cache_bytes});
   // The disk image alone must now equal the reference (I5).
   std::vector<std::byte> image(kSpan);
   disk_fs->peek_bytes(file, 0, image);
@@ -176,10 +179,10 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(AdmissionPolicy::kReturnBased,
                           AdmissionPolicy::kAlwaysSmall,
                           AdmissionPolicy::kHotBlock)),
-    [](const auto& info) {
-      return "cap" + std::to_string(std::get<0>(info.param)) + "k_thr" +
-             std::to_string(std::get<1>(info.param)) + "k_pol" +
-             std::to_string(static_cast<int>(std::get<2>(info.param)));
+    [](const auto& tinfo) {
+      return "cap" + std::to_string(std::get<0>(tinfo.param)) + "k_thr" +
+             std::to_string(std::get<1>(tinfo.param)) + "k_pol" +
+             std::to_string(static_cast<int>(std::get<2>(tinfo.param)));
     });
 
 }  // namespace

@@ -90,7 +90,8 @@ TEST(Cluster, DrainLeavesNoDirtyBytes) {
   run_mpi_io_test(c, cfg);  // run_mpi_io_test drains internally
   for (int s = 0; s < c.server_count(); ++s) {
     ASSERT_TRUE(c.server(s).has_cache());
-    EXPECT_EQ(c.server(s).cache()->table().dirty_bytes(), 0) << "server " << s;
+    EXPECT_EQ(c.server(s).cache()->table().dirty_bytes(), sim::Bytes::zero())
+        << "server " << s;
   }
 }
 
@@ -136,8 +137,8 @@ TEST(Cluster, AggregateMetricsAccumulate) {
   auto cfg = quick(65 * 1024, true);
   cfg.access_bytes = 32 << 20;
   const auto r = run_mpi_io_test(c, cfg);
-  EXPECT_EQ(c.total_bytes_served(), r.bytes);
-  EXPECT_GT(c.ssd_bytes_served(), 0);
+  EXPECT_EQ(c.total_bytes_served().count(), r.bytes);
+  EXPECT_GT(c.ssd_bytes_served(), sim::Bytes::zero());
   EXPECT_GT(c.avg_service_ms(), 0.0);
 }
 

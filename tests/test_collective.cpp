@@ -88,7 +88,7 @@ TEST(Collective, AggregationCoarsensServerRequests) {
     std::int64_t bytes = 0;
     std::uint64_t count = 0;
     for (int s = 0; s < c.server_count(); ++s) {
-      bytes += c.server(s).bytes_served();
+      bytes += c.server(s).bytes_served().count();
       count += c.server(s).service_meter().count();
     }
     independent_avg = static_cast<double>(bytes) / static_cast<double>(count);
@@ -106,7 +106,7 @@ TEST(Collective, AggregationCoarsensServerRequests) {
   std::int64_t bytes = 0;
   std::uint64_t count = 0;
   for (int s = 0; s < c.server_count(); ++s) {
-    bytes += c.server(s).bytes_served();
+    bytes += c.server(s).bytes_served().count();
     count += c.server(s).service_meter().count();
   }
   const double collective_avg =
@@ -150,7 +150,7 @@ TEST(DataSieving, WidensToAlignedBoundaries) {
   auto fh = c.create_file("f", 1 << 30);
   MpiFile file(c.client(), fh);
   bool done = false;
-  auto t = [](cluster::Cluster& cl, MpiFile f, bool& flag) -> sim::Task<> {
+  auto t = [](cluster::Cluster&, MpiFile f, bool& flag) -> sim::Task<> {
     // 65 KB at offset 1 KB: sieved to [0, 128 KB) — aligned, no fragments.
     co_await read_at_sieved(f, 0, 1024, 65 * 1024, 64 * 1024);
     flag = true;
@@ -162,7 +162,7 @@ TEST(DataSieving, WidensToAlignedBoundaries) {
   std::int64_t bytes = 0;
   for (int s = 0; s < c.server_count(); ++s) {
     reqs += c.server(s).service_meter().count();
-    bytes += c.server(s).bytes_served();
+    bytes += c.server(s).bytes_served().count();
   }
   EXPECT_EQ(reqs, 2u);
   EXPECT_EQ(bytes, 128 * 1024);
@@ -173,14 +173,15 @@ TEST(DataSieving, AlreadyAlignedIsUnchanged) {
   auto fh = c.create_file("f", 1 << 30);
   MpiFile file(c.client(), fh);
   bool done = false;
-  auto t = [](cluster::Cluster& cl, MpiFile f, bool& flag) -> sim::Task<> {
+  auto t = [](cluster::Cluster&, MpiFile f, bool& flag) -> sim::Task<> {
     co_await read_at_sieved(f, 0, 64 * 1024, 64 * 1024, 64 * 1024);
     flag = true;
   }(c, file, done);
   t.start();
   c.sim().run_while_pending([&] { return done; });
   std::int64_t bytes = 0;
-  for (int s = 0; s < c.server_count(); ++s) bytes += c.server(s).bytes_served();
+  for (int s = 0; s < c.server_count(); ++s)
+    bytes += c.server(s).bytes_served().count();
   EXPECT_EQ(bytes, 64 * 1024);
 }
 

@@ -30,57 +30,57 @@ constexpr double kW = 1.0 / 8.0;  // paper's decay
 TEST(ServiceTimeModel, FirstPredictionHasNoSeek) {
   ServiceTimeModel m(synthetic_profile(), kW);
   // No previous location: distance treated as 0 -> transfer only.
-  EXPECT_NEAR(m.predict_ms(5000, 100'000, IoDirection::kRead), 1.0, 1e-9);
+  EXPECT_NEAR(m.predict_ms(5000, Bytes{100'000}, IoDirection::kRead), 1.0, 1e-9);
 }
 
 TEST(ServiceTimeModel, PredictionAddsSeekAndRotation) {
   ServiceTimeModel m(synthetic_profile(), kW);
-  m.observe_disk(0, 0, IoDirection::kRead, 0);  // pin lambda at 0
+  m.observe_disk(0, Bytes{0}, IoDirection::kRead, 0);  // pin lambda at 0
   // Distance 2000 -> seek 1 ms + rotation 2 ms + transfer 1 ms.
-  EXPECT_NEAR(m.predict_ms(2000, 100'000, IoDirection::kRead), 4.0, 1e-6);
+  EXPECT_NEAR(m.predict_ms(2000, Bytes{100'000}, IoDirection::kRead), 4.0, 1e-6);
 }
 
 TEST(ServiceTimeModel, WritePredictionsCarrySurcharge) {
   ServiceTimeModel m(synthetic_profile(), kW);
-  m.observe_disk(0, 0, IoDirection::kRead, 0);
-  const double rd = m.predict_ms(2000, 4096, IoDirection::kRead);
-  const double wr_small = m.predict_ms(2000, 4096, IoDirection::kWrite);
-  const double wr_large = m.predict_ms(2000, 64 * 1024, IoDirection::kWrite);
+  m.observe_disk(0, Bytes{0}, IoDirection::kRead, 0);
+  const double rd = m.predict_ms(2000, Bytes{4096}, IoDirection::kRead);
+  const double wr_small = m.predict_ms(2000, Bytes{4096}, IoDirection::kWrite);
+  const double wr_large = m.predict_ms(2000, Bytes{64 * 1024}, IoDirection::kWrite);
   EXPECT_NEAR(wr_small - rd, 3.0, 1e-6);
   // Large writes pay only the large surcharge (plus extra transfer).
-  EXPECT_NEAR(wr_large - m.predict_ms(2000, 64 * 1024, IoDirection::kRead),
+  EXPECT_NEAR(wr_large - m.predict_ms(2000, Bytes{64 * 1024}, IoDirection::kRead),
               0.5, 1e-6);
 }
 
 TEST(ServiceTimeModel, Equation1DecaysWithPaperWeights) {
   ServiceTimeModel m(synthetic_profile(), kW);
-  m.observe_disk(0, 0, IoDirection::kRead, 0);
+  m.observe_disk(0, Bytes{0}, IoDirection::kRead, 0);
   const double t0 = m.t();
-  const double sample = m.predict_ms(2000, 100'000, IoDirection::kRead);
-  EXPECT_NEAR(m.t_if_disk(2000, 100'000, IoDirection::kRead),
+  const double sample = m.predict_ms(2000, Bytes{100'000}, IoDirection::kRead);
+  EXPECT_NEAR(m.t_if_disk(2000, Bytes{100'000}, IoDirection::kRead),
               t0 / 8.0 + sample * 7.0 / 8.0, 1e-9);
 }
 
 TEST(ServiceTimeModel, Equation2LeavesTUnchanged) {
   ServiceTimeModel m(synthetic_profile(), kW);
-  m.observe_disk(2000, 100'000, IoDirection::kRead, 2200);
+  m.observe_disk(2000, Bytes{100'000}, IoDirection::kRead, 2200);
   const double t = m.t();
   EXPECT_EQ(m.t_if_ssd(), t);
 }
 
 TEST(ServiceTimeModel, ObserveDiskUpdatesLambda) {
   ServiceTimeModel m(synthetic_profile(), kW);
-  m.observe_disk(0, 0, IoDirection::kRead, 10'000);
+  m.observe_disk(0, Bytes{0}, IoDirection::kRead, 10'000);
   // Next request at 10'000 is a continuation: cheapest possible.
-  const double near = m.predict_ms(10'000, 4096, IoDirection::kRead);
-  const double far = m.predict_ms(500'000, 4096, IoDirection::kRead);
+  const double near = m.predict_ms(10'000, Bytes{4096}, IoDirection::kRead);
+  const double far = m.predict_ms(500'000, Bytes{4096}, IoDirection::kRead);
   EXPECT_LT(near, far);
 }
 
 TEST(ServiceTimeModel, TConvergesToSteadySample) {
   ServiceTimeModel m(synthetic_profile(), kW);
   for (int i = 0; i < 50; ++i) {
-    m.observe_disk(i % 2 == 0 ? 0 : 5000, 100'000, IoDirection::kRead,
+    m.observe_disk(i % 2 == 0 ? 0 : 5000, Bytes{100'000}, IoDirection::kRead,
                    i % 2 == 0 ? 200 : 5200);
   }
   // Steady alternating far requests: T approaches seek+rot+xfer = 4 ms.
@@ -92,9 +92,9 @@ TEST(ServiceTimeModel, TConvergesToSteadySample) {
 TEST(ReturnEstimator, PositiveWhenRequestCostlierThanAverage) {
   ServiceTimeModel m(synthetic_profile(), kW);
   // T is low (fresh model), any far random request has positive return.
-  m.observe_disk(0, 0, IoDirection::kRead, 0);
+  m.observe_disk(0, Bytes{0}, IoDirection::kRead, 0);
   const double ret =
-      ReturnEstimator::base_return(m, 500'000, 4096, IoDirection::kRead);
+      ReturnEstimator::base_return(m, 500'000, Bytes{4096}, IoDirection::kRead);
   EXPECT_GT(ret, 0.0);
 }
 
@@ -102,69 +102,68 @@ TEST(ReturnEstimator, NegativeWhenRequestCheaperThanAverage) {
   ServiceTimeModel m(synthetic_profile(), kW);
   // Drive T high with expensive requests, then a continuation is cheap.
   for (int i = 0; i < 20; ++i) {
-    m.observe_disk(i % 2 ? 0 : 800'000, 100'000, IoDirection::kRead,
+    m.observe_disk(i % 2 ? 0 : 800'000, Bytes{100'000}, IoDirection::kRead,
                    i % 2 ? 100 : 800'100);
   }
-  const double ret = ReturnEstimator::base_return(
-      m, 100, 4096, IoDirection::kRead);  // continuation at last end
+  const double ret = ReturnEstimator::base_return(m, 100, Bytes{4096}, IoDirection::kRead);  // continuation at last end
   EXPECT_LT(ret, 0.0);
 }
 
 TEST(ReturnEstimator, BoostAppliesOnlyWhenSelfIsSlowest) {
   ServiceTimeModel m(synthetic_profile(), kW);
-  m.observe_disk(0, 0, IoDirection::kRead, 0);
-  m.observe_disk(700'000, 65536, IoDirection::kRead, 700'128);
+  m.observe_disk(0, Bytes{0}, IoDirection::kRead, 0);
+  m.observe_disk(700'000, Bytes{65536}, IoDirection::kRead, 700'128);
   const double t_self = m.t();
   ASSERT_GT(t_self, 0.0);
 
   ReturnEstimator est(true);
-  const std::vector<int> siblings{1, 2};
+  const std::vector<ServerId> siblings{ServerId{1}, ServerId{2}};
 
   // Case 1: peers are slower -> no boost.
   TBoard slow_peers{0.0, t_self + 5.0, t_self + 3.0};
-  auto e1 = est.estimate(m, 500'000, 4096, IoDirection::kRead, true, 0,
+  auto e1 = est.estimate(m, 500'000, Bytes{4096}, IoDirection::kRead, true, ServerId{0},
                          siblings, slow_peers);
   EXPECT_FALSE(e1.boosted);
 
   // Case 2: self is the slowest -> boost by (T_max - T_sec_max) * n.
   TBoard fast_peers{0.0, t_self - 1.0, t_self - 2.0};
-  auto e2 = est.estimate(m, 500'000, 4096, IoDirection::kRead, true, 0,
+  auto e2 = est.estimate(m, 500'000, Bytes{4096}, IoDirection::kRead, true, ServerId{0},
                          siblings, fast_peers);
   EXPECT_TRUE(e2.boosted);
   const double base =
-      ReturnEstimator::base_return(m, 500'000, 4096, IoDirection::kRead);
+      ReturnEstimator::base_return(m, 500'000, Bytes{4096}, IoDirection::kRead);
   EXPECT_NEAR(e2.ret_ms, base + (t_self - (t_self - 1.0)) * 2.0, 1e-9);
 }
 
 TEST(ReturnEstimator, NonFragmentsNeverBoost) {
   ServiceTimeModel m(synthetic_profile(), kW);
-  m.observe_disk(0, 0, IoDirection::kRead, 0);
+  m.observe_disk(0, Bytes{0}, IoDirection::kRead, 0);
   ReturnEstimator est(true);
-  const std::vector<int> siblings{1};
+  const std::vector<ServerId> siblings{ServerId{1}};
   TBoard board{0.0, 0.0};
-  auto e = est.estimate(m, 500'000, 4096, IoDirection::kRead,
-                        /*is_fragment=*/false, 0, siblings, board);
+  auto e = est.estimate(m, 500'000, Bytes{4096}, IoDirection::kRead,
+                        /*is_fragment=*/false, ServerId{0}, siblings, board);
   EXPECT_FALSE(e.boosted);
 }
 
 TEST(ReturnEstimator, BoostDisabledByConfig) {
   ServiceTimeModel m(synthetic_profile(), kW);
-  m.observe_disk(700'000, 65536, IoDirection::kRead, 700'128);
+  m.observe_disk(700'000, Bytes{65536}, IoDirection::kRead, 700'128);
   ReturnEstimator est(false);
-  const std::vector<int> siblings{1};
+  const std::vector<ServerId> siblings{ServerId{1}};
   TBoard board{0.0, 0.0};
-  auto e = est.estimate(m, 500'000, 4096, IoDirection::kRead, true, 0,
+  auto e = est.estimate(m, 500'000, Bytes{4096}, IoDirection::kRead, true, ServerId{0},
                         siblings, board);
   EXPECT_FALSE(e.boosted);
 }
 
 TEST(ReturnEstimator, MissingBoardEntriesCountAsZero) {
   ServiceTimeModel m(synthetic_profile(), kW);
-  m.observe_disk(700'000, 65536, IoDirection::kRead, 700'128);
+  m.observe_disk(700'000, Bytes{65536}, IoDirection::kRead, 700'128);
   ReturnEstimator est(true);
-  const std::vector<int> siblings{5};  // beyond board size
+  const std::vector<ServerId> siblings{ServerId{5}};  // beyond board size
   TBoard board{0.0};
-  auto e = est.estimate(m, 500'000, 4096, IoDirection::kRead, true, 0,
+  auto e = est.estimate(m, 500'000, Bytes{4096}, IoDirection::kRead, true, ServerId{0},
                         siblings, board);
   EXPECT_TRUE(e.boosted);  // unknown peer treated as fast -> self is max
 }
@@ -173,18 +172,19 @@ TEST(ReturnEstimator, MissingBoardEntriesCountAsZero) {
 
 std::vector<pvfs::SubRequestSpec> decompose(std::int64_t off,
                                             std::int64_t len) {
-  return pvfs::StripingLayout(8, 64 * 1024).decompose(off, len);
+  return pvfs::StripingLayout(8, Bytes{64 * 1024})
+      .decompose(sim::Offset{off}, Bytes{len});
 }
 
 TEST(FragmentTagger, SingleServerParentHasNoFragments) {
-  FragmentTagger tagger(20 * 1024);
+  FragmentTagger tagger(Bytes{20 * 1024});
   auto tagged = tagger.tag(decompose(0, 64 * 1024));
   ASSERT_EQ(tagged.size(), 1u);
   EXPECT_FALSE(tagged[0].fragment);
 }
 
 TEST(FragmentTagger, SmallTailOfMultiServerParentIsFragment) {
-  FragmentTagger tagger(20 * 1024);
+  FragmentTagger tagger(Bytes{20 * 1024});
   auto tagged = tagger.tag(decompose(0, 65 * 1024));  // 64 KB + 1 KB
   ASSERT_EQ(tagged.size(), 2u);
   EXPECT_FALSE(tagged[0].fragment);
@@ -194,20 +194,20 @@ TEST(FragmentTagger, SmallTailOfMultiServerParentIsFragment) {
 }
 
 TEST(FragmentTagger, ThresholdBoundaryIsExclusive) {
-  FragmentTagger tagger(20 * 1024);
+  FragmentTagger tagger(Bytes{20 * 1024});
   // Head piece exactly 20 KB: NOT a fragment (must be strictly smaller).
   auto tagged = tagger.tag(decompose(44 * 1024, 64 * 1024));
   ASSERT_EQ(tagged.size(), 2u);
-  EXPECT_EQ(tagged[0].length, 20 * 1024);
+  EXPECT_EQ(tagged[0].length, Bytes{20 * 1024});
   EXPECT_FALSE(tagged[0].fragment);
   // One byte less: fragment.
   auto tagged2 = tagger.tag(decompose(44 * 1024 + 1, 64 * 1024));
-  EXPECT_EQ(tagged2[0].length, 20 * 1024 - 1);
+  EXPECT_EQ(tagged2[0].length, Bytes{20 * 1024 - 1});
   EXPECT_TRUE(tagged2[0].fragment);
 }
 
 TEST(FragmentTagger, BothEndsCanBeFragments) {
-  FragmentTagger tagger(20 * 1024);
+  FragmentTagger tagger(Bytes{20 * 1024});
   // 1 KB head + 64 KB middle + 1 KB tail.
   auto tagged = tagger.tag(decompose(63 * 1024, 66 * 1024));
   ASSERT_EQ(tagged.size(), 3u);
@@ -218,13 +218,13 @@ TEST(FragmentTagger, BothEndsCanBeFragments) {
 }
 
 TEST(FragmentTagger, SiblingsExcludeSelfAndPreserveOrder) {
-  FragmentTagger tagger(20 * 1024);
+  FragmentTagger tagger(Bytes{20 * 1024});
   auto tagged = tagger.tag(decompose(63 * 1024, 130 * 1024));
   ASSERT_GE(tagged.size(), 3u);
   for (const auto& t : tagged) {
     if (!t.fragment) continue;
     EXPECT_EQ(t.sibling_servers.size(), tagged.size() - 1);
-    for (int s : t.sibling_servers) EXPECT_NE(s, t.server);
+    for (ServerId s : t.sibling_servers) EXPECT_NE(s, t.server);
   }
 }
 

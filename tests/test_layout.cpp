@@ -10,86 +10,91 @@ namespace ibridge::pvfs {
 namespace {
 
 constexpr std::int64_t kKiB = 1024;
-constexpr std::int64_t kUnit = 64 * kKiB;
+constexpr std::int64_t kUnitRaw = 64 * kKiB;
+constexpr Bytes kUnit{kUnitRaw};
+
+Offset off(std::int64_t v) { return Offset{v}; }
+Bytes len(std::int64_t v) { return Bytes{v}; }
 
 TEST(StripingLayout, ServerOfRoundRobins) {
   StripingLayout l(4, kUnit);
-  EXPECT_EQ(l.server_of(0), 0);
-  EXPECT_EQ(l.server_of(kUnit - 1), 0);
-  EXPECT_EQ(l.server_of(kUnit), 1);
-  EXPECT_EQ(l.server_of(4 * kUnit), 0);
-  EXPECT_EQ(l.server_of(5 * kUnit + 3), 1);
+  EXPECT_EQ(l.server_of(off(0)), ServerId{0});
+  EXPECT_EQ(l.server_of(off(kUnitRaw - 1)), ServerId{0});
+  EXPECT_EQ(l.server_of(off(kUnitRaw)), ServerId{1});
+  EXPECT_EQ(l.server_of(off(4 * kUnitRaw)), ServerId{0});
+  EXPECT_EQ(l.server_of(off(5 * kUnitRaw + 3)), ServerId{1});
 }
 
 TEST(StripingLayout, ServerOffsetPacksStripes) {
   StripingLayout l(4, kUnit);
   // Stripe 5 (server 1) is server 1's second stripe -> offset unit + delta.
-  EXPECT_EQ(l.server_offset_of(5 * kUnit + 100), kUnit + 100);
-  EXPECT_EQ(l.server_offset_of(0), 0);
-  EXPECT_EQ(l.server_offset_of(4 * kUnit), kUnit);
+  EXPECT_EQ(l.server_offset_of(off(5 * kUnitRaw + 100)),
+            off(kUnitRaw + 100));
+  EXPECT_EQ(l.server_offset_of(off(0)), off(0));
+  EXPECT_EQ(l.server_offset_of(off(4 * kUnitRaw)), off(kUnitRaw));
 }
 
 TEST(StripingLayout, AlignedPredicate) {
   StripingLayout l(8, kUnit);
-  EXPECT_TRUE(l.aligned(0, kUnit));
-  EXPECT_TRUE(l.aligned(3 * kUnit, 2 * kUnit));
-  EXPECT_FALSE(l.aligned(1, kUnit));
-  EXPECT_FALSE(l.aligned(0, kUnit + 1));
+  EXPECT_TRUE(l.aligned(off(0), kUnit));
+  EXPECT_TRUE(l.aligned(off(3 * kUnitRaw), len(2 * kUnitRaw)));
+  EXPECT_FALSE(l.aligned(off(1), kUnit));
+  EXPECT_FALSE(l.aligned(off(0), len(kUnitRaw + 1)));
 }
 
 TEST(StripingLayout, AlignedRequestIsOnePiece) {
   StripingLayout l(8, kUnit);
-  auto v = l.decompose(2 * kUnit, kUnit);
+  auto v = l.decompose(off(2 * kUnitRaw), kUnit);
   ASSERT_EQ(v.size(), 1u);
-  EXPECT_EQ(v[0].server, 2);
-  EXPECT_EQ(v[0].server_offset, 0);
+  EXPECT_EQ(v[0].server, ServerId{2});
+  EXPECT_EQ(v[0].server_offset, off(0));
   EXPECT_EQ(v[0].length, kUnit);
 }
 
 TEST(StripingLayout, UnalignedRequestSplitsAtBoundaries) {
   StripingLayout l(8, kUnit);
   // 65 KB at offset 63 KB: 1 KB on server 0, 64 KB on server 1.
-  auto v = l.decompose(63 * kKiB, 65 * kKiB);
+  auto v = l.decompose(off(63 * kKiB), len(65 * kKiB));
   ASSERT_EQ(v.size(), 2u);
-  EXPECT_EQ(v[0].server, 0);
-  EXPECT_EQ(v[0].length, 1 * kKiB);
-  EXPECT_EQ(v[1].server, 1);
-  EXPECT_EQ(v[1].length, 64 * kKiB);
-  EXPECT_EQ(v[1].server_offset, 0);
+  EXPECT_EQ(v[0].server, ServerId{0});
+  EXPECT_EQ(v[0].length, len(1 * kKiB));
+  EXPECT_EQ(v[1].server, ServerId{1});
+  EXPECT_EQ(v[1].length, len(64 * kKiB));
+  EXPECT_EQ(v[1].server_offset, off(0));
 }
 
 TEST(StripingLayout, ShiftedRequestTouchesTwoServers) {
   StripingLayout l(8, kUnit);
   // Pattern III: 64 KB at +1 KB -> 63 KB + 1 KB on adjacent servers.
-  auto v = l.decompose(kKiB, kUnit);
+  auto v = l.decompose(off(kKiB), kUnit);
   ASSERT_EQ(v.size(), 2u);
-  EXPECT_EQ(v[0].length, 63 * kKiB);
-  EXPECT_EQ(v[1].length, 1 * kKiB);
-  EXPECT_EQ((v[0].server + 1) % 8, v[1].server);
+  EXPECT_EQ(v[0].length, len(63 * kKiB));
+  EXPECT_EQ(v[1].length, len(1 * kKiB));
+  EXPECT_EQ(ServerId{(v[0].server.index() + 1) % 8}, v[1].server);
 }
 
 TEST(StripingLayout, SingleServerCoalescesStripes) {
   StripingLayout l(1, kUnit);
-  auto v = l.decompose(10 * kKiB, 5 * kUnit);
+  auto v = l.decompose(off(10 * kKiB), len(5 * kUnitRaw));
   ASSERT_EQ(v.size(), 1u);
-  EXPECT_EQ(v[0].length, 5 * kUnit);
-  EXPECT_EQ(v[0].server_offset, 10 * kKiB);
+  EXPECT_EQ(v[0].length, len(5 * kUnitRaw));
+  EXPECT_EQ(v[0].server_offset, off(10 * kKiB));
 }
 
 TEST(StripingLayout, WrapAroundHitsSameServerTwice) {
   StripingLayout l(2, kUnit);
   // 3 units starting at server 0: pieces on servers 0,1,0.
-  auto v = l.decompose(0, 3 * kUnit);
+  auto v = l.decompose(off(0), len(3 * kUnitRaw));
   ASSERT_EQ(v.size(), 3u);
-  EXPECT_EQ(v[0].server, 0);
-  EXPECT_EQ(v[1].server, 1);
-  EXPECT_EQ(v[2].server, 0);
-  EXPECT_EQ(v[2].server_offset, kUnit);
+  EXPECT_EQ(v[0].server, ServerId{0});
+  EXPECT_EQ(v[1].server, ServerId{1});
+  EXPECT_EQ(v[2].server, ServerId{0});
+  EXPECT_EQ(v[2].server_offset, off(kUnitRaw));
 
-  auto merged = l.decompose_per_server(0, 3 * kUnit);
+  auto merged = l.decompose_per_server(off(0), len(3 * kUnitRaw));
   ASSERT_EQ(merged.size(), 2u);
-  EXPECT_EQ(merged[0].server, 0);
-  EXPECT_EQ(merged[0].length, 2 * kUnit);
+  EXPECT_EQ(merged[0].server, ServerId{0});
+  EXPECT_EQ(merged[0].length, len(2 * kUnitRaw));
   EXPECT_EQ(merged[1].length, kUnit);
 }
 
@@ -97,22 +102,26 @@ TEST(StripingLayout, ServerShareSumsToFileSize) {
   for (int servers : {1, 3, 8}) {
     StripingLayout l(servers, kUnit);
     for (std::int64_t size :
-         {kUnit / 2, kUnit, 7 * kUnit + 123, 100 * kUnit}) {
-      std::int64_t sum = 0;
-      for (int s = 0; s < servers; ++s) sum += l.server_share(size, s);
-      EXPECT_EQ(sum, size) << servers << " servers, size " << size;
+         {kUnitRaw / 2, kUnitRaw, 7 * kUnitRaw + 123, 100 * kUnitRaw}) {
+      Bytes sum = Bytes::zero();
+      for (int s = 0; s < servers; ++s) {
+        sum += l.server_share(len(size), ServerId{s});
+      }
+      EXPECT_EQ(sum, len(size)) << servers << " servers, size " << size;
     }
   }
 }
 
 TEST(StripingLayout, ServerShareMatchesDecomposedBytes) {
   StripingLayout l(4, kUnit);
-  const std::int64_t size = 11 * kUnit + 999;
-  auto pieces = l.decompose(0, size);
-  std::int64_t per_server[4] = {0, 0, 0, 0};
-  for (const auto& p : pieces) per_server[p.server] += p.length;
+  const std::int64_t size = 11 * kUnitRaw + 999;
+  auto pieces = l.decompose(off(0), len(size));
+  Bytes per_server[4] = {Bytes::zero(), Bytes::zero(), Bytes::zero(),
+                         Bytes::zero()};
+  for (const auto& p : pieces) per_server[p.server.index()] += p.length;
   for (int s = 0; s < 4; ++s) {
-    EXPECT_EQ(per_server[s], l.server_share(size, s)) << "server " << s;
+    EXPECT_EQ(per_server[s], l.server_share(len(size), ServerId{s}))
+        << "server " << s;
   }
 }
 
@@ -125,30 +134,30 @@ class DecomposeProperty
 TEST_P(DecomposeProperty, PiecesTileTheRange) {
   const auto [servers, offset, size] = GetParam();
   StripingLayout l(servers, kUnit);
-  auto v = l.decompose(offset, size);
+  auto v = l.decompose(off(offset), len(size));
   ASSERT_FALSE(v.empty());
 
-  std::int64_t pos = offset;
+  Offset pos = off(offset);
   for (const auto& p : v) {
     EXPECT_EQ(p.logical_offset, pos);
-    EXPECT_GT(p.length, 0);
-    EXPECT_LE(p.length, kUnit * (servers == 1 ? 1'000'000 : 1));
+    EXPECT_GT(p.length, Bytes::zero());
+    EXPECT_LE(p.length, (servers == 1 ? 1'000'000 : 1) * kUnit);
     EXPECT_EQ(p.server, l.server_of(p.logical_offset));
     EXPECT_EQ(p.server_offset, l.server_offset_of(p.logical_offset));
     if (servers > 1) {
       // A piece never crosses a striping-unit boundary.
       EXPECT_EQ(p.logical_offset / kUnit,
-                (p.logical_offset + p.length - 1) / kUnit);
+                (p.logical_offset + p.length - Bytes{1}) / kUnit);
     }
     pos += p.length;
   }
-  EXPECT_EQ(pos, offset + size);
+  EXPECT_EQ(pos, off(offset) + len(size));
 
   // Per-server merge preserves totals.
-  auto merged = l.decompose_per_server(offset, size);
-  std::int64_t total = 0;
+  auto merged = l.decompose_per_server(off(offset), len(size));
+  Bytes total = Bytes::zero();
   for (const auto& m : merged) total += m.length;
-  EXPECT_EQ(total, size);
+  EXPECT_EQ(total, len(size));
   EXPECT_LE(merged.size(), static_cast<std::size_t>(servers));
 }
 
@@ -156,11 +165,12 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, DecomposeProperty,
     ::testing::Combine(
         ::testing::Values(1, 2, 4, 8),
-        ::testing::Values<std::int64_t>(0, 1, 1023, 63 * kKiB, kUnit,
-                                        kUnit + 1, 10 * kUnit + 10 * kKiB),
-        ::testing::Values<std::int64_t>(1, kKiB, 33 * kKiB, kUnit - 1, kUnit,
-                                        65 * kKiB, 129 * kKiB,
-                                        8 * kUnit + 777)));
+        ::testing::Values<std::int64_t>(0, 1, 1023, 63 * kKiB, kUnitRaw,
+                                        kUnitRaw + 1,
+                                        10 * kUnitRaw + 10 * kKiB),
+        ::testing::Values<std::int64_t>(1, kKiB, 33 * kKiB, kUnitRaw - 1,
+                                        kUnitRaw, 65 * kKiB, 129 * kKiB,
+                                        8 * kUnitRaw + 777)));
 
 }  // namespace
 }  // namespace ibridge::pvfs

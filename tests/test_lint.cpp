@@ -1,0 +1,129 @@
+// Tests for ibridge-lint: every rule has a fixture that fires exactly that
+// rule, the clean fixture is silent, and the repository itself lints clean.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace ibridge::lint {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string dump(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  for (const auto& d : diags) {
+    out << "\n  " << d.file << ":" << d.line << ": [" << d.rule << "] "
+        << d.message;
+  }
+  return out.str();
+}
+
+/// Lints one fixture together with the helper header, so layering and
+/// include-what-you-use see a real project header.
+std::vector<Diagnostic> lint_fixture(const std::string& file,
+                                     const std::string& rel) {
+  std::vector<SourceFile> corpus;
+  corpus.push_back(
+      lex_source("src/core/widget.hpp", slurp(fixture_path("widget.hpp"))));
+  corpus.push_back(lex_source(rel, slurp(fixture_path(file))));
+  return lint_corpus(corpus);
+}
+
+struct FixtureCase {
+  const char* file;
+  const char* rel;   ///< path the fixture pretends to live at
+  const char* rule;  ///< the one rule expected to fire
+};
+
+const std::vector<FixtureCase>& cases() {
+  static const std::vector<FixtureCase> kCases = {
+      {"wall_clock.cc", "src/sim/fixture_clock.cpp", "wall-clock"},
+      {"rand.cc", "src/sim/fixture_rand.cpp", "rand"},
+      {"rng_construction.cc", "src/core/fixture_rng.cpp", "rng-construction"},
+      {"const_cast.cc", "src/core/fixture_cc.cpp", "const-cast"},
+      {"unordered_iteration.cc", "src/core/fixture_uo.cpp",
+       "unordered-iteration"},
+      {"pointer_key.cc", "src/core/fixture_pk.cpp", "pointer-key"},
+      {"layering.cc", "src/sim/fixture_layer.cpp", "layering"},
+      {"iwyu.cc", "src/cluster/fixture_iwyu.cpp", "include-what-you-use"},
+      {"raw_unit.cc", "src/core/fixture_raw.hpp", "raw-unit-type"},
+      {"suppression_no_reason.cc", "src/core/fixture_s1.hpp",
+       "lint-annotation"},
+      {"suppression_unknown.cc", "src/core/fixture_s2.hpp",
+       "lint-annotation"},
+      {"suppression_unused.cc", "src/core/fixture_s3.hpp",
+       "lint-annotation"},
+  };
+  return kCases;
+}
+
+TEST(LintFixtures, EachFixtureFiresExactlyItsRule) {
+  for (const auto& c : cases()) {
+    const auto diags = lint_fixture(c.file, c.rel);
+    ASSERT_EQ(diags.size(), 1u) << c.file << dump(diags);
+    EXPECT_EQ(diags[0].rule, c.rule) << c.file << dump(diags);
+    EXPECT_EQ(diags[0].file, c.rel) << c.file;
+    EXPECT_GT(diags[0].line, 0) << c.file;
+  }
+}
+
+TEST(LintFixtures, CleanFixtureIsSilent) {
+  const auto diags = lint_fixture("clean.cc", "src/core/fixture_clean.hpp");
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+TEST(LintFixtures, EveryRegisteredRuleHasAFixture) {
+  std::set<std::string> covered;
+  for (const auto& c : cases()) covered.insert(c.rule);
+  for (const auto& r : rules()) {
+    EXPECT_TRUE(covered.count(r.id) != 0)
+        << "rule '" << r.id << "' has no failing fixture";
+  }
+}
+
+TEST(LintLexer, TracksLinesStringsAndIncludes) {
+  const auto f = lex_source("src/sim/lexed.cpp",
+                            "#include \"sim/units.hpp\"\n"
+                            "#include <vector>\n"
+                            "const char* s = \"not an ident: rand(\";\n"
+                            "int x = 0;  // trailing comment\n");
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].path, "sim/units.hpp");
+  EXPECT_TRUE(f.includes[0].quoted);
+  EXPECT_FALSE(f.includes[1].quoted);
+  EXPECT_EQ(f.module, "sim");
+  ASSERT_EQ(f.comments.size(), 1u);
+  EXPECT_EQ(f.comments[0].line, 4);
+  // The banned name inside a string literal is not an identifier token.
+  bool saw_rand_ident = false;
+  for (const auto& tok : f.tokens) {
+    if (tok.kind == TokKind::kIdent && tok.text == "rand") {
+      saw_rand_ident = true;
+    }
+  }
+  EXPECT_FALSE(saw_rand_ident);
+}
+
+TEST(LintTree, RepositoryIsClean) {
+  const auto diags = lint_tree(IBRIDGE_SOURCE_ROOT);
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+}  // namespace
+}  // namespace ibridge::lint

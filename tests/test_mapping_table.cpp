@@ -21,49 +21,53 @@ namespace {
 constexpr fsim::FileId kF = 1;
 constexpr fsim::FileId kG = 2;
 
-CacheEntry entry(std::int64_t off, std::int64_t len, std::int64_t log_off,
-                 bool dirty = false, CacheClass c = CacheClass::kRegular,
-                 double ret = 1.0) {
-  return CacheEntry{kF, off, len, log_off, dirty, c, ret};
+Offset off(std::int64_t v) { return Offset{v}; }
+Bytes len(std::int64_t v) { return Bytes{v}; }
+
+CacheEntry entry(std::int64_t file_off, std::int64_t length,
+                 std::int64_t log_off, bool dirty = false,
+                 CacheClass c = CacheClass::kRegular, double ret = 1.0) {
+  return CacheEntry{kF, off(file_off), len(length), off(log_off), dirty, c,
+                    ret};
 }
 
 TEST(MappingTable, ExactCoverageHit) {
   MappingTable t;
   t.insert(entry(100, 50, 1000));
-  auto cov = t.coverage(kF, 100, 50);
+  auto cov = t.coverage(kF, off(100), len(50));
   ASSERT_EQ(cov.size(), 1u);
-  EXPECT_EQ(cov[0].log_off, 1000);
-  EXPECT_EQ(cov[0].length, 50);
+  EXPECT_EQ(cov[0].log_off, off(1000));
+  EXPECT_EQ(cov[0].length, len(50));
 }
 
 TEST(MappingTable, InteriorSliceHit) {
   MappingTable t;
   t.insert(entry(100, 50, 1000));
-  auto cov = t.coverage(kF, 110, 20);
+  auto cov = t.coverage(kF, off(110), len(20));
   ASSERT_EQ(cov.size(), 1u);
-  EXPECT_EQ(cov[0].log_off, 1010);
-  EXPECT_EQ(cov[0].length, 20);
+  EXPECT_EQ(cov[0].log_off, off(1010));
+  EXPECT_EQ(cov[0].length, len(20));
 }
 
 TEST(MappingTable, TiledCoverageAcrossEntries) {
   MappingTable t;
   t.insert(entry(0, 100, 5000));
   t.insert(entry(100, 100, 9000));
-  auto cov = t.coverage(kF, 50, 100);
+  auto cov = t.coverage(kF, off(50), len(100));
   ASSERT_EQ(cov.size(), 2u);
-  EXPECT_EQ(cov[0].log_off, 5050);
-  EXPECT_EQ(cov[0].length, 50);
-  EXPECT_EQ(cov[1].log_off, 9000);
-  EXPECT_EQ(cov[1].length, 50);
+  EXPECT_EQ(cov[0].log_off, off(5050));
+  EXPECT_EQ(cov[0].length, len(50));
+  EXPECT_EQ(cov[1].log_off, off(9000));
+  EXPECT_EQ(cov[1].length, len(50));
 }
 
 TEST(MappingTable, GapMeansMiss) {
   MappingTable t;
   t.insert(entry(0, 100, 5000));
   t.insert(entry(150, 100, 9000));
-  EXPECT_TRUE(t.coverage(kF, 50, 150).empty());
-  EXPECT_TRUE(t.coverage(kF, 240, 20).empty());
-  EXPECT_TRUE(t.coverage(kG, 0, 10).empty());
+  EXPECT_TRUE(t.coverage(kF, off(50), len(150)).empty());
+  EXPECT_TRUE(t.coverage(kF, off(240), len(20)).empty());
+  EXPECT_TRUE(t.coverage(kG, off(0), len(10)).empty());
 }
 
 TEST(MappingTable, OverlappingFindsAllIntersections) {
@@ -72,56 +76,56 @@ TEST(MappingTable, OverlappingFindsAllIntersections) {
   const EntryId b = t.insert(entry(200, 100, 200));
   const EntryId c = t.insert(entry(400, 100, 400));
   (void)c;
-  auto ov = t.overlapping(kF, 90, 150);  // clips a and b
+  auto ov = t.overlapping(kF, off(90), len(150));  // clips a and b
   ASSERT_EQ(ov.size(), 2u);
   EXPECT_EQ(ov[0], a);
   EXPECT_EQ(ov[1], b);
-  EXPECT_TRUE(t.overlapping(kF, 100, 100).empty());
-  EXPECT_TRUE(t.overlapping(kF, 999, 1).empty());
+  EXPECT_TRUE(t.overlapping(kF, off(100), len(100)).empty());
+  EXPECT_TRUE(t.overlapping(kF, off(999), len(1)).empty());
 }
 
 TEST(MappingTable, TrimLeftEdge) {
   MappingTable t;
   const EntryId id = t.insert(entry(100, 100, 1000, true));
-  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
-  t.trim(id, 80, 50, freed);  // cuts [100,130)
+  std::vector<std::pair<Offset, Bytes>> freed;
+  t.trim(id, off(80), len(50), freed);  // cuts [100,130)
   ASSERT_EQ(freed.size(), 1u);
-  EXPECT_EQ(freed[0], std::make_pair(std::int64_t{1000}, std::int64_t{30}));
-  auto cov = t.coverage(kF, 130, 70);
+  EXPECT_EQ(freed[0], std::make_pair(off(1000), len(30)));
+  auto cov = t.coverage(kF, off(130), len(70));
   ASSERT_EQ(cov.size(), 1u);
-  EXPECT_EQ(cov[0].log_off, 1030);
-  EXPECT_TRUE(t.coverage(kF, 100, 40).empty());
-  EXPECT_EQ(t.dirty_bytes(), 70);
+  EXPECT_EQ(cov[0].log_off, off(1030));
+  EXPECT_TRUE(t.coverage(kF, off(100), len(40)).empty());
+  EXPECT_EQ(t.dirty_bytes(), len(70));
 }
 
 TEST(MappingTable, TrimInteriorSplitsEntry) {
   MappingTable t;
   const EntryId id =
       t.insert(entry(0, 100, 500, true, CacheClass::kFragment, 2.5));
-  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
-  t.trim(id, 40, 20, freed);
+  std::vector<std::pair<Offset, Bytes>> freed;
+  t.trim(id, off(40), len(20), freed);
   ASSERT_EQ(freed.size(), 1u);
-  EXPECT_EQ(freed[0].first, 540);
-  EXPECT_EQ(freed[0].second, 20);
+  EXPECT_EQ(freed[0].first, off(540));
+  EXPECT_EQ(freed[0].second, len(20));
   EXPECT_EQ(t.entry_count(), 2u);
-  auto left = t.coverage(kF, 0, 40);
-  auto right = t.coverage(kF, 60, 40);
+  auto left = t.coverage(kF, off(0), len(40));
+  auto right = t.coverage(kF, off(60), len(40));
   ASSERT_EQ(left.size(), 1u);
   ASSERT_EQ(right.size(), 1u);
-  EXPECT_EQ(left[0].log_off, 500);
-  EXPECT_EQ(right[0].log_off, 560);
-  EXPECT_TRUE(t.coverage(kF, 40, 20).empty());
+  EXPECT_EQ(left[0].log_off, off(500));
+  EXPECT_EQ(right[0].log_off, off(560));
+  EXPECT_TRUE(t.coverage(kF, off(40), len(20)).empty());
   // Split pieces keep class, dirty flag and return value.
-  EXPECT_EQ(t.bytes_cached(CacheClass::kFragment), 80);
-  EXPECT_EQ(t.dirty_bytes(), 80);
+  EXPECT_EQ(t.bytes_cached(CacheClass::kFragment), len(80));
+  EXPECT_EQ(t.dirty_bytes(), len(80));
   EXPECT_NEAR(t.return_sum(CacheClass::kFragment), 5.0, 1e-9);
 }
 
 TEST(MappingTable, TrimWholeEntryRemovesIt) {
   MappingTable t;
   const EntryId id = t.insert(entry(0, 100, 500));
-  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
-  t.trim(id, 0, 100, freed);
+  std::vector<std::pair<Offset, Bytes>> freed;
+  t.trim(id, off(0), len(100), freed);
   EXPECT_EQ(t.entry_count(), 0u);
   EXPECT_FALSE(t.contains(id));
 }
@@ -129,8 +133,8 @@ TEST(MappingTable, TrimWholeEntryRemovesIt) {
 TEST(MappingTable, TrimNoIntersectionIsNoop) {
   MappingTable t;
   const EntryId id = t.insert(entry(0, 100, 500));
-  std::vector<std::pair<std::int64_t, std::int64_t>> freed;
-  t.trim(id, 200, 50, freed);
+  std::vector<std::pair<Offset, Bytes>> freed;
+  t.trim(id, off(200), len(50), freed);
   EXPECT_TRUE(freed.empty());
   EXPECT_TRUE(t.contains(id));
 }
@@ -162,9 +166,9 @@ TEST(MappingTable, AccountingTracksBytesAndReturns) {
   MappingTable t;
   t.insert(entry(0, 30, 0, true, CacheClass::kFragment, 4.0));
   t.insert(entry(100, 70, 100, false, CacheClass::kRegular, 2.0));
-  EXPECT_EQ(t.bytes_cached(), 100);
-  EXPECT_EQ(t.bytes_cached(CacheClass::kFragment), 30);
-  EXPECT_EQ(t.dirty_bytes(), 30);
+  EXPECT_EQ(t.bytes_cached(), len(100));
+  EXPECT_EQ(t.bytes_cached(CacheClass::kFragment), len(30));
+  EXPECT_EQ(t.dirty_bytes(), len(30));
   EXPECT_DOUBLE_EQ(t.return_avg(CacheClass::kFragment), 4.0);
   EXPECT_DOUBLE_EQ(t.return_avg(CacheClass::kRegular), 2.0);
 }
@@ -172,13 +176,13 @@ TEST(MappingTable, AccountingTracksBytesAndReturns) {
 TEST(MappingTable, MarkCleanAndDirtyAdjustAccounting) {
   MappingTable t;
   const EntryId id = t.insert(entry(0, 50, 0, true));
-  EXPECT_EQ(t.dirty_bytes(), 50);
+  EXPECT_EQ(t.dirty_bytes(), len(50));
   t.mark_clean(id);
-  EXPECT_EQ(t.dirty_bytes(), 0);
+  EXPECT_EQ(t.dirty_bytes(), len(0));
   t.mark_clean(id);  // idempotent
-  EXPECT_EQ(t.dirty_bytes(), 0);
+  EXPECT_EQ(t.dirty_bytes(), len(0));
   t.mark_dirty(id);
-  EXPECT_EQ(t.dirty_bytes(), 50);
+  EXPECT_EQ(t.dirty_bytes(), len(50));
 }
 
 TEST(MappingTable, DirtyEntriesRespectsBudget) {
@@ -186,10 +190,10 @@ TEST(MappingTable, DirtyEntriesRespectsBudget) {
   for (int i = 0; i < 10; ++i) {
     t.insert(entry(i * 100, 50, i * 100, true));
   }
-  auto batch = t.dirty_entries(120);
+  auto batch = t.dirty_entries(len(120));
   // 50-byte entries: budget 120 admits two (a third would exceed it).
   EXPECT_EQ(batch.size(), 2u);
-  auto all = t.dirty_entries(1 << 30);
+  auto all = t.dirty_entries(len(1 << 30));
   EXPECT_EQ(all.size(), 10u);
 }
 
@@ -198,7 +202,7 @@ TEST(MappingTable, DirtyEntriesSkipsClean) {
   const EntryId a = t.insert(entry(0, 50, 0, true));
   t.insert(entry(100, 50, 100, false));
   t.mark_clean(a);
-  EXPECT_TRUE(t.dirty_entries(1 << 30).empty());
+  EXPECT_TRUE(t.dirty_entries(len(1 << 30)).empty());
 }
 
 TEST(MappingTable, EntriesInLogRange) {
@@ -206,14 +210,14 @@ TEST(MappingTable, EntriesInLogRange) {
   const EntryId a = t.insert(entry(0, 50, 0));
   const EntryId b = t.insert(entry(100, 50, 1000));
   const EntryId c = t.insert(entry(200, 50, 2000));
-  auto in = t.entries_in_log_range(900, 1100);
+  auto in = t.entries_in_log_range(off(900), off(1100));
   ASSERT_EQ(in.size(), 1u);
   EXPECT_EQ(in[0], b);
   // Partial intersection from the left neighbour counts.
-  auto in2 = t.entries_in_log_range(40, 60);
+  auto in2 = t.entries_in_log_range(off(40), off(60));
   ASSERT_EQ(in2.size(), 1u);
   EXPECT_EQ(in2[0], a);
-  EXPECT_TRUE(t.entries_in_log_range(3000, 4000).empty());
+  EXPECT_TRUE(t.entries_in_log_range(off(3000), off(4000)).empty());
   (void)c;
 }
 
@@ -221,11 +225,11 @@ TEST(MappingTable, EraseReturnsEntryAndCleansIndexes) {
   MappingTable t;
   const EntryId id = t.insert(entry(0, 50, 777, true));
   const CacheEntry e = t.erase(id);
-  EXPECT_EQ(e.log_off, 777);
+  EXPECT_EQ(e.log_off, off(777));
   EXPECT_EQ(t.entry_count(), 0u);
-  EXPECT_EQ(t.dirty_bytes(), 0);
-  EXPECT_TRUE(t.coverage(kF, 0, 50).empty());
-  EXPECT_TRUE(t.entries_in_log_range(0, 10'000).empty());
+  EXPECT_EQ(t.dirty_bytes(), len(0));
+  EXPECT_TRUE(t.coverage(kF, off(0), len(50)).empty());
+  EXPECT_TRUE(t.entries_in_log_range(off(0), off(10'000)).empty());
   // Space is reusable immediately.
   t.insert(entry(0, 50, 777));
   EXPECT_EQ(t.entry_count(), 1u);
@@ -237,9 +241,9 @@ TEST(MappingTable, MultipleFilesAreIsolated) {
   CacheEntry g = entry(0, 50, 100);
   g.file = kG;
   t.insert(g);
-  EXPECT_EQ(t.coverage(kF, 0, 50)[0].log_off, 0);
-  EXPECT_EQ(t.coverage(kG, 0, 50)[0].log_off, 100);
-  EXPECT_EQ(t.overlapping(kG, 0, 10).size(), 1u);
+  EXPECT_EQ(t.coverage(kF, off(0), len(50))[0].log_off, off(0));
+  EXPECT_EQ(t.coverage(kG, off(0), len(50))[0].log_off, off(100));
+  EXPECT_EQ(t.overlapping(kG, off(0), len(10)).size(), 1u);
 }
 
 // ------------------------------------------------- persistence / recovery ----
@@ -273,8 +277,8 @@ TEST(MappingTable, SaveLoadRoundTripsEntriesAndLru) {
       EXPECT_EQ(t.get(lt[i]).file_off, r.get(lr[i]).file_off);
     }
   }
-  EXPECT_EQ(r.coverage(kF, 100, 50)[0].log_off, 64);
-  EXPECT_EQ(r.coverage(kG, 300, 20)[0].log_off, 128);
+  EXPECT_EQ(r.coverage(kF, off(100), len(50))[0].log_off, off(64));
+  EXPECT_EQ(r.coverage(kG, off(300), len(20))[0].log_off, off(128));
 }
 
 TEST(MappingTable, LoadRejectsMalformedAndOverlappingInput) {
@@ -325,17 +329,17 @@ TEST(MappingTableRecovery, MidWorkloadPersistReopenAgreesWithLog) {
   cfg.log_segment_bytes = 32 << 10;
   cfg.admission = AdmissionPolicy::kAlwaysSmall;  // admit aggressively
   storage::SeekProfile profile({{1000, 0.5}, {100'000, 1.5}});
-  IBridgeCache cache(sim, cfg, 0, disk_fs, ssd_fs, profile);
+  IBridgeCache cache(sim, cfg, ServerId{0}, disk_fs, ssd_fs, profile);
   cache.start();
   const fsim::FileId file = disk_fs.create("df", 4 << 20);
 
   sim::Rng rng(0xc0ffee);
-  auto op = [&](bool write, std::int64_t off, std::int64_t len) {
-    std::vector<std::byte> buf(static_cast<std::size_t>(len), std::byte{7});
+  auto op = [&](bool write, std::int64_t o, std::int64_t l) {
+    std::vector<std::byte> buf(static_cast<std::size_t>(l), std::byte{7});
     CacheRequest r{write ? storage::IoDirection::kWrite
                          : storage::IoDirection::kRead,
-                   file, off, len, /*fragment=*/len < cfg.fragment_threshold,
-                   {}, 0};
+                   file, off(o), len(l),
+                   /*fragment=*/l < cfg.fragment_threshold, {}, 0};
     bool done = false;
     auto t = [](IBridgeCache& c, CacheRequest req, std::vector<std::byte>& d,
                 bool w, bool& flag) -> sim::Task<> {
@@ -353,8 +357,8 @@ TEST(MappingTableRecovery, MidWorkloadPersistReopenAgreesWithLog) {
   std::stringstream persisted;
   std::uint64_t digest_at_persist = 0;
   for (int i = 0; i < 40; ++i) {
-    const std::int64_t len = rng.uniform(1, 24) << 10;
-    op(rng.chance(0.6), rng.uniform(0, (4 << 20) - len), len);
+    const std::int64_t l = rng.uniform(1, 24) << 10;
+    op(rng.chance(0.6), rng.uniform(0, (4 << 20) - l), l);
     if (i == 19) {
       cache.table().save(persisted);
       digest_at_persist = check::table_digest(cache.table());

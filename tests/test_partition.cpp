@@ -17,87 +17,87 @@ void add(MappingTable& t, CacheClass c, std::int64_t off, std::int64_t len,
          double ret) {
   CacheEntry e;
   e.file = 1;
-  e.file_off = off;
-  e.length = len;
-  e.log_off = off;
+  e.file_off = Offset{off};
+  e.length = Bytes{len};
+  e.log_off = Offset{off};
   e.klass = c;
   e.ret_ms = ret;
   t.insert(e);
 }
 
 TEST(PartitionController, EvenSplitWithNoSignal) {
-  PartitionController p(dynamic_cfg(), 1000);
+  PartitionController p(dynamic_cfg(), Bytes{1000});
   MappingTable t;
-  EXPECT_EQ(p.quota(t, CacheClass::kFragment), 500);
-  EXPECT_EQ(p.quota(t, CacheClass::kRegular), 500);
+  EXPECT_EQ(p.quota(t, CacheClass::kFragment), Bytes{500});
+  EXPECT_EQ(p.quota(t, CacheClass::kRegular), Bytes{500});
 }
 
 TEST(PartitionController, QuotasAlwaysSumToCapacity) {
-  PartitionController p(dynamic_cfg(), 1000);
+  PartitionController p(dynamic_cfg(), Bytes{1000});
   MappingTable t;
   add(t, CacheClass::kFragment, 0, 10, 3.0);
   add(t, CacheClass::kRegular, 100, 10, 1.0);
   EXPECT_EQ(p.quota(t, CacheClass::kFragment) +
                 p.quota(t, CacheClass::kRegular),
-            1000);
+            Bytes{1000});
 }
 
 TEST(PartitionController, ProportionalToAverageReturns) {
-  PartitionController p(dynamic_cfg(), 1000);
+  PartitionController p(dynamic_cfg(), Bytes{1000});
   MappingTable t;
   add(t, CacheClass::kFragment, 0, 10, 3.0);
   add(t, CacheClass::kRegular, 100, 10, 1.0);
-  EXPECT_EQ(p.quota(t, CacheClass::kFragment), 750);
-  EXPECT_EQ(p.quota(t, CacheClass::kRegular), 250);
+  EXPECT_EQ(p.quota(t, CacheClass::kFragment), Bytes{750});
+  EXPECT_EQ(p.quota(t, CacheClass::kRegular), Bytes{250});
 }
 
 TEST(PartitionController, AverageNotSumDrivesTheSplit) {
-  PartitionController p(dynamic_cfg(), 1000);
+  PartitionController p(dynamic_cfg(), Bytes{1000});
   MappingTable t;
   // Regular class has many low-return items: sum larger, average smaller.
   add(t, CacheClass::kFragment, 0, 10, 4.0);
   for (int i = 0; i < 8; ++i) {
     add(t, CacheClass::kRegular, 100 + i * 20, 10, 1.0);
   }
-  EXPECT_EQ(p.quota(t, CacheClass::kFragment), 800);
+  EXPECT_EQ(p.quota(t, CacheClass::kFragment), Bytes{800});
 }
 
 TEST(PartitionController, FloorProtectsEmptyClass) {
-  PartitionController p(dynamic_cfg(), 1000);
+  PartitionController p(dynamic_cfg(), Bytes{1000});
   MappingTable t;
   add(t, CacheClass::kRegular, 0, 10, 5.0);
   // Fragments have no cached items (average 0), but keep the 5% floor.
-  EXPECT_EQ(p.quota(t, CacheClass::kFragment), 50);
-  EXPECT_EQ(p.quota(t, CacheClass::kRegular), 950);
+  EXPECT_EQ(p.quota(t, CacheClass::kFragment), Bytes{50});
+  EXPECT_EQ(p.quota(t, CacheClass::kRegular), Bytes{950});
 }
 
 TEST(PartitionController, StaticOneToOne) {
   IBridgeConfig c;
   c.partition_mode = PartitionMode::kStatic;
   c.static_fragment_share = 0.5;
-  PartitionController p(c, 1000);
+  PartitionController p(c, Bytes{1000});
   MappingTable t;
   add(t, CacheClass::kFragment, 0, 10, 100.0);  // returns must be ignored
-  EXPECT_EQ(p.quota(t, CacheClass::kFragment), 500);
+  EXPECT_EQ(p.quota(t, CacheClass::kFragment), Bytes{500});
 }
 
 TEST(PartitionController, StaticOneToTwo) {
   IBridgeConfig c;
   c.partition_mode = PartitionMode::kStatic;
   c.static_fragment_share = 2.0 / 3.0;
-  PartitionController p(c, 900);
+  PartitionController p(c, Bytes{900});
   MappingTable t;
-  EXPECT_EQ(p.quota(t, CacheClass::kFragment), 600);
-  EXPECT_EQ(p.quota(t, CacheClass::kRegular), 300);
+  EXPECT_EQ(p.quota(t, CacheClass::kFragment), Bytes{600});
+  EXPECT_EQ(p.quota(t, CacheClass::kRegular), Bytes{300});
 }
 
 TEST(PartitionController, OverQuotaDetection) {
-  PartitionController p(dynamic_cfg(), 1000);
+  PartitionController p(dynamic_cfg(), Bytes{1000});
   MappingTable t;
   add(t, CacheClass::kFragment, 0, 490, 1.0);
   add(t, CacheClass::kRegular, 1000, 490, 1.0);
-  EXPECT_FALSE(p.over_quota(t, CacheClass::kFragment, 10));
-  EXPECT_TRUE(p.over_quota(t, CacheClass::kFragment, 11));
+  EXPECT_FALSE(p.over_quota(t, CacheClass::kFragment, Bytes{10}));
+  EXPECT_TRUE(p.over_quota(t, CacheClass::kFragment, Bytes{11}));
 }
 
 }  // namespace

@@ -52,9 +52,9 @@ TEST(DeviceProfiler, LearnsPeakBandwidths) {
 TEST(DeviceProfiler, LearnsWriteSurcharges) {
   const HddParams truth = paper_hdd();
   const SeekProfile p = learn(truth);
-  EXPECT_NEAR(p.write_surcharge_ms(4096),
+  EXPECT_NEAR(p.write_surcharge_ms(sim::Bytes{4096}),
               truth.write_settle_ms + truth.small_write_penalty_ms, 0.5);
-  EXPECT_NEAR(p.write_surcharge_ms(64 * 1024), truth.write_settle_ms, 0.5);
+  EXPECT_NEAR(p.write_surcharge_ms(sim::Bytes{64 * 1024}), truth.write_settle_ms, 0.5);
 }
 
 TEST(DeviceProfiler, SeekCurveTracksGroundTruth) {

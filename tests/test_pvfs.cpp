@@ -75,7 +75,8 @@ TEST(MetadataServer, CreatesDatafilesWithCorrectShares) {
   ASSERT_EQ(f.datafiles.size(), 4u);
   for (int s = 0; s < 4; ++s) {
     const auto& df = c.server(s).fs().file(f.datafiles[static_cast<size_t>(s)]);
-    EXPECT_GE(df.size(), f.layout.server_share(size, s));
+    EXPECT_GE(df.size(),
+              f.layout.server_share(sim::Bytes{size}, sim::ServerId{s}).count());
     EXPECT_TRUE(df.contiguous());
   }
 }
@@ -120,17 +121,17 @@ TEST(Client, SubRequestsLandOnCorrectServers) {
   // Write one striping unit to stripe 2 -> server 2 only.
   const auto data = pattern(64 * 1024, 7);
   client_write(c, fh, 0, 2 * 64 * 1024, data);
-  EXPECT_EQ(c.server(2).bytes_served(), 64 * 1024);
-  EXPECT_EQ(c.server(0).bytes_served(), 0);
-  EXPECT_EQ(c.server(1).bytes_served(), 0);
+  EXPECT_EQ(c.server(2).bytes_served(), sim::Bytes{64 * 1024});
+  EXPECT_EQ(c.server(0).bytes_served(), sim::Bytes::zero());
+  EXPECT_EQ(c.server(1).bytes_served(), sim::Bytes::zero());
 }
 
 TEST(Client, UnalignedRequestFansOutToTwoServers) {
   cluster::Cluster c(verify_config(false));
   const FileHandle fh = c.create_file("f", 8 << 20);
   client_write(c, fh, 0, 63 * 1024, pattern(2048, 9));
-  EXPECT_EQ(c.server(0).bytes_served(), 1024);
-  EXPECT_EQ(c.server(1).bytes_served(), 1024);
+  EXPECT_EQ(c.server(0).bytes_served(), sim::Bytes{1024});
+  EXPECT_EQ(c.server(1).bytes_served(), sim::Bytes{1024});
 }
 
 TEST(Client, RequestTimeIsMaxOfSubRequests) {

@@ -62,8 +62,8 @@ CacheFuzzOutcome fuzz_cache_once(const FuzzCase& c) {
   fsim::LocalFileSystem ssd_fs(sim, ssd, fsim::DataMode::kVerify);
 
   storage::SeekProfile profile({{1000, 0.5}, {100'000, 1.5}});
-  core::IBridgeCache cache(sim, c.base.server.ibridge, 0, disk_fs, ssd_fs,
-                           profile);
+  core::IBridgeCache cache(sim, c.base.server.ibridge, sim::ServerId{0},
+                           disk_fs, ssd_fs, profile);
   InvariantOracle oracle;
   cache.set_observer(&oracle);
   cache.start();
@@ -82,7 +82,7 @@ CacheFuzzOutcome fuzz_cache_once(const FuzzCase& c) {
     if (rec.write) fill_payload(buf, record_seed(c.seed, i));
     core::CacheRequest req{rec.write ? storage::IoDirection::kWrite
                                      : storage::IoDirection::kRead,
-                           file, off, size,
+                           file, sim::Offset{off}, sim::Bytes{size},
                            /*fragment=*/size < frag && (i % 2 == 0),
                            {}, 0};
     bool done = false;
@@ -121,7 +121,7 @@ CacheFuzzOutcome fuzz_cache_once(const FuzzCase& c) {
   sim.run();
 
   if (out.ok()) {
-    if (cache.table().dirty_bytes() != 0) {
+    if (cache.table().dirty_bytes() != sim::Bytes::zero()) {
       out.failure = "dirty bytes survived drain";
     }
     for (const auto& v : verify_cache(cache, /*quiescent=*/true)) {

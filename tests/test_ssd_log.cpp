@@ -6,102 +6,113 @@
 namespace ibridge::core {
 namespace {
 
+using sim::Bytes;
+using sim::Offset;
+
+Bytes len(std::int64_t v) { return Bytes{v}; }
+Offset off(std::int64_t v) { return Offset{v}; }
+
 TEST(SsdLog, AppendsSequentiallyWithinSegment) {
-  SsdLog log(1000, 100);
-  EXPECT_EQ(log.append(30), 0);
-  EXPECT_EQ(log.append(30), 30);
-  EXPECT_EQ(log.append(30), 60);
-  EXPECT_EQ(log.live_bytes(), 90);
+  SsdLog log(len(1000), len(100));
+  EXPECT_EQ(log.append(len(30)), off(0));
+  EXPECT_EQ(log.append(len(30)), off(30));
+  EXPECT_EQ(log.append(len(30)), off(60));
+  EXPECT_EQ(log.live_bytes(), len(90));
 }
 
 TEST(SsdLog, SealsSegmentWhenAllocationDoesNotFit) {
-  SsdLog log(1000, 100);
-  EXPECT_EQ(log.append(60), 0);
+  SsdLog log(len(1000), len(100));
+  EXPECT_EQ(log.append(len(60)), off(0));
   // 60 more does not fit in segment 0 (head 60) -> new segment at 100.
-  EXPECT_EQ(log.append(60), 100);
+  EXPECT_EQ(log.append(len(60)), off(100));
 }
 
 TEST(SsdLog, ReleaseFreesSegmentWhenFullyDead) {
-  SsdLog log(300, 100);
-  const auto a = log.append(100);  // fills segment 0
-  const auto b = log.append(100);  // fills segment 1
-  const auto c = log.append(100);  // fills segment 2
+  SsdLog log(len(300), len(100));
+  const auto a = log.append(len(100));  // fills segment 0
+  const auto b = log.append(len(100));  // fills segment 1
+  const auto c = log.append(len(100));  // fills segment 2
+  ASSERT_TRUE(a.has_value());
   (void)b;
   (void)c;
   EXPECT_EQ(log.free_segment_count(), 0);
-  EXPECT_FALSE(log.has_room(10));
-  log.release(a, 100);
+  EXPECT_FALSE(log.has_room(len(10)));
+  log.release(*a, len(100));
   EXPECT_EQ(log.free_segment_count(), 1);
-  EXPECT_TRUE(log.has_room(10));
-  EXPECT_EQ(log.append(10), 0);  // reuses the freed segment
+  EXPECT_TRUE(log.has_room(len(10)));
+  EXPECT_EQ(log.append(len(10)), off(0));  // reuses the freed segment
 }
 
 TEST(SsdLog, PartialReleaseKeepsSegmentLive) {
-  SsdLog log(300, 100);
-  const auto a = log.append(100);
-  log.append(100);
-  log.append(100);
-  log.release(a, 40);
+  SsdLog log(len(300), len(100));
+  const auto a = log.append(len(100));
+  ASSERT_TRUE(a.has_value());
+  log.append(len(100));
+  log.append(len(100));
+  log.release(*a, len(40));
   EXPECT_EQ(log.free_segment_count(), 0);
-  log.release(a + 40, 60);
+  log.release(*a + len(40), len(60));
   EXPECT_EQ(log.free_segment_count(), 1);
 }
 
 TEST(SsdLog, VictimIsLeastLiveNonActiveSegment) {
-  SsdLog log(300, 100);
-  const auto a = log.append(100);  // segment 0: live 100
-  const auto b = log.append(100);  // segment 1: live 100
-  log.append(10);                  // segment 2 active
-  log.release(a, 80);              // segment 0: live 20
-  log.release(b, 50);              // segment 1: live 50
+  SsdLog log(len(300), len(100));
+  const auto a = log.append(len(100));  // segment 0: live 100
+  const auto b = log.append(len(100));  // segment 1: live 100
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  log.append(len(10));      // segment 2 active
+  log.release(*a, len(80));  // segment 0: live 20
+  log.release(*b, len(50));  // segment 1: live 50
   EXPECT_EQ(log.victim_segment(), 0);
   auto [begin, end] = log.segment_range(0);
-  EXPECT_EQ(begin, 0);
-  EXPECT_EQ(end, 100);
+  EXPECT_EQ(begin, off(0));
+  EXPECT_EQ(end, off(100));
 }
 
 TEST(SsdLog, VictimIgnoresActiveAndEmptySegments) {
-  SsdLog log(300, 100);
-  log.append(10);  // segment 0 active, live 10
+  SsdLog log(len(300), len(100));
+  log.append(len(10));  // segment 0 active, live 10
   EXPECT_EQ(log.victim_segment(), -1);
 }
 
 TEST(SsdLog, HasRoomConsidersActiveHeadAndFreeList) {
-  SsdLog log(200, 100);
-  EXPECT_TRUE(log.has_room(100));
-  log.append(90);
-  EXPECT_TRUE(log.has_room(50));   // new segment available
-  log.append(90);                  // takes segment 1
-  EXPECT_TRUE(log.has_room(10));   // head room in segment 1
-  EXPECT_FALSE(log.has_room(50));  // neither head nor free segment
+  SsdLog log(len(200), len(100));
+  EXPECT_TRUE(log.has_room(len(100)));
+  log.append(len(90));
+  EXPECT_TRUE(log.has_room(len(50)));   // new segment available
+  log.append(len(90));                  // takes segment 1
+  EXPECT_TRUE(log.has_room(len(10)));   // head room in segment 1
+  EXPECT_FALSE(log.has_room(len(50)));  // neither head nor free segment
 }
 
 TEST(SsdLog, CapacityAndSegmentBytes) {
-  SsdLog log(1024, 256);
-  EXPECT_EQ(log.capacity(), 1024);
-  EXPECT_EQ(log.segment_bytes(), 256);
+  SsdLog log(len(1024), len(256));
+  EXPECT_EQ(log.capacity(), len(1024));
+  EXPECT_EQ(log.segment_bytes(), len(256));
 }
 
 TEST(SsdLog, WastedTailIsReclaimedWithSegment) {
-  SsdLog log(200, 100);
-  const auto a = log.append(60);   // segment 0, head 60
-  EXPECT_EQ(log.append(60), 100);  // sealed with 40 bytes wasted
-  log.release(a, 60);              // segment 0 fully dead again
-  EXPECT_EQ(log.append(90), 0);    // whole segment reusable
+  SsdLog log(len(200), len(100));
+  const auto a = log.append(len(60));        // segment 0, head 60
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(log.append(len(60)), off(100));  // sealed with 40 bytes wasted
+  log.release(*a, len(60));                  // segment 0 fully dead again
+  EXPECT_EQ(log.append(len(90)), off(0));    // whole segment reusable
 }
 
 TEST(SsdLog, ManyCyclesDoNotLeakSpace) {
-  SsdLog log(1000, 100);
+  SsdLog log(len(1000), len(100));
   for (int cycle = 0; cycle < 50; ++cycle) {
-    std::vector<std::pair<std::int64_t, std::int64_t>> allocs;
+    std::vector<std::pair<Offset, Bytes>> allocs;
     for (int i = 0; i < 9; ++i) {
-      const auto off = log.append(95);
-      ASSERT_GE(off, 0) << "cycle " << cycle << " alloc " << i;
-      allocs.emplace_back(off, 95);
+      const auto o = log.append(len(95));
+      ASSERT_TRUE(o.has_value()) << "cycle " << cycle << " alloc " << i;
+      allocs.emplace_back(*o, len(95));
     }
-    for (auto [off, len] : allocs) log.release(off, len);
+    for (auto [o, l] : allocs) log.release(o, l);
   }
-  EXPECT_EQ(log.live_bytes(), 0);
+  EXPECT_EQ(log.live_bytes(), len(0));
   EXPECT_GE(log.free_segment_count(), 9);
 }
 

@@ -1,0 +1,160 @@
+// Compile-time contract of the unit-safe vocabulary types (sim/units.hpp).
+//
+// The point of Bytes/Offset/ServerId is that dimensionally nonsensical
+// arithmetic does not compile.  gtest cannot observe a compile error, so the
+// negative coverage lives in requires-expressions evaluated over template
+// parameters: `can_add_v<Offset, Offset>` is false iff `Offset + Offset`
+// fails to instantiate.  If somebody later adds the operator, the
+// static_assert here turns red before any simulator code can misuse it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/units.hpp"
+
+namespace ibridge::sim {
+namespace {
+
+// ------------------------------------------------------------ negative ----
+// Expression probes.  The template parameters make the operands dependent so
+// the requires-expression SFINAEs instead of hard-erroring.
+
+template <typename A, typename B>
+constexpr bool can_add_v = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+constexpr bool can_sub_v = requires(A a, B b) { a - b; };
+template <typename A, typename B>
+constexpr bool can_mul_v = requires(A a, B b) { a * b; };
+template <typename A, typename B>
+constexpr bool can_div_v = requires(A a, B b) { a / b; };
+template <typename A, typename B>
+constexpr bool can_mod_v = requires(A a, B b) { a % b; };
+template <typename A, typename B>
+constexpr bool can_eq_v = requires(A a, B b) { a == b; };
+template <typename A, typename B>
+constexpr bool can_plus_assign_v = requires(A a, B b) { a += b; };
+
+// Raw integers do not silently become units, and units do not silently
+// decay back to integers.
+static_assert(!std::is_convertible_v<std::int64_t, Bytes>);
+static_assert(!std::is_convertible_v<std::int64_t, Offset>);
+static_assert(!std::is_convertible_v<int, ServerId>);
+static_assert(!std::is_convertible_v<Bytes, std::int64_t>);
+static_assert(!std::is_convertible_v<Offset, std::int64_t>);
+static_assert(!std::is_convertible_v<ServerId, int>);
+static_assert(std::is_constructible_v<Bytes, std::int64_t>);
+static_assert(std::is_constructible_v<Offset, std::int64_t>);
+static_assert(std::is_constructible_v<ServerId, int>);
+
+// The three units are mutually incomparable and inconvertible.
+static_assert(!std::is_convertible_v<Bytes, Offset>);
+static_assert(!std::is_convertible_v<Offset, Bytes>);
+static_assert(!std::is_constructible_v<Offset, Bytes>);
+static_assert(!std::is_constructible_v<Bytes, Offset>);
+static_assert(!can_eq_v<Bytes, Offset>);
+static_assert(!can_eq_v<Bytes, ServerId>);
+static_assert(!can_eq_v<Offset, ServerId>);
+static_assert(!can_eq_v<Bytes, std::int64_t>);
+static_assert(!can_eq_v<Offset, std::int64_t>);
+static_assert(!can_eq_v<ServerId, int>);
+
+// Positions are not lengths: two positions cannot be added, and a position
+// cannot be scaled.
+static_assert(!can_add_v<Offset, Offset>);
+static_assert(!can_mul_v<Offset, std::int64_t>);
+static_assert(!can_mul_v<std::int64_t, Offset>);
+static_assert(!can_div_v<Offset, std::int64_t>);
+static_assert(!can_mod_v<Offset, Offset>);
+static_assert(!can_sub_v<Bytes, Offset>);
+static_assert(!can_plus_assign_v<Offset, Offset>);
+static_assert(!can_plus_assign_v<Bytes, Offset>);
+
+// Raw integers cannot leak into unit arithmetic.
+static_assert(!can_add_v<Bytes, std::int64_t>);
+static_assert(!can_add_v<Offset, std::int64_t>);
+static_assert(!can_sub_v<Offset, std::int64_t>);
+static_assert(!can_mod_v<Offset, std::int64_t>);
+static_assert(!can_plus_assign_v<Bytes, std::int64_t>);
+
+// Server identities carry no arithmetic at all.
+static_assert(!can_add_v<ServerId, ServerId>);
+static_assert(!can_add_v<ServerId, int>);
+static_assert(!can_sub_v<ServerId, ServerId>);
+static_assert(!can_mul_v<ServerId, int>);
+
+// ------------------------------------------------------------ positive ----
+// The dimensional rules from the header comment, checked at compile time.
+
+static_assert(std::is_same_v<decltype(Bytes{1} + Bytes{2}), Bytes>);
+static_assert(std::is_same_v<decltype(Bytes{1} - Bytes{2}), Bytes>);
+static_assert(std::is_same_v<decltype(-Bytes{1}), Bytes>);
+static_assert(std::is_same_v<decltype(Bytes{2} * std::int64_t{3}), Bytes>);
+static_assert(std::is_same_v<decltype(std::int64_t{3} * Bytes{2}), Bytes>);
+static_assert(std::is_same_v<decltype(Bytes{6} / std::int64_t{2}), Bytes>);
+static_assert(std::is_same_v<decltype(Bytes{6} / Bytes{2}), std::int64_t>);
+static_assert(std::is_same_v<decltype(Bytes{6} % Bytes{4}), Bytes>);
+static_assert(std::is_same_v<decltype(Offset{1} + Bytes{2}), Offset>);
+static_assert(std::is_same_v<decltype(Bytes{2} + Offset{1}), Offset>);
+static_assert(std::is_same_v<decltype(Offset{3} - Bytes{2}), Offset>);
+static_assert(std::is_same_v<decltype(Offset{3} - Offset{1}), Bytes>);
+static_assert(std::is_same_v<decltype(Offset{5} % Bytes{4}), Bytes>);
+static_assert(std::is_same_v<decltype(Offset{5} / Bytes{4}), std::int64_t>);
+
+// Everything is constexpr-friendly.
+static_assert(Bytes{3} + Bytes{4} == Bytes{7});
+static_assert(Offset{10} - Offset{4} == Bytes{6});
+static_assert(Offset{70000} / Bytes{65536} == 1);
+static_assert(Offset{70000} % Bytes{65536} == Bytes{4464});
+static_assert(Bytes::zero() < Bytes{1});
+static_assert(ServerId{2} < ServerId{3});
+
+// ------------------------------------------------------------- runtime ----
+
+TEST(Units, BytesArithmetic) {
+  Bytes b{100};
+  b += Bytes{50};
+  EXPECT_EQ(b, Bytes{150});
+  b -= Bytes{25};
+  EXPECT_EQ(b, Bytes{125});
+  EXPECT_EQ(b.count(), 125);
+  EXPECT_EQ(-Bytes{5}, Bytes{-5});
+  EXPECT_EQ(Bytes{7} * 3, Bytes{21});
+  EXPECT_EQ(Bytes{21} / 3, Bytes{7});
+  EXPECT_EQ(Bytes{21} / Bytes{7}, 3);
+  EXPECT_EQ(Bytes{23} % Bytes{7}, Bytes{2});
+}
+
+TEST(Units, OffsetArithmetic) {
+  Offset p{1000};
+  p += Bytes{24};
+  EXPECT_EQ(p, Offset{1024});
+  p -= Bytes{24};
+  EXPECT_EQ(p, Offset{1000});
+  EXPECT_EQ(p.value(), 1000);
+  EXPECT_EQ(Offset{1000} + Bytes{24}, Offset{1024});
+  EXPECT_EQ(Bytes{24} + Offset{1000}, Offset{1024});
+  EXPECT_EQ(Offset{1024} - Offset{1000}, Bytes{24});
+}
+
+TEST(Units, AlignmentIdentity) {
+  // offset == unit * (offset / unit) + (offset % unit), the identity the
+  // striping layout relies on.
+  const Bytes unit{64 * 1024};
+  for (std::int64_t raw : {0LL, 1LL, 65535LL, 65536LL, 65537LL, 1000000LL}) {
+    const Offset p{raw};
+    EXPECT_EQ(Offset::zero() + unit * (p / unit) + (p % unit), p) << raw;
+  }
+}
+
+TEST(Units, Ordering) {
+  EXPECT_LT(Bytes{1}, Bytes{2});
+  EXPECT_LT(Offset{1}, Offset{2});
+  EXPECT_LT(ServerId{1}, ServerId{2});
+  EXPECT_EQ(ServerId{3}.index(), 3);
+  EXPECT_EQ(Bytes::zero().count(), 0);
+  EXPECT_EQ(Offset::zero().value(), 0);
+}
+
+}  // namespace
+}  // namespace ibridge::sim

@@ -41,7 +41,7 @@ TEST_P(MpiIoTestSweep, ExactAccountingAndSaneTiming) {
   EXPECT_EQ(r.bytes, iters * per_iter);
   EXPECT_EQ(r.requests, static_cast<std::uint64_t>(iters * procs));
   // Server-side totals agree with the client's view.
-  EXPECT_EQ(c.total_bytes_served(), r.bytes);
+  EXPECT_EQ(c.total_bytes_served().count(), r.bytes);
 
   // Timing sanity: positive, and total >= access phase.
   EXPECT_GT(r.io_elapsed, sim::SimTime::zero());
@@ -56,7 +56,8 @@ TEST_P(MpiIoTestSweep, ExactAccountingAndSaneTiming) {
   if (ibridge) {
     // No dirty data may survive the driver's drain.
     for (int s = 0; s < c.server_count(); ++s) {
-      EXPECT_EQ(c.server(s).cache()->table().dirty_bytes(), 0);
+      EXPECT_EQ(c.server(s).cache()->table().dirty_bytes(),
+                sim::Bytes::zero());
     }
   }
 }
@@ -68,12 +69,12 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Bool(),                 // write
                        ::testing::Bool(),                 // ibridge
                        ::testing::Values(2, 8)),          // servers
-    [](const auto& info) {
-      return "p" + std::to_string(std::get<0>(info.param)) + "_kb" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_wr" : "_rd") +
-             (std::get<3>(info.param) ? "_ib" : "_stock") + "_s" +
-             std::to_string(std::get<4>(info.param));
+    [](const auto& tinfo) {
+      return "p" + std::to_string(std::get<0>(tinfo.param)) + "_kb" +
+             std::to_string(std::get<1>(tinfo.param)) +
+             (std::get<2>(tinfo.param) ? "_wr" : "_rd") +
+             (std::get<3>(tinfo.param) ? "_ib" : "_stock") + "_s" +
+             std::to_string(std::get<4>(tinfo.param));
     });
 
 // Ordering property: on the stock system, unaligned (65 KB) must never
@@ -100,10 +101,10 @@ TEST_P(AlignmentOrdering, UnalignedNeverBeatsAligned) {
 INSTANTIATE_TEST_SUITE_P(Sweep, AlignmentOrdering,
                          ::testing::Combine(::testing::Values(8, 32),
                                             ::testing::Bool()),
-                         [](const auto& info) {
+                         [](const auto& tinfo) {
                            return "p" +
-                                  std::to_string(std::get<0>(info.param)) +
-                                  (std::get<1>(info.param) ? "_wr" : "_rd");
+                                  std::to_string(std::get<0>(tinfo.param)) +
+                                  (std::get<1>(tinfo.param) ? "_wr" : "_rd");
                          });
 
 // ior-mpi-io: per-chunk confinement — no process may touch another's chunk.
@@ -117,7 +118,7 @@ TEST(IorSweep, ChunksAreDisjoint) {
   const auto r = run_ior_mpi_io(c, cfg);
   // Full sweep: every byte of the file written exactly once.
   EXPECT_EQ(r.bytes, cfg.file_bytes);
-  EXPECT_EQ(c.total_bytes_served(), cfg.file_bytes);
+  EXPECT_EQ(c.total_bytes_served().count(), cfg.file_bytes);
 }
 
 TEST(IorSweep, ThroughputOrderingSmallVsLargeRequests) {

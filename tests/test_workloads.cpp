@@ -108,8 +108,8 @@ INSTANTIATE_TEST_SUITE_P(
                       SynthCase{alegra_5832_profile(), 35.7, 6.9},
                       SynthCase{cth_profile(), 24.3, 30.1},
                       SynthCase{s3d_profile(), 62.8, 5.8}),
-    [](const auto& info) { return info.param.profile.name.substr(0, 6) +
-                                  std::to_string(info.index); });
+    [](const auto& tinfo) { return tinfo.param.profile.name.substr(0, 6) +
+                                   std::to_string(tinfo.index); });
 
 TEST(TraceSynthesizer, DeterministicForSeed) {
   TraceSynthesizer synth(cth_profile());
@@ -172,7 +172,9 @@ TEST(MpiIoTest, OffsetShiftProducesTwoServerRequests) {
   const auto r = run_mpi_io_test(c, cfg);
   EXPECT_GT(r.bytes, 0);
   // Every request spans two servers; all four servers see traffic.
-  for (int s = 0; s < 4; ++s) EXPECT_GT(c.server(s).bytes_served(), 0);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_GT(c.server(s).bytes_served(), sim::Bytes::zero());
+  }
 }
 
 TEST(MpiIoTest, BarrierModeRuns) {

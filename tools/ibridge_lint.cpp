@@ -1,0 +1,37 @@
+// ibridge-lint — the project's static analyzer.
+//
+//   ibridge-lint <repo-root>     lint the whole tree (the ctest -L lint job)
+//   ibridge-lint --list-rules    print the rule registry
+//
+// Exit status is the number of diagnostics, clamped to 125, so any finding
+// fails the build.  See docs/LINT.md for the rules and escape hatches.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  const std::string arg = argc > 1 ? argv[1] : ".";
+  if (arg == "--list-rules") {
+    for (const auto& r : ibridge::lint::rules()) {
+      std::printf("%-22s %s\n", r.id.c_str(), r.summary.c_str());
+    }
+    return 0;
+  }
+  if (arg == "--help" || arg == "-h") {
+    std::printf("usage: ibridge-lint [<repo-root>|--list-rules]\n");
+    return 0;
+  }
+  const auto diags = ibridge::lint::lint_tree(arg);
+  for (const auto& d : diags) {
+    std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (diags.empty()) {
+    std::printf("ibridge-lint: clean\n");
+    return 0;
+  }
+  std::printf("ibridge-lint: %zu diagnostic(s)\n", diags.size());
+  return static_cast<int>(std::min<std::size_t>(diags.size(), 125));
+}
