@@ -16,7 +16,8 @@
 #include <cstring>
 #include <string>
 
-#include "cluster/cluster.hpp"  // lint: include-ok (umbrella: benches drive Clusters)
+#include "cluster/cluster.hpp"
+#include "obs/metrics.hpp"
 #include "stats/table.hpp"      // lint: include-ok (umbrella: benches print Tables)
 #include "workloads/btio.hpp"   // lint: include-ok (umbrella: benches run BTIO)
 #include "workloads/ior_mpi_io.hpp"
@@ -62,6 +63,21 @@ inline void footnote() {
 inline double mbps_total(const workloads::WorkloadResult& r) {
   const double s = r.elapsed.to_seconds();
   return s > 0 ? static_cast<double>(r.bytes) / 1e6 / s : 0.0;
+}
+
+/// Scrape the cluster's unified metrics and print every row whose name
+/// starts with `prefix` (empty prints all) — the registry-backed
+/// replacement for ad-hoc per-bench meter dumps.
+inline void print_metrics(const cluster::Cluster& c,
+                          const std::string& prefix = "") {
+  obs::MetricsRegistry reg;
+  c.collect_metrics(reg);
+  for (const auto& [name, value] : reg.flatten()) {
+    if (!prefix.empty() && name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::printf("    %-36s %.6g\n", name.c_str(), value);
+  }
 }
 
 }  // namespace ibridge::bench

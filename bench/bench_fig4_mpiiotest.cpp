@@ -126,6 +126,8 @@ int main(int argc, char** argv) {
     }
     std::printf("  paper: 128- and 256-sector requests predominate once "
                 "fragments go to the SSDs\n");
+    std::printf("  cluster-wide cache metrics after the measured run:\n");
+    print_metrics(c, "cache.");
   }
   footnote();
   return 0;

@@ -99,6 +99,7 @@ sim::SimTime Cluster::drain() {
   // Stop periodic daemons so the event queue can empty, flush the caches,
   // then run everything down.
   mds_->stop();
+  stop_metrics_sampler();
   bool done = false;
   // Drain every server concurrently — the flushes overlap in simulated
   // time exactly as the real servers' write-back threads would.
@@ -125,6 +126,123 @@ sim::SimTime Cluster::drain() {
 
 void Cluster::install_observer(core::CacheObserver* obs) {
   for (auto& s : servers_) s->set_observer(obs);
+}
+
+void Cluster::set_trace(obs::TraceSession* session) {
+  client_->set_trace(session);
+  for (auto& s : servers_) s->set_trace(session);
+}
+
+void Cluster::collect_metrics(obs::MetricsRegistry& reg) const {
+  reg.counter("client.bytes_completed") = client_->bytes_completed();
+
+  core::CacheStats agg;
+  bool any_cache = false;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const auto& s = *servers_[i];
+    const std::string p = "srv" + std::to_string(i) + ".";
+    reg.counter(p + "server.bytes_served") = s.bytes_served().count();
+    reg.gauge(p + "server.service_ms.mean") = s.service_meter().mean_ms();
+
+    const auto& disk = s.disk();
+    reg.gauge(p + "disk.busy_ms") = disk.busy_time().to_millis();
+    reg.counter(p + "disk.read_bytes") = disk.bytes_read();
+    reg.counter(p + "disk.write_bytes") = disk.bytes_written();
+    if (const auto* ssd = s.ssd()) {
+      reg.gauge(p + "ssd.busy_ms") = ssd->busy_time().to_millis();
+      reg.counter(p + "ssd.read_bytes") = ssd->bytes_read();
+      reg.counter(p + "ssd.write_bytes") = ssd->bytes_written();
+    }
+
+    const auto* c = s.cache();
+    if (c == nullptr) continue;
+    any_cache = true;
+    const core::CacheStats& st = c->stats();
+    reg.counter(p + "cache.read_hits") =
+        static_cast<std::int64_t>(st.read_hits);
+    reg.counter(p + "cache.read_misses") =
+        static_cast<std::int64_t>(st.read_misses);
+    reg.counter(p + "cache.write_admits") =
+        static_cast<std::int64_t>(st.write_admits);
+    reg.counter(p + "cache.write_disk") =
+        static_cast<std::int64_t>(st.write_disk);
+    reg.counter(p + "cache.stages") = static_cast<std::int64_t>(st.stages);
+    reg.counter(p + "cache.evictions") =
+        static_cast<std::int64_t>(st.evictions);
+    reg.counter(p + "cache.writebacks") =
+        static_cast<std::int64_t>(st.writebacks);
+    reg.counter(p + "cache.writeback_bytes") = st.writeback_bytes.count();
+    reg.gauge(p + "cache.cached_bytes") =
+        static_cast<double>(c->cached_bytes().count());
+    for (int k = 0; k < core::kNumClasses; ++k) {
+      const auto klass = static_cast<core::CacheClass>(k);
+      const std::string suffix = core::to_string(klass);
+      reg.counter(p + "cache.admit." + suffix) =
+          static_cast<std::int64_t>(st.admit_by_class[k]);
+      reg.gauge(p + "cache.partition_bytes." + suffix) =
+          static_cast<double>(c->table().bytes_cached(klass).count());
+      reg.gauge(p + "cache.quota_bytes." + suffix) = static_cast<double>(
+          c->partition().quota(c->table(), klass).count());
+    }
+
+    // Cluster-wide aggregates.
+    agg.read_hits += st.read_hits;
+    agg.read_misses += st.read_misses;
+    agg.write_admits += st.write_admits;
+    agg.write_disk += st.write_disk;
+    agg.stages += st.stages;
+    agg.evictions += st.evictions;
+    agg.writebacks += st.writebacks;
+    agg.boosts += st.boosts;
+    agg.cleanings += st.cleanings;
+    agg.writeback_bytes += st.writeback_bytes;
+    agg.ssd_bytes_served += st.ssd_bytes_served;
+    agg.disk_bytes_served += st.disk_bytes_served;
+    reg.histogram("cache.ret_estimate_ms").merge(st.ret_estimate_ms);
+  }
+
+  reg.counter("cluster.bytes_served") = total_bytes_served().count();
+  if (!any_cache) return;
+  reg.counter("cache.read_hits") = static_cast<std::int64_t>(agg.read_hits);
+  reg.counter("cache.read_misses") =
+      static_cast<std::int64_t>(agg.read_misses);
+  reg.counter("cache.write_admits") =
+      static_cast<std::int64_t>(agg.write_admits);
+  reg.counter("cache.write_disk") = static_cast<std::int64_t>(agg.write_disk);
+  reg.counter("cache.stages") = static_cast<std::int64_t>(agg.stages);
+  reg.counter("cache.evictions") = static_cast<std::int64_t>(agg.evictions);
+  reg.counter("cache.writebacks") = static_cast<std::int64_t>(agg.writebacks);
+  reg.counter("cache.boosts") = static_cast<std::int64_t>(agg.boosts);
+  reg.counter("cache.cleanings") = static_cast<std::int64_t>(agg.cleanings);
+  reg.counter("cache.writeback_bytes") = agg.writeback_bytes.count();
+  reg.counter("cache.ssd_bytes_served") = agg.ssd_bytes_served.count();
+  reg.counter("cache.disk_bytes_served") = agg.disk_bytes_served.count();
+  reg.gauge("cache.cached_bytes") =
+      static_cast<double>(ssd_cached_bytes().count());
+}
+
+void Cluster::start_metrics_sampler(sim::SimTime interval,
+                                    obs::TimeSeries* out) {
+  assert(out != nullptr);
+  assert(interval > sim::SimTime::zero());
+  sampler_running_ = true;
+  schedule_sample(interval, out, ++sampler_epoch_);
+}
+
+void Cluster::stop_metrics_sampler() {
+  sampler_running_ = false;
+  ++sampler_epoch_;
+}
+
+void Cluster::schedule_sample(sim::SimTime interval, obs::TimeSeries* out,
+                              std::uint64_t epoch) {
+  sim_.schedule(interval, [this, interval, out, epoch] {
+    if (!sampler_running_ || epoch != sampler_epoch_) return;
+    obs::MetricsRegistry reg;
+    collect_metrics(reg);
+    out->sample(sim_.now(), reg);
+    schedule_sample(interval, out, epoch);
+  });
 }
 
 void Cluster::enable_disk_trace(int server, bool keep_entries) {

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pvfs/client.hpp"
 #include "pvfs/metadata.hpp"
 #include "pvfs/server.hpp"
@@ -76,6 +78,22 @@ class Cluster {
   /// (nullptr detaches; no-op on stock/SSD-only clusters).
   void install_observer(core::CacheObserver* obs);
 
+  /// Attach a TraceSession to every layer — client request decomposition,
+  /// server queueing/serving, cache operations, device dispatches (nullptr
+  /// detaches everywhere).  The session must outlive the cluster or a
+  /// subsequent set_trace(nullptr).
+  void set_trace(obs::TraceSession* session);
+
+  /// Publish every component's counters into `reg` under the naming scheme
+  /// of obs/metrics.hpp: per-server "srv<N>.<subsystem>.<metric>" rows plus
+  /// cluster-wide "cache.*" / "cluster.*" aggregates.
+  void collect_metrics(obs::MetricsRegistry& reg) const;
+
+  /// Snapshot collect_metrics() into `out` every `interval` of simulated
+  /// time until drain() (or stop_metrics_sampler()) is called.
+  void start_metrics_sampler(sim::SimTime interval, obs::TimeSeries* out);
+  void stop_metrics_sampler();
+
   // ---- aggregate metrics over all servers ----
   sim::Bytes total_bytes_served() const;
   sim::Bytes ssd_bytes_served() const;
@@ -83,8 +101,13 @@ class Cluster {
   double avg_service_ms() const;
 
  private:
+  void schedule_sample(sim::SimTime interval, obs::TimeSeries* out,
+                       std::uint64_t epoch);
+
   ClusterConfig cfg_;
   sim::Simulator sim_;
+  bool sampler_running_ = false;
+  std::uint64_t sampler_epoch_ = 0;
   std::unique_ptr<net::NetworkModel> net_;
   std::vector<net::Nic*> server_nics_;
   std::vector<net::Nic*> client_nics_;

@@ -28,6 +28,15 @@ IBridgeCache::IBridgeCache(sim::Simulator& sim, IBridgeConfig cfg,
   assert(log_file_ != fsim::kInvalidFile && "SSD too small for cache log");
 }
 
+void IBridgeCache::set_trace(obs::TraceSession* session) {
+  trace_ = session;
+  trace_bg_track_ = obs::kNoTrack;
+  if (trace_ != nullptr) {
+    trace_bg_track_ =
+        trace_->track("srv" + std::to_string(self_.index()), "cache-bg");
+  }
+}
+
 void IBridgeCache::start() {
   if (running_) return;
   running_ = true;
@@ -211,6 +220,12 @@ sim::Task<bool> IBridgeCache::evict(EntryId id) {
   const CacheEntry e = table_.erase(id);
   release_log(e.log_off, e.length);
   ++stats_.evictions;
+  if (trace_ != nullptr) {
+    const obs::SpanId tspan = trace_->complete(
+        trace_bg_track_, "cache.evict", "cache", sim_.now(),
+        sim::SimTime::zero());
+    trace_->arg(tspan, "length", e.length.count());
+  }
   check("evict");
   co_return true;
 }
@@ -244,6 +259,7 @@ sim::Task<> IBridgeCache::flush_entry(EntryId id) {
   notify_flush_waiters();
   if (table_.contains(id)) table_.mark_clean(id);
   ++stats_.writebacks;
+  stats_.writeback_bytes += e.length;
   check("flush.entry");
 }
 
@@ -268,6 +284,10 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
   const sim::SimTime t0 = sim_.now();
   ServeResult result;
   const CacheClass klass = classify(r);
+  const obs::SpanId cspan =
+      (trace_ != nullptr && r.trace_parent != 0)
+          ? trace_->child(r.trace_parent, "cache.serve", "cache")
+          : 0;
 
   if (r.dir == IoDirection::kWrite) {
     // Write-after-write barrier: a write-back of an older version of this
@@ -282,6 +302,7 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
     const auto est = estimator_.estimate(stm_, lbn, r.length, r.dir,
                                          r.fragment, self_, r.siblings,
                                          board_);
+    stats_.ret_estimate_ms.add(est.ret_ms);
     if (est.boosted) ++stats_.boosts;
     bool admit = this->admit(r, est);
     std::optional<Offset> log_off;
@@ -323,6 +344,10 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
       completed_writes_.push_back({win, r.file, r.offset, r.length});
     }
     result.elapsed = sim_.now() - t0;
+    if (cspan != 0) {
+      trace_->arg(cspan, "outcome", admit ? "write.ssd" : "write.disk");
+      trace_->end(cspan);
+    }
     co_return result;
   }
 
@@ -351,6 +376,10 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
     stats_.ssd_bytes_served += r.length;
     result.ssd = true;
     result.elapsed = sim_.now() - t0;
+    if (cspan != 0) {
+      trace_->arg(cspan, "outcome", "read.hit");
+      trace_->end(cspan);
+    }
     check("serve.read.hit");
     co_return result;  // Eq. (2): disk untouched
   }
@@ -366,6 +395,7 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
   const std::int64_t lbn = disk_lbn(r);
   const auto est = estimator_.estimate(stm_, lbn, r.length, r.dir, r.fragment,
                                        self_, r.siblings, board_);
+  stats_.ret_estimate_ms.add(est.ret_ms);
   if (est.boosted) ++stats_.boosts;
   co_await disk_fs_.read(r.file, r.offset.value(), r.length.count(),
                          rdata, r.tag);
@@ -381,14 +411,27 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
     background_.spawn(stage_read(r, klass, est.ret_ms));
   }
   result.elapsed = sim_.now() - t0;
+  if (cspan != 0) {
+    trace_->arg(cspan, "outcome", "read.miss");
+    trace_->end(cspan);
+  }
   check("serve.read.miss");
   co_return result;
 }
 
 sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
                                      double ret_ms) {
+  const obs::SpanId tspan =
+      trace_ != nullptr
+          ? trace_->begin(trace_bg_track_, "cache.stage", "cache",
+                          r.trace_request)
+          : 0;
+  if (tspan != 0) trace_->arg(tspan, "length", r.length.count());
   const std::optional<Offset> log_off = co_await make_room(klass, r.length);
-  if (!log_off) co_return;
+  if (!log_off) {
+    if (trace_ != nullptr) trace_->end(tspan);
+    co_return;
+  }
 
   ++active_stages_;
   const std::size_t mark = completed_writes_.size();
@@ -419,17 +462,23 @@ sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
   if (--active_stages_ == 0) completed_writes_.clear();
   if (stale) {
     release_log(*log_off, r.length);
+    if (trace_ != nullptr) trace_->end(tspan);
     co_return;
   }
   table_.insert({r.file, r.offset, r.length, *log_off, /*dirty=*/false, klass,
                  ret_ms});
   ++stats_.stages;
   ++stats_.admit_by_class[static_cast<int>(klass)];
+  if (trace_ != nullptr) trace_->end(tspan);
   check("stage");
 }
 
 sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
                                       bool yield_to_foreground) {
+  const obs::SpanId tspan =
+      (trace_ != nullptr && !batch.empty())
+          ? trace_->begin(trace_bg_track_, "cache.writeback", "cache")
+          : 0;
   // Sort by home location so the flushed writes form long forward runs.
   std::sort(batch.begin(), batch.end(), [this](EntryId a, EntryId b) {
     const auto& ea = table_.get(a);
@@ -509,6 +558,7 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
                             run_len.count(), span);
     close_window(flush_windows_, win);
     notify_flush_waiters();
+    stats_.writeback_bytes += run_len;
     for (std::size_t k = i; k < j; ++k) {
       if (table_.contains((*staged)[k].id)) {
         table_.mark_clean((*staged)[k].id);
@@ -516,6 +566,11 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
       ++stats_.writebacks;
     }
     i = j;
+  }
+  if (tspan != 0) {
+    trace_->arg(tspan, "entries",
+                static_cast<std::int64_t>(staged->size()));
+    trace_->end(tspan);
   }
   check("flush.batch");
 }
@@ -539,11 +594,16 @@ sim::Task<> IBridgeCache::writeback_daemon() {
 }
 
 sim::Task<> IBridgeCache::drain() {
+  const obs::SpanId tspan =
+      trace_ != nullptr
+          ? trace_->begin(trace_bg_track_, "cache.drain", "cache")
+          : 0;
   while (table_.dirty_bytes() > Bytes::zero()) {
     auto batch = table_.dirty_entries(Bytes{cfg_.writeback_batch_bytes});
     if (batch.empty()) break;
     co_await flush_batch(std::move(batch));
   }
+  if (trace_ != nullptr) trace_->end(tspan);
   check("drain");
 }
 

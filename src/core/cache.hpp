@@ -29,8 +29,10 @@
 #include "core/service_time.hpp"
 #include "core/ssd_log.hpp"
 #include "fsim/filesystem.hpp"
+#include "obs/trace.hpp"
 #include "sim/sync.hpp"
 #include "sim/units.hpp"
+#include "stats/histogram.hpp"
 
 namespace ibridge::core {
 
@@ -43,6 +45,8 @@ struct CacheRequest {
   bool fragment = false;
   std::vector<ServerId> siblings;  ///< servers of sibling sub-requests
   int tag = 0;                     ///< issuing process (scheduler anticipation)
+  obs::RequestId trace_request = 0;  ///< owning traced client request (0 = off)
+  obs::SpanId trace_parent = 0;      ///< span to nest server-side spans under
 };
 
 struct ServeResult {
@@ -65,6 +69,9 @@ struct CacheStats {
   std::uint64_t boosts = 0;       ///< Eq. (3) bonuses applied
   std::uint64_t cleanings = 0;    ///< log segments forcibly emptied
   std::uint64_t admit_by_class[kNumClasses] = {0, 0};
+  Bytes writeback_bytes;          ///< dirty payload flushed back to the disk
+  /// Distribution of Eq. (1-3) return estimates (ms) across served requests.
+  stats::Histogram ret_estimate_ms;
 };
 
 class IBridgeCache {
@@ -112,6 +119,12 @@ class IBridgeCache {
   /// Install a SimCheck observer (nullptr to detach).  Invoked after every
   /// state-changing cache step; never installed on production paths.
   void set_observer(CacheObserver* obs) { observer_ = obs; }
+
+  /// Attach a TraceSession (nullptr to detach).  Foreground serves nest
+  /// "cache.serve" spans under the request's server span; background work
+  /// (staging, write-back, eviction) lands on this server's "cache-bg"
+  /// track.  Same zero-cost-when-null contract as set_observer().
+  void set_trace(obs::TraceSession* session);
 
  private:
   CacheClass classify(const CacheRequest& r) const {
@@ -233,6 +246,8 @@ class IBridgeCache {
   bool running_ = false;
   std::uint64_t daemon_epoch_ = 0;
   CacheObserver* observer_ = nullptr;
+  obs::TraceSession* trace_ = nullptr;
+  obs::TrackId trace_bg_track_ = obs::kNoTrack;
   sim::TaskGroup background_;
 };
 

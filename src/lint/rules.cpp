@@ -28,11 +28,13 @@ const std::map<std::string, std::set<std::string>>& layer_allowlist() {
       {"sim", {}},
       {"stats", {"sim"}},
       {"net", {"sim"}},
-      {"storage", {"sim", "stats"}},
+      {"obs", {"sim", "stats"}},
+      {"storage", {"sim", "stats", "obs"}},
       {"fsim", {"sim", "stats", "storage"}},
-      {"core", {"sim", "stats", "storage", "fsim"}},
-      {"pvfs", {"sim", "stats", "net", "storage", "fsim", "core"}},
-      {"cluster", {"sim", "stats", "net", "storage", "fsim", "core", "pvfs"}},
+      {"core", {"sim", "stats", "obs", "storage", "fsim"}},
+      {"pvfs", {"sim", "stats", "net", "obs", "storage", "fsim", "core"}},
+      {"cluster",
+       {"sim", "stats", "net", "obs", "storage", "fsim", "core", "pvfs"}},
       {"mpiio", {"sim", "stats", "net", "storage", "fsim", "core", "pvfs"}},
       {"plfs",
        {"sim", "stats", "net", "storage", "fsim", "core", "pvfs", "cluster",
@@ -41,8 +43,8 @@ const std::map<std::string, std::set<std::string>>& layer_allowlist() {
        {"sim", "stats", "net", "storage", "fsim", "core", "pvfs", "cluster",
         "mpiio"}},
       {"check",
-       {"sim", "stats", "net", "storage", "fsim", "core", "pvfs", "cluster",
-        "mpiio", "plfs", "workloads"}},
+       {"sim", "stats", "net", "obs", "storage", "fsim", "core", "pvfs",
+        "cluster", "mpiio", "plfs", "workloads"}},
       {"lint", {}},
   };
   return kAllow;
@@ -425,6 +427,7 @@ bool unit_rule_applies(const std::string& rel) {
   if (rel == "src/pvfs/layout.hpp" || rel == "src/pvfs/server.hpp") {
     return true;
   }
+  if (starts_with(rel, "src/stats/") && ends_with(rel, ".hpp")) return true;
   return starts_with(rel, "src/core/") && ends_with(rel, ".hpp") &&
          rel != "src/core/config.hpp";
 }

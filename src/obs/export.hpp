@@ -1,0 +1,69 @@
+// Trace exporters: Chrome trace-event JSON, straggler report, and the
+// per-request analysis both are built on.
+//
+// write_chrome_trace() emits the Trace Event Format (JSON object form with a
+// "traceEvents" array) that Perfetto and chrome://tracing load directly.
+// Spans on one simulator track may overlap (concurrent sub-requests of one
+// client, multi-channel SSD dispatches), which the format's complete ("X")
+// events cannot express on a single tid — so the exporter assigns each
+// overlapping span tree to a *lane*: root spans of a track get the lowest
+// lane whose previous occupant has finished, descendants inherit their
+// root's lane, and each (track, lane) pair becomes its own tid.  Within a
+// lane, spans nest properly because a span's same-track descendants run
+// sequentially inside it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace ibridge::obs {
+
+/// One sub-request of an analyzed client request.
+struct SubSpan {
+  SpanId id = 0;
+  std::int64_t server = -1;    ///< data server index, -1 if untagged
+  bool fragment = false;       ///< partial-stripe fragment piece
+  sim::SimTime duration;
+};
+
+/// Where one client request spent its time (derived from its span tree).
+struct RequestBreakdown {
+  RequestId request = 0;
+  SpanId root = 0;
+  std::int64_t rank = -1;      ///< issuing client rank, -1 if untagged
+  std::int64_t offset = -1;    ///< file offset of the request, bytes
+  std::int64_t length = -1;    ///< request length, bytes
+  sim::SimTime total;          ///< root span duration
+  std::vector<SubSpan> subs;   ///< one per sub-request, span order
+  sim::SimTime slowest;        ///< max sub duration
+  sim::SimTime median;         ///< median sub duration
+  /// Striping magnification: slowest / median sibling sub-request (Fig. 3).
+  /// 1.0 when the request has fewer than two sub-requests.
+  double magnification = 1.0;
+  /// True when (one of) the slowest sub-requests is a fragment piece.
+  bool straggler_is_fragment = false;
+  /// Exclusive simulated time per span category over the whole request tree
+  /// (span duration minus its children's durations, clamped at zero).
+  std::map<std::string, sim::SimTime> category_exclusive;
+};
+
+/// Derive a breakdown for every traced request, ordered by RequestId.
+/// Requests whose root span never closed are skipped.
+std::vector<RequestBreakdown> analyze(const TraceSession& session);
+
+/// Chrome trace-event JSON ("traceEvents" + metadata), Perfetto-loadable.
+void write_chrome_trace(std::ostream& os, const TraceSession& session);
+
+/// Plain-text report: the top_n slowest requests with their magnification
+/// factors and straggler sub-requests, plus per-layer exclusive-time and
+/// fragment-straggler aggregates.
+void write_straggler_report(std::ostream& os, const TraceSession& session,
+                            std::size_t top_n);
+
+}  // namespace ibridge::obs

@@ -1,0 +1,64 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ibridge::obs {
+
+std::vector<MetricRow> MetricsRegistry::flatten() const {
+  std::vector<MetricRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+  for (const auto& [name, v] : counters_) {
+    rows.emplace_back(name, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : gauges_) rows.emplace_back(name, v);
+  for (const auto& [name, h] : histograms_) {
+    rows.emplace_back(name + ".count", static_cast<double>(h.count()));
+    rows.emplace_back(name + ".mean", h.mean());
+    rows.emplace_back(name + ".p50", h.percentile(50.0));
+    rows.emplace_back(name + ".p95", h.percentile(95.0));
+    rows.emplace_back(name + ".max", h.max());
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.first < b.first;
+            });
+  return rows;
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "name,value\n";
+  for (const auto& [name, value] : flatten()) {
+    os << name << ',' << value << '\n';
+  }
+}
+
+void TimeSeries::sample(sim::SimTime when, const MetricsRegistry& reg) {
+  const auto rows = reg.flatten();
+  for (const auto& [name, _] : rows) {
+    if (column_index_.count(name) != 0) continue;
+    column_index_.emplace(name, columns_.size());
+    columns_.push_back(name);
+  }
+  std::vector<double> cells(columns_.size(), 0.0);
+  for (const auto& [name, value] : rows) {
+    cells[column_index_.at(name)] = value;
+  }
+  samples_.emplace_back(when, std::move(cells));
+}
+
+void TimeSeries::write_csv(std::ostream& os) const {
+  os << "time_ms";
+  for (const auto& c : columns_) os << ',' << c;
+  os << '\n';
+  for (const auto& [when, cells] : samples_) {
+    os << when.to_millis();
+    // Early rows may predate late-appearing columns; pad with zeros.
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      os << ',' << (i < cells.size() ? cells[i] : 0.0);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace ibridge::obs

@@ -45,12 +45,28 @@ sim::Task<sim::SimTime> Client::request(int rank, FileHandle fh,
   assert(length > 0);
   const sim::SimTime t0 = sim_.now();
 
+  obs::RequestId rid = 0;
+  obs::SpanId root = 0;
+  if (trace_ != nullptr) {
+    rid = trace_->new_request();
+    root = trace_->begin(
+        trace_->track("client", "rank" + std::to_string(rank)), "request",
+        "client", rid);
+    trace_->arg(root, "rank", rank);
+    trace_->arg(root, "offset", offset);
+    trace_->arg(root, "length", length);
+    trace_->arg(root, "dir", dir == IoDirection::kWrite ? "write" : "read");
+  }
+
   // Client-side request setup cost with jitter (see ClientConfig).
   if (cfg_.overhead_max_us > 0) {
+    const obs::SpanId setup =
+        root != 0 ? trace_->child(root, "setup", "client") : 0;
     const double us =
         cfg_.overhead_min_us +
         rng_.uniform01() * (cfg_.overhead_max_us - cfg_.overhead_min_us);
     co_await sim::Delay{sim_, sim::SimTime::from_seconds(us / 1e6)};
+    if (setup != 0) trace_->end(setup);
   }
 
   LogicalFile& f = mds_.file(fh);
@@ -83,13 +99,25 @@ sim::Task<sim::SimTime> Client::request(int rank, FileHandle fh,
       rsub = rdata.subspan(static_cast<std::size_t>(piece_off),
                            static_cast<std::size_t>(tagged[i].length.count()));
     }
-    join.add(
-        subrequest(rank, f, std::move(tagged[i]), offset, dir, wsub, rsub));
+    obs::SpanId sub_span = 0;
+    if (root != 0) {
+      sub_span = trace_->child(root, "sub", "client");
+      trace_->arg(sub_span, "server", tagged[i].server.index());
+      trace_->arg(sub_span, "fragment", tagged[i].fragment ? 1 : 0);
+      trace_->arg(sub_span, "length", tagged[i].length.count());
+      trace_->arg(sub_span, "index", static_cast<std::int64_t>(i));
+    }
+    join.add(subrequest(rank, f, std::move(tagged[i]), offset, dir, wsub,
+                        rsub, rid, sub_span));
   }
   co_await join.join();
 
   if (dir == IoDirection::kWrite) f.size = std::max(f.size, offset + length);
   bytes_completed_ += length;
+  if (root != 0) {
+    trace_->arg(root, "subs", static_cast<std::int64_t>(tagged.size()));
+    trace_->end(root);
+  }
   co_return sim_.now() - t0;
 }
 
@@ -97,16 +125,21 @@ sim::Task<> Client::subrequest(int rank, const LogicalFile& f,
                                core::TaggedSubRequest sub,
                                std::int64_t /*parent_off*/, IoDirection dir,
                                std::span<const std::byte> wdata,
-                               std::span<std::byte> rdata) {
+                               std::span<std::byte> rdata,
+                               obs::RequestId request_id,
+                               obs::SpanId sub_span) {
   DataServer& server = *servers_[static_cast<std::size_t>(sub.server.index())];
   net::Nic& cnic = nic_of_rank(rank);
 
   // Request message (and payload, for writes) to the server.
+  obs::SpanId nspan =
+      sub_span != 0 ? trace_->child(sub_span, "net.send", "net") : 0;
   if (dir == IoDirection::kWrite) {
     co_await net_.transfer(cnic, server.nic(), sub.length.count() + 256);
   } else {
     co_await net_.message(cnic, server.nic());
   }
+  if (nspan != 0) trace_->end(nspan);
 
   core::CacheRequest req;
   req.dir = dir;
@@ -116,14 +149,21 @@ sim::Task<> Client::subrequest(int rank, const LogicalFile& f,
   req.fragment = sub.fragment;
   req.siblings = std::move(sub.sibling_servers);
   req.tag = rank;
+  req.trace_request = request_id;
+  req.trace_parent = sub_span;
   co_await server.io(std::move(req), wdata, rdata);
 
   // Payload (reads) or ack (writes) back to the client.
+  nspan = sub_span != 0 ? trace_->child(sub_span, "net.recv", "net") : 0;
   if (dir == IoDirection::kRead) {
     co_await net_.transfer(server.nic(), cnic, sub.length.count() + 256);
   } else {
     co_await net_.message(server.nic(), cnic);
   }
+  if (nspan != 0) {
+    trace_->end(nspan);
+  }
+  if (sub_span != 0) trace_->end(sub_span);
 }
 
 }  // namespace ibridge::pvfs

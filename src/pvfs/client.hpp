@@ -14,6 +14,7 @@
 
 #include "core/tagger.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "pvfs/metadata.hpp"
 #include "pvfs/server.hpp"
 #include "sim/rng.hpp"
@@ -63,6 +64,11 @@ class Client {
   /// Payload bytes moved by completed requests (throughput accounting).
   std::int64_t bytes_completed() const { return bytes_completed_; }
 
+  /// Attach a TraceSession (nullptr to detach).  Every subsequent request
+  /// records a span tree: request -> setup + per-sub-request sub spans,
+  /// each sub linking its net transfers and the server-side spans.
+  void set_trace(obs::TraceSession* session) { trace_ = session; }
+
  private:
   sim::Task<sim::SimTime> request(int rank, FileHandle fh, std::int64_t offset,
                                   std::int64_t length,
@@ -71,11 +77,13 @@ class Client {
                                   std::span<std::byte> rdata);
 
   /// One sub-request round trip: ship it to the server, serve, return data.
+  /// `request_id`/`sub_span` are the trace linkage (0 when untraced).
   sim::Task<> subrequest(int rank, const LogicalFile& f,
                          core::TaggedSubRequest sub, std::int64_t parent_off,
                          storage::IoDirection dir,
                          std::span<const std::byte> wdata,
-                         std::span<std::byte> rdata);
+                         std::span<std::byte> rdata, obs::RequestId request_id,
+                         obs::SpanId sub_span);
 
   net::Nic& nic_of_rank(int rank) {
     return *node_nics_[static_cast<std::size_t>(rank / cfg_.procs_per_node) %
@@ -91,6 +99,7 @@ class Client {
   core::FragmentTagger tagger_;
   sim::Rng rng_;
   std::int64_t bytes_completed_ = 0;
+  obs::TraceSession* trace_ = nullptr;
 };
 
 }  // namespace ibridge::pvfs

@@ -38,6 +38,23 @@ DataServer::~DataServer() {
   if (cache_) cache_->stop();
 }
 
+void DataServer::set_trace(obs::TraceSession* session) {
+  trace_ = session;
+  if (cache_) cache_->set_trace(session);
+  if (session == nullptr) {
+    trace_track_ = obs::kNoTrack;
+    disk_->set_span_trace(nullptr, obs::kNoTrack);
+    if (ssd_) ssd_->set_span_trace(nullptr, obs::kNoTrack);
+    return;
+  }
+  trace_prefix_ = "srv" + std::to_string(id_.index());
+  trace_track_ = session->track(trace_prefix_, "io");
+  disk_->set_span_trace(session, session->track(trace_prefix_, "disk"));
+  if (ssd_) {
+    ssd_->set_span_trace(session, session->track(trace_prefix_, "ssd"));
+  }
+}
+
 fsim::FileId DataServer::create_datafile(const std::string& name,
                                          sim::Bytes prealloc) {
   const fsim::FileId id = primary_fs_->create(name, prealloc.count());
@@ -50,9 +67,23 @@ sim::Task<core::ServeResult> DataServer::io(core::CacheRequest req,
                                             std::span<std::byte> rdata) {
   const sim::SimTime t0 = sim_.now();
   const sim::Bytes length = req.length;
+  obs::SpanId qspan = 0, sspan = 0;
+  if (trace_ != nullptr) {
+    trace_->counter(trace_prefix_ + ".inflight", ++inflight_);
+    if (req.trace_parent != 0) {
+      qspan = trace_->begin(trace_track_, "server.queue", "server",
+                            req.trace_request, req.trace_parent);
+    }
+  }
   // Take a Trove I/O slot: pvfs2-server performs a bounded number of local
   // I/O jobs concurrently.
   co_await io_slots_.acquire();
+  if (qspan != 0) {
+    trace_->end(qspan);
+    sspan = trace_->begin(trace_track_, "server.serve", "server",
+                          req.trace_request, req.trace_parent);
+    req.trace_parent = sspan;  // nest cache spans under the serve span
+  }
   core::ServeResult result;
   if (cache_) {
     result = co_await cache_->serve(std::move(req), wdata, rdata);
@@ -69,6 +100,13 @@ sim::Task<core::ServeResult> DataServer::io(core::CacheRequest req,
   result.elapsed = sim_.now() - t0;
   service_.add(result.elapsed);
   bytes_served_ += length;
+  if (trace_ != nullptr) {
+    if (sspan != 0) {
+      trace_->arg(sspan, "ssd", result.ssd ? 1 : 0);
+      trace_->end(sspan);
+    }
+    trace_->counter(trace_prefix_ + ".inflight", --inflight_);
+  }
   co_return result;
 }
 

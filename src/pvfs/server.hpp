@@ -21,6 +21,7 @@
 #include "core/config.hpp"
 #include "fsim/filesystem.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
 #include "stats/meters.hpp"
@@ -90,8 +91,14 @@ class DataServer {
   void set_observer(core::CacheObserver* obs) {
     if (cache_) cache_->set_observer(obs);
   }
+
+  /// Attach a TraceSession (nullptr to detach): queue/serve spans for every
+  /// traced sub-request, device dispatch spans, in-flight depth counter.
+  void set_trace(obs::TraceSession* session);
   storage::BlockDevice& disk() { return *disk_; }
+  const storage::BlockDevice& disk() const { return *disk_; }
   storage::BlockDevice* ssd() { return ssd_.get(); }
+  const storage::BlockDevice* ssd() const { return ssd_.get(); }
   fsim::LocalFileSystem& fs() { return *primary_fs_; }
   const stats::ServiceTimeMeter& service_meter() const { return service_; }
 
@@ -111,6 +118,10 @@ class DataServer {
   std::unique_ptr<core::IBridgeCache> cache_;
   stats::ServiceTimeMeter service_;
   sim::Bytes bytes_served_;
+  obs::TraceSession* trace_ = nullptr;
+  obs::TrackId trace_track_ = obs::kNoTrack;
+  std::string trace_prefix_;  ///< "srv<N>", counter-name prefix
+  int inflight_ = 0;          ///< requests between io() entry and exit
 };
 
 }  // namespace ibridge::pvfs

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/units.hpp"
 #include "stats/histogram.hpp"
 
 namespace ibridge::stats {
@@ -26,7 +27,7 @@ inline const char* to_string(IoDirection d) {
 struct BlockTraceEntry {
   sim::SimTime dispatch_time;
   IoDirection dir;
-  std::int64_t lbn;         // first sector
+  std::int64_t lbn;         // lint: units-ok (LBNs are sector addresses, not byte offsets)
   std::int64_t sectors;     // length in 512 B sectors
   sim::SimTime service;     // modelled device service time
 };
@@ -41,10 +42,12 @@ class BlockTraceRecorder {
   /// histograms are always maintained).
   void set_keep_entries(bool on) { keep_entries_ = on; }
 
+  // lint: units-ok (LBN parameter below is a sector address)
   void record(sim::SimTime when, IoDirection dir, std::int64_t lbn,
-              std::int64_t bytes, sim::SimTime service) {
+              sim::Bytes bytes, sim::SimTime service) {
     if (!enabled_) return;
-    const std::int64_t sectors = (bytes + kSectorBytes - 1) / kSectorBytes;
+    const std::int64_t sectors =
+        (bytes.count() + kSectorBytes - 1) / kSectorBytes;
     size_hist_.add(sectors);
     (dir == IoDirection::kRead ? read_bytes_ : write_bytes_) += bytes;
     service_ms_.add(service.to_millis());
@@ -57,14 +60,14 @@ class BlockTraceRecorder {
   const Summary& service_ms() const { return service_ms_; }
   const std::vector<BlockTraceEntry>& entries() const { return entries_; }
   std::uint64_t requests() const { return size_hist_.total(); }
-  std::int64_t read_bytes() const { return read_bytes_; }
-  std::int64_t write_bytes() const { return write_bytes_; }
+  sim::Bytes read_bytes() const { return read_bytes_; }
+  sim::Bytes write_bytes() const { return write_bytes_; }
 
   void clear() {
     size_hist_.clear();
     service_ms_ = {};
     entries_.clear();
-    read_bytes_ = write_bytes_ = 0;
+    read_bytes_ = write_bytes_ = sim::Bytes::zero();
   }
 
  private:
@@ -73,8 +76,8 @@ class BlockTraceRecorder {
   IntHistogram size_hist_;
   Summary service_ms_;
   std::vector<BlockTraceEntry> entries_;
-  std::int64_t read_bytes_ = 0;
-  std::int64_t write_bytes_ = 0;
+  sim::Bytes read_bytes_;
+  sim::Bytes write_bytes_;
 };
 
 }  // namespace ibridge::stats

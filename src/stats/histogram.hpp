@@ -56,6 +56,62 @@ class Summary {
   double min_ = 0.0, max_ = 0.0;
 };
 
+/// Sample-keeping distribution with exact percentiles.  Unlike Summary it
+/// stores every observation (sorted lazily), so it answers any quantile
+/// exactly — used for return-estimate and latency distributions in the
+/// observability metrics registry, where sample counts stay modest.
+class Histogram {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = samples_.size() <= 1;
+    moments_.add(x);
+  }
+
+  std::uint64_t count() const { return moments_.count(); }
+  double mean() const { return moments_.mean(); }
+  double min() const { return moments_.min(); }
+  double max() const { return moments_.max(); }
+  double sum() const { return moments_.sum(); }
+  const Summary& summary() const { return moments_; }
+
+  /// Nearest-rank percentile, `p` in [0, 100].  Returns 0 when empty, the
+  /// sole sample when count()==1, min() for p<=0 and max() for p>=100.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    if (p <= 0.0) return samples_.front();
+    if (p >= 100.0) return samples_.back();
+    const auto n = static_cast<double>(samples_.size());
+    const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    return samples_[rank == 0 ? 0 : rank - 1];
+  }
+
+  double median() const { return percentile(50.0); }
+
+  void merge(const Histogram& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+    sorted_ = samples_.size() <= 1;
+    moments_.merge(o.moments_);
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = true;
+    moments_ = {};
+  }
+
+ private:
+  // percentile() is logically const; the lazy sort is an implementation
+  // detail (same observable sequence either way).
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  Summary moments_;
+};
+
 /// Exact histogram over integer keys (sparse).  Used for block-request size
 /// distributions where the key is the request size in 512 B sectors.
 class IntHistogram {

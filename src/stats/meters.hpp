@@ -1,9 +1,8 @@
 // Throughput and service-time meters scraped by the benchmark harness.
 #pragma once
 
-#include <cstdint>
-
 #include "sim/time.hpp"
+#include "sim/units.hpp"
 #include "stats/histogram.hpp"
 
 namespace ibridge::stats {
@@ -13,24 +12,40 @@ class ThroughputMeter {
  public:
   void start(sim::SimTime now) {
     start_ = now;
-    bytes_ = 0;
+    stop_ = now;
+    bytes_ = sim::Bytes::zero();
+    running_ = true;
   }
-  void add_bytes(std::int64_t b) { bytes_ += b; }
-  void stop(sim::SimTime now) { stop_ = now; }
+  void add_bytes(sim::Bytes b) { bytes_ += b; }
+  void stop(sim::SimTime now) {
+    stop_ = now;
+    running_ = false;
+  }
 
-  std::int64_t bytes() const { return bytes_; }
-  sim::SimTime elapsed() const { return stop_ - start_; }
+  /// True between start() and stop().
+  bool running() const { return running_; }
+
+  sim::Bytes bytes() const { return bytes_; }
+
+  /// Measured interval.  Zero until stop() has been called — while the
+  /// meter is still running (or was never started) there is no defensible
+  /// elapsed value, and `stop_ - start_` of default-constructed SimTimes
+  /// would be meaningless.
+  sim::SimTime elapsed() const {
+    return running_ ? sim::SimTime::zero() : stop_ - start_;
+  }
 
   /// MB/s with MB = 10^6 bytes (matching the paper's figures).
   double mbps() const {
     const double secs = elapsed().to_seconds();
-    return secs > 0 ? static_cast<double>(bytes_) / 1e6 / secs : 0.0;
+    return secs > 0 ? static_cast<double>(bytes_.count()) / 1e6 / secs : 0.0;
   }
 
  private:
   sim::SimTime start_;
   sim::SimTime stop_;
-  std::int64_t bytes_ = 0;
+  sim::Bytes bytes_;
+  bool running_ = false;
 };
 
 /// Per-request service-time accumulator (Table III replay metric).

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/trace.hpp"
 #include "sim/sync.hpp"
 #include "sim/time.hpp"
 #include "stats/blocktrace.hpp"
@@ -64,16 +65,42 @@ class BlockDevice {
   std::int64_t bytes_read() const { return bytes_read_; }
   std::int64_t bytes_written() const { return bytes_written_; }
 
+  /// Attach a span TraceSession: every dispatch becomes a completed span on
+  /// `track` (concurrent SSD channel dispatches overlap; the exporter lanes
+  /// them out).  Null detaches.
+  void set_span_trace(obs::TraceSession* session, obs::TrackId track) {
+    obs_trace_ = session;
+    obs_track_ = track;
+  }
+
  protected:
   void account(IoDirection dir, std::int64_t bytes, sim::SimTime service) {
     busy_time_ += service;
     (dir == IoDirection::kRead ? bytes_read_ : bytes_written_) += bytes;
   }
 
+  /// One-stop accounting for a dispatched batch: blktrace entry, byte/busy
+  /// totals, and (when attached) a trace span covering the service window.
+  void record_dispatch(sim::SimTime now, IoDirection dir, std::int64_t lbn,
+                       std::int64_t sectors, sim::SimTime service) {
+    const std::int64_t bytes = sectors * kSectorBytes;
+    trace_.record(now, dir, lbn, sim::Bytes{bytes}, service);
+    account(dir, bytes, service);
+    if (obs_trace_ != nullptr) {
+      const obs::SpanId s = obs_trace_->complete(
+          obs_track_, dir == IoDirection::kRead ? "io.read" : "io.write",
+          "device", now, service);
+      obs_trace_->arg(s, "lbn", lbn);
+      obs_trace_->arg(s, "sectors", sectors);
+    }
+  }
+
   stats::BlockTraceRecorder trace_;
   sim::SimTime busy_time_ = sim::SimTime::zero();
   std::int64_t bytes_read_ = 0;
   std::int64_t bytes_written_ = 0;
+  obs::TraceSession* obs_trace_ = nullptr;
+  obs::TrackId obs_track_ = obs::kNoTrack;
 };
 
 }  // namespace ibridge::storage

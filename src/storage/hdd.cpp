@@ -137,8 +137,7 @@ void HddModel::dispatch() {
           sim::SimTime::from_seconds(params_.idle_gap_us / 1e6);
   const sim::SimTime service =
       service_time(batch.dir, batch.lbn, batch.sectors, after_idle);
-  trace_.record(sim_.now(), batch.dir, batch.lbn, batch.bytes(), service);
-  account(batch.dir, batch.bytes(), service);
+  record_dispatch(sim_.now(), batch.dir, batch.lbn, batch.sectors, service);
 
   sim_.schedule(service,
                 [this, b = std::make_shared<DispatchBatch>(std::move(batch)),

@@ -53,8 +53,7 @@ void SsdModel::maybe_start() {
     } else {
       next_write_lbn_ = batch.end();
     }
-    trace_.record(sim_.now(), batch.dir, batch.lbn, batch.bytes(), service);
-    account(batch.dir, batch.bytes(), service);
+    record_dispatch(sim_.now(), batch.dir, batch.lbn, batch.sectors, service);
 
     ++in_flight_;
     sim_.schedule(service,

@@ -1,0 +1,320 @@
+// Observability layer: span recording, the metrics registry, the exporters,
+// and the zero-cost-when-disabled guarantee at cluster level.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "mpiio/mpi.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibridge::obs {
+namespace {
+
+sim::SimTime ms(std::int64_t n) { return sim::SimTime::millis(n); }
+
+TEST(TraceSession, TracksAreInterned) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  const TrackId a = s.track("srv0", "io");
+  const TrackId b = s.track("srv0", "cache-bg");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, s.track("srv0", "io"));
+  ASSERT_EQ(s.tracks().size(), 2u);
+  EXPECT_EQ(s.tracks()[static_cast<std::size_t>(a)].thread, "io");
+}
+
+TEST(TraceSession, SpanNestingAndTimestamps) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  const TrackId t = s.track("client", "rank0");
+  const RequestId rid = s.new_request();
+  SpanId root = 0, child = 0;
+  sim.schedule(ms(0), [&] { root = s.begin(t, "request", "client", rid); });
+  sim.schedule(ms(1), [&] { child = s.child(root, "sub", "client"); });
+  sim.schedule(ms(3), [&] { s.end(child); });
+  sim.schedule(ms(5), [&] { s.end(root); });
+  sim.run();
+
+  const SpanRecord& r = s.span(root);
+  const SpanRecord& c = s.span(child);
+  EXPECT_EQ(r.parent, 0u);
+  EXPECT_EQ(c.parent, root);
+  EXPECT_EQ(c.request, rid) << "children inherit the request id";
+  EXPECT_EQ(c.track, t) << "children inherit the track";
+  EXPECT_FALSE(r.open);
+  EXPECT_EQ(r.start, ms(0));
+  EXPECT_EQ(r.finish, ms(5));
+  EXPECT_EQ(c.start, ms(1));
+  EXPECT_EQ(c.finish, ms(3));
+}
+
+TEST(TraceSession, EndAndArgWithZeroAreNoops) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  s.end(0);
+  s.arg(0, "k", std::int64_t{1});
+  s.arg(0, "k", std::string("v"));
+  EXPECT_TRUE(s.spans().empty());
+}
+
+TEST(TraceSession, CompleteSpansAndCounters) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  const TrackId t = s.track("srv0", "disk");
+  const SpanId id = s.complete(t, "io.read", "device", ms(2), ms(7));
+  s.arg(id, "sectors", std::int64_t{128});
+  const SpanRecord& r = s.span(id);
+  EXPECT_FALSE(r.open);
+  EXPECT_EQ(r.start, ms(2));
+  EXPECT_EQ(r.finish, ms(9));
+  ASSERT_EQ(r.args.size(), 1u);
+  EXPECT_EQ(r.args[0].ival, 128);
+
+  s.counter("srv0.inflight", 3.0);
+  ASSERT_EQ(s.counters().size(), 1u);
+  EXPECT_EQ(s.counters()[0].name, "srv0.inflight");
+  EXPECT_EQ(s.counters()[0].value, 3.0);
+}
+
+// Build one synthetic request: a root with three sub-requests of 2/2/10 ms;
+// the slowest is a tagged fragment on server 2.
+void record_request(TraceSession& s, sim::Simulator& sim) {
+  const TrackId t = s.track("client", "rank0");
+  const RequestId rid = s.new_request();
+  SpanId root = 0;
+  sim.schedule(ms(0), [&, rid] {
+    root = s.begin(t, "request", "client", rid);
+    s.arg(root, "rank", std::int64_t{0});
+    s.arg(root, "offset", std::int64_t{0});
+    s.arg(root, "length", std::int64_t{131072 + 1024});
+  });
+  sim.schedule(ms(1), [&] {
+    for (int i = 0; i < 3; ++i) {
+      const SpanId sub = s.child(root, "sub", "client");
+      s.arg(sub, "server", std::int64_t{i});
+      if (i == 2) s.arg(sub, "fragment", std::int64_t{1});
+      sim.schedule(i == 2 ? ms(10) : ms(2), [&s, sub] { s.end(sub); });
+    }
+  });
+  sim.schedule(ms(12), [&] { s.end(root); });
+  sim.run();
+}
+
+TEST(Analyze, MagnificationAndFragmentStraggler) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  record_request(s, sim);
+
+  const auto reqs = analyze(s);
+  ASSERT_EQ(reqs.size(), 1u);
+  const RequestBreakdown& b = reqs[0];
+  EXPECT_EQ(b.total, ms(12));
+  ASSERT_EQ(b.subs.size(), 3u);
+  EXPECT_EQ(b.slowest, ms(10));
+  EXPECT_EQ(b.median, ms(2));
+  EXPECT_DOUBLE_EQ(b.magnification, 5.0);
+  EXPECT_TRUE(b.straggler_is_fragment);
+  EXPECT_EQ(b.length, 131072 + 1024);
+  // Exclusive time: the subs sum to 14 ms, which exceeds the root's 12 ms
+  // (they overlap), so the root contributes zero exclusive time.
+  EXPECT_EQ(b.category_exclusive.at("client"), ms(14));
+}
+
+TEST(Analyze, SingleSubRequestHasUnitMagnification) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  const TrackId t = s.track("client", "rank0");
+  SpanId root = 0;
+  sim.schedule(ms(0),
+               [&] { root = s.begin(t, "request", "client", s.new_request()); });
+  sim.schedule(ms(1), [&] {
+    const SpanId sub = s.child(root, "sub", "client");
+    sim.schedule(ms(4), [&s, sub] { s.end(sub); });
+  });
+  sim.schedule(ms(6), [&] { s.end(root); });
+  sim.run();
+
+  const auto reqs = analyze(s);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_DOUBLE_EQ(reqs[0].magnification, 1.0);
+  EXPECT_FALSE(reqs[0].straggler_is_fragment);
+}
+
+TEST(Exporters, ChromeTraceShapeAndEscaping) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  record_request(s, sim);
+  s.counter("srv0.inflight", 1.0);
+
+  std::ostringstream os;
+  write_chrome_trace(os, s);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos) << "metadata events";
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << "complete events";
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos) << "counter events";
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"fragment\":1"), std::string::npos);
+  // The 10 ms sub span: ts/dur are microseconds.
+  EXPECT_NE(json.find("\"dur\":10000.000"), std::string::npos);
+}
+
+TEST(Exporters, StragglerReportNamesTheFragment) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  record_request(s, sim);
+
+  std::ostringstream os;
+  write_straggler_report(os, s, 5);
+  const std::string report = os.str();
+  EXPECT_NE(report.find("magnification"), std::string::npos);
+  EXPECT_NE(report.find("fragment"), std::string::npos);
+  EXPECT_NE(report.find("5.00x"), std::string::npos);
+}
+
+TEST(MetricsRegistry, FlattenIsSortedAndExpandsHistograms) {
+  MetricsRegistry reg;
+  reg.counter("cache.read_hits") = 7;
+  reg.gauge("srv0.disk.busy_ms") = 12.5;
+  reg.histogram("cache.ret_estimate_ms").add(1.0);
+  reg.histogram("cache.ret_estimate_ms").add(3.0);
+  EXPECT_TRUE(reg.has("cache.read_hits"));
+  EXPECT_FALSE(reg.has("cache.read_misses"));
+
+  const auto rows = reg.flatten();
+  ASSERT_EQ(rows.size(), 7u);  // 1 counter + 1 gauge + 5 histogram rows
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].first, rows[i].first) << "rows sorted by name";
+  }
+  EXPECT_EQ(rows[0].first, "cache.read_hits");
+  EXPECT_EQ(rows[0].second, 7.0);
+  EXPECT_EQ(rows[1].first, "cache.ret_estimate_ms.count");
+  EXPECT_EQ(rows[1].second, 2.0);
+  EXPECT_EQ(rows[3].first, "cache.ret_estimate_ms.mean");
+  EXPECT_DOUBLE_EQ(rows[3].second, 2.0);
+
+  std::ostringstream os;
+  reg.write_csv(os);
+  EXPECT_NE(os.str().find("name,value\n"), std::string::npos);
+  EXPECT_NE(os.str().find("srv0.disk.busy_ms,12.5"), std::string::npos);
+}
+
+TEST(TimeSeries, ColumnsGrowByUnion) {
+  TimeSeries ts;
+  MetricsRegistry reg;
+  reg.counter("a") = 1;
+  ts.sample(ms(10), reg);
+  reg.counter("b") = 2;
+  ts.sample(ms(20), reg);
+
+  EXPECT_EQ(ts.rows(), 2u);
+  ASSERT_EQ(ts.columns().size(), 2u);
+  std::ostringstream os;
+  ts.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time_ms,a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("10,1,0\n"), std::string::npos)
+      << "cell for a column that did not exist yet reads as 0";
+  EXPECT_NE(csv.find("20,1,2\n"), std::string::npos);
+}
+
+// ---- cluster-level behavior ----
+
+struct TracedRun {
+  sim::SimTime flushed;
+  sim::Bytes served = sim::Bytes::zero();
+};
+
+sim::Task<> reader(mpiio::MpiContext ctx, mpiio::MpiFile file,
+                   std::int64_t iters) {
+  for (std::int64_t k = 0; k < iters; ++k) {
+    const std::int64_t off = (k * ctx.size() + ctx.rank()) * (8LL << 16);
+    co_await file.read_at(ctx.rank(), off, 65 * 1024);
+    co_await ctx.barrier();
+  }
+}
+
+TracedRun run_unaligned(TraceSession* session) {
+  cluster::Cluster c(cluster::ClusterConfig::with_ibridge());
+  if (session != nullptr) c.set_trace(session);
+  auto fh = c.create_file("data", 2LL << 30);
+  mpiio::MpiFile file(c.client(), fh);
+  mpiio::MpiEnvironment group(c.sim(), c.client(), 4);
+  group.launch(
+      [&](mpiio::MpiContext ctx) { return reader(ctx, file, 3); });
+  c.sim().run_while_pending([&] { return group.finished(); });
+  TracedRun r;
+  r.flushed = c.drain();
+  r.served = c.total_bytes_served();
+  return r;
+}
+
+TEST(ClusterTracing, DisabledSessionChangesNothing) {
+  sim::Simulator scratch;
+  TraceSession session(scratch);
+  // set_trace(&session) then set_trace(nullptr) must leave the cluster
+  // exactly as never-traced; the traced timeline must equal the untraced
+  // one (instrumentation never perturbs the simulation).
+  const TracedRun off = run_unaligned(nullptr);
+  const TracedRun on = run_unaligned(&session);
+  EXPECT_EQ(off.flushed, on.flushed)
+      << "tracing must not perturb the simulated timeline";
+  EXPECT_EQ(off.served, on.served);
+  EXPECT_FALSE(session.spans().empty());
+}
+
+TEST(ClusterTracing, SpanTreeCoversEveryLayer) {
+  cluster::Cluster c(cluster::ClusterConfig::with_ibridge());
+  TraceSession session(c.sim());
+  c.set_trace(&session);
+  auto fh = c.create_file("data", 2LL << 30);
+  mpiio::MpiFile file(c.client(), fh);
+  mpiio::MpiEnvironment group(c.sim(), c.client(), 4);
+  group.launch(
+      [&](mpiio::MpiContext ctx) { return reader(ctx, file, 2); });
+  c.sim().run_while_pending([&] { return group.finished(); });
+  c.drain();
+
+  int requests = 0, subs = 0, serves = 0, devices = 0;
+  for (const SpanRecord& sp : session.spans()) {
+    const std::string name = sp.name;
+    EXPECT_FALSE(sp.open) << "span " << name << " never ended";
+    if (name == "request") {
+      ++requests;
+      EXPECT_EQ(sp.parent, 0u);
+      EXPECT_NE(sp.request, 0u);
+    } else if (name == "sub") {
+      ++subs;
+      EXPECT_EQ(std::string(session.span(sp.parent).name), "request");
+    } else if (name == "server.serve") {
+      ++serves;
+      EXPECT_EQ(std::string(session.span(sp.parent).name), "sub")
+          << "server spans nest under the client's sub-request span";
+      EXPECT_NE(sp.request, 0u);
+    } else if (name == "io.read" || name == "io.write") {
+      ++devices;
+    }
+  }
+  EXPECT_EQ(requests, 4 * 2);
+  // 65 KB requests decompose into a 64 KB unit plus a 1 KB fragment.
+  EXPECT_EQ(subs, 2 * requests);
+  EXPECT_EQ(serves, subs);
+  EXPECT_GT(devices, 0) << "device dispatches must be traced";
+
+  // The analyzer sees the same requests end-to-end.
+  const auto reqs = analyze(session);
+  EXPECT_EQ(reqs.size(), static_cast<std::size_t>(requests));
+  for (const auto& b : reqs) {
+    EXPECT_EQ(b.subs.size(), 2u);
+    EXPECT_GT(b.total, sim::SimTime::zero());
+  }
+}
+
+}  // namespace
+}  // namespace ibridge::obs

@@ -98,32 +98,32 @@ TEST(IntHistogram, KeysSortedAndClear) {
 
 TEST(BlockTraceRecorder, RoundsBytesUpToSectors) {
   BlockTraceRecorder r;
-  r.record(sim::SimTime::zero(), IoDirection::kRead, 0, 1024,
+  r.record(sim::SimTime::zero(), IoDirection::kRead, 0, sim::Bytes{1024},
            sim::SimTime::millis(1));
-  r.record(sim::SimTime::zero(), IoDirection::kRead, 0, 1025,
+  r.record(sim::SimTime::zero(), IoDirection::kRead, 0, sim::Bytes{1025},
            sim::SimTime::millis(1));
   EXPECT_EQ(r.size_histogram().count(2), 1u);
   EXPECT_EQ(r.size_histogram().count(3), 1u);
   EXPECT_EQ(r.requests(), 2u);
-  EXPECT_EQ(r.read_bytes(), 2049);
+  EXPECT_EQ(r.read_bytes(), sim::Bytes{2049});
 }
 
 TEST(BlockTraceRecorder, DisabledRecordsNothing) {
   BlockTraceRecorder r;
   r.set_enabled(false);
-  r.record(sim::SimTime::zero(), IoDirection::kWrite, 0, 512,
+  r.record(sim::SimTime::zero(), IoDirection::kWrite, 0, sim::Bytes{512},
            sim::SimTime::millis(1));
   EXPECT_EQ(r.requests(), 0u);
-  EXPECT_EQ(r.write_bytes(), 0);
+  EXPECT_EQ(r.write_bytes(), sim::Bytes::zero());
 }
 
 TEST(BlockTraceRecorder, KeepsEntriesOnlyWhenAsked) {
   BlockTraceRecorder r;
-  r.record(sim::SimTime::zero(), IoDirection::kRead, 7, 512,
+  r.record(sim::SimTime::zero(), IoDirection::kRead, 7, sim::Bytes{512},
            sim::SimTime::millis(1));
   EXPECT_TRUE(r.entries().empty());
   r.set_keep_entries(true);
-  r.record(sim::SimTime::millis(2), IoDirection::kWrite, 9, 512,
+  r.record(sim::SimTime::millis(2), IoDirection::kWrite, 9, sim::Bytes{512},
            sim::SimTime::millis(3));
   ASSERT_EQ(r.entries().size(), 1u);
   EXPECT_EQ(r.entries()[0].lbn, 9);
@@ -148,10 +148,92 @@ TEST(Table, FormatHelpers) {
 TEST(ThroughputMeter, ComputesDecimalMbps) {
   ThroughputMeter m;
   m.start(sim::SimTime::zero());
-  m.add_bytes(10'000'000);
+  m.add_bytes(sim::Bytes{10'000'000});
   m.stop(sim::SimTime::seconds(2));
   EXPECT_DOUBLE_EQ(m.mbps(), 5.0);
-  EXPECT_EQ(m.bytes(), 10'000'000);
+  EXPECT_EQ(m.bytes(), sim::Bytes{10'000'000});
+}
+
+TEST(ThroughputMeter, ElapsedGuardedWhileRunning) {
+  ThroughputMeter m;
+  // Never started: no defensible interval.
+  EXPECT_FALSE(m.running());
+  EXPECT_EQ(m.elapsed(), sim::SimTime::zero());
+  EXPECT_DOUBLE_EQ(m.mbps(), 0.0);
+
+  m.start(sim::SimTime::millis(5));
+  m.add_bytes(sim::Bytes{1024});
+  // Still running: elapsed stays zero instead of `now - start` garbage.
+  EXPECT_TRUE(m.running());
+  EXPECT_EQ(m.elapsed(), sim::SimTime::zero());
+  EXPECT_DOUBLE_EQ(m.mbps(), 0.0);
+
+  m.stop(sim::SimTime::millis(7));
+  EXPECT_FALSE(m.running());
+  EXPECT_EQ(m.elapsed(), sim::SimTime::millis(2));
+}
+
+TEST(Histogram, EmptyPercentilesAreZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.median(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.add(42.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.5);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.5);
+  EXPECT_DOUBLE_EQ(h.median(), 42.5);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 42.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 42.5);
+}
+
+TEST(Histogram, NearestRankPercentiles) {
+  Histogram h;
+  // Unsorted insert order; percentile() sorts lazily.
+  for (double x : {50.0, 10.0, 40.0, 20.0, 30.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(20.0), 10.0);   // ceil(1.0) -> rank 1
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 30.0);   // ceil(2.5) -> rank 3
+  EXPECT_DOUBLE_EQ(h.percentile(90.0), 50.0);   // ceil(4.5) -> rank 5
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+}
+
+TEST(Histogram, DuplicateHeavySamples) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.add(1.0);
+  h.add(1000.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.median(), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.5), 1000.0);  // ceil(99.5) -> rank 100
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(Histogram, MergeAndClear) {
+  Histogram a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  // Interleave percentile queries with adds: the lazy sort must re-arm.
+  EXPECT_DOUBLE_EQ(a.median(), 1.0);
+  a.add(0.5);
+  EXPECT_DOUBLE_EQ(a.percentile(0.0), 0.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  EXPECT_DOUBLE_EQ(a.percentile(100.0), 3.0);
+  a.clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.percentile(50.0), 0.0);
 }
 
 TEST(ServiceTimeMeter, AveragesMillis) {
