@@ -10,6 +10,11 @@
 //   bench_figX [--full]     sweep the paper's full 10 GB dataset (slow)
 // The default accesses a smaller slice so the whole suite finishes in
 // minutes; shapes are unaffected because throughput is steady-state.
+//
+// Sweep benches also accept --jobs N: independent cells fan out over an
+// exp::Runner pool.  Results are committed in submission order, so the
+// printed tables and the BENCH_<name>.json model metrics are identical at
+// every N (only the "wall" section changes).
 #pragma once
 
 #include <cstdio>
@@ -17,6 +22,7 @@
 #include <string>
 
 #include "cluster/cluster.hpp"
+#include "exp/cli.hpp"
 #include "obs/metrics.hpp"
 #include "stats/table.hpp"      // lint: include-ok (umbrella: benches print Tables)
 #include "workloads/btio.hpp"   // lint: include-ok (umbrella: benches run BTIO)
@@ -34,6 +40,7 @@ struct Scale {
   std::int64_t access_bytes = 400 * kMB;  // per mpi-io-test/ior run
   int btio_steps = 2;                     // of the class-C 40
   std::size_t trace_requests = 2'000;
+  int jobs = 1;  // exp::Runner pool size for independent sweep cells
 
   static Scale parse(int argc, char** argv) {
     Scale s;
@@ -42,6 +49,9 @@ struct Scale {
         s.access_bytes = 10 * kGB;
         s.btio_steps = 40;
         s.trace_requests = 20'000;
+      } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+        s.jobs = static_cast<int>(
+            exp::require_int(argv[0], "--jobs", argv[++i], 1, 256));
       }
     }
     return s;

@@ -63,7 +63,12 @@ int main(int argc, char** argv) {
     stats::Table t({"offset", "16 procs", "64 procs", "128 procs",
                     "512 procs"});
     for (std::int64_t kb : {0, 1, 10, 20}) {
-      std::vector<std::string> row{"+" + std::to_string(kb) + " KB"};
+      // Built stepwise: the one-expression "+" + to_string(kb) + " KB" form
+      // trips GCC 12's -Werror=restrict false positive at -O3.
+      std::string label = "+";
+      label += std::to_string(kb);
+      label += " KB";
+      std::vector<std::string> row{std::move(label)};
       for (int procs : {16, 64, 128, 512}) {
         row.push_back(stats::Table::fmt(
             "%.1f", run(scale, procs, 64 * 1024, kb * 1024).mbps()));

@@ -1,6 +1,15 @@
 // Figure 6 — scalability with process count: mpi-io-test, 65 KB requests,
 // 16-512 processes, reads and writes, stock vs iBridge.
+//
+// Every cell is an independent cluster run, so the 16 cells fan out over an
+// exp::Runner pool (--jobs N); cells are committed back into the table in
+// row-major order, so the output is identical at every N.
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
+#include "exp/runner.hpp"
 
 using namespace ibridge;
 using namespace ibridge::bench;
@@ -23,25 +32,59 @@ double run_case(const Scale& scale, bool ibridge, bool write, int procs) {
   return mbps_total(run_mpi_io_test(c, cfg));
 }
 
+struct Cell {
+  int procs;
+  bool ibridge;
+  bool write;
+  const char* series;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
   banner("Figure 6", "mpi-io-test 65 KB requests, process-count scaling");
 
+  std::vector<Cell> cells;
+  for (int procs : {16, 64, 128, 512}) {
+    cells.push_back({procs, false, false, "read_stock"});
+    cells.push_back({procs, true, false, "read_ibridge"});
+    cells.push_back({procs, false, true, "write_stock"});
+    cells.push_back({procs, true, true, "write_ibridge"});
+  }
+
+  exp::Stopwatch sw;
+  exp::Runner runner(scale.jobs);
+  const std::vector<double> mbps = runner.map<double>(
+      static_cast<int>(cells.size()), [&](int i) {
+        const Cell& cc = cells[static_cast<std::size_t>(i)];
+        return run_case(scale, cc.ibridge, cc.write, cc.procs);
+      });
+
   stats::Table t({"procs", "read stock", "read iBridge", "write stock",
                   "write iBridge"});
-  for (int procs : {16, 64, 128, 512}) {
-    t.add_row({std::to_string(procs),
-               stats::Table::fmt("%.1f", run_case(scale, false, false, procs)),
-               stats::Table::fmt("%.1f", run_case(scale, true, false, procs)),
-               stats::Table::fmt("%.1f", run_case(scale, false, true, procs)),
-               stats::Table::fmt("%.1f", run_case(scale, true, true, procs))});
+  for (std::size_t r = 0; r < cells.size(); r += 4) {
+    t.add_row({std::to_string(cells[r].procs),
+               stats::Table::fmt("%.1f", mbps[r]),
+               stats::Table::fmt("%.1f", mbps[r + 1]),
+               stats::Table::fmt("%.1f", mbps[r + 2]),
+               stats::Table::fmt("%.1f", mbps[r + 3])});
   }
   t.print();
   std::printf("  paper: iBridge improves throughput by 154%% on average "
               "across process counts;\n  512 procs slightly lower than 64 "
               "for both systems\n");
   footnote();
+
+  exp::Gauge g("fig6_procscale");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    g.set(std::string(cells[i].series) + ".p" + std::to_string(cells[i].procs),
+          mbps[i]);
+  }
+  g.set_wall("seconds", sw.seconds());
+  g.set_wall("jobs", scale.jobs);
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_fig6_procscale.json\n");
+  }
   return 0;
 }

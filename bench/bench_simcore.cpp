@@ -1,0 +1,263 @@
+// bench_simcore — event-engine hot-path microbenchmark.
+//
+// Measures ns/event and allocs/event for the production engine
+// (sim::Simulator: sim::InlineEvent callbacks + 4-ary implicit heap) against
+// a frozen in-binary replica of the pre-optimization engine
+// (std::function<void()> callbacks + std::push_heap/pop_heap binary heap).
+// Allocations are counted by replacing global operator new in this binary.
+//
+// The workload is a fan of self-rescheduling event chains whose lambdas
+// capture 32 bytes — more than libstdc++'s 16-byte std::function SBO (so the
+// baseline heap-allocates every event) and within InlineEvent's 48-byte
+// buffer (so the production engine allocates nothing per event).
+//
+//   bench_simcore [--events N] [--chains N] [--reps N] [--check]
+//
+// --check exits 1 unless the production engine shows >= 25% ns/event and
+// >= 90% allocs/event reduction (the CI bench-gauge job runs this).  Emits
+// BENCH_simcore.json.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exp/cli.hpp"
+#include "exp/gauge.hpp"
+#include "sim/simulator.hpp"
+
+// ------------------------------------------------- allocation counting ----
+// Counts every plain global operator new in the process.  Measured regions
+// snapshot the counter before/after, so unrelated allocations (stdio, gauge
+// output) never pollute the per-event numbers.
+
+namespace {
+std::atomic<std::uint64_t> g_new_calls{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using ibridge::sim::SimTime;
+
+// ------------------------------------------------------ frozen baseline ----
+// Byte-for-byte the pre-optimization sim::Simulator: type-erased callbacks in
+// std::function and a binary max-heap via the standard heap algorithms.  Kept
+// here (not in src/sim/) so the comparison target cannot drift as the
+// production engine evolves.
+
+class FnSimulator {
+ public:
+  // lint: callback-ok (this IS the frozen std::function baseline under test)
+  using Callback = std::function<void()>;
+
+  FnSimulator() = default;
+  FnSimulator(const FnSimulator&) = delete;
+  FnSimulator& operator=(const FnSimulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  void schedule(SimTime delay, Callback fn) {
+    heap_.push_back(Event{now_ + delay, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  }
+
+  bool step() {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = ev.when;
+    ev.fn();
+    ++executed_;
+    return true;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+// --------------------------------------------------------------- workload ----
+
+volatile std::uint64_t g_sink = 0;
+
+/// One link of a self-rescheduling chain.  The lambda captures 32 bytes:
+/// engine reference + id + remaining + acc.
+template <class Engine>
+void chain(Engine& eng, std::uint64_t id, std::uint64_t remaining,
+           std::uint64_t acc) {
+  if (remaining == 0) {
+    g_sink = g_sink + acc;
+    return;
+  }
+  auto fn = [&eng, id, remaining, acc] {
+    chain(eng, id, remaining - 1, acc * 6364136223846793005ULL + id);
+  };
+  static_assert(sizeof(fn) == 32);
+  if constexpr (std::is_same_v<Engine, ibridge::sim::Simulator>) {
+    static_assert(ibridge::sim::InlineEvent::stored_inline<decltype(fn)>(),
+                  "workload closure must fit InlineEvent's inline buffer");
+  }
+  eng.schedule(SimTime::nanos(static_cast<std::int64_t>(1 + (acc & 7))),
+               std::move(fn));
+}
+
+struct Measurement {
+  double ns_per_event = 0;
+  double allocs_per_event = 0;
+  std::uint64_t events = 0;
+};
+
+template <class Engine>
+Measurement measure(std::int64_t total_events, int chains, int reps) {
+  const auto per_chain = static_cast<std::uint64_t>(total_events / chains);
+  Measurement m;
+  double best_s = 0;
+  // Rep 0 warms caches and the allocator; timing keeps the minimum of the
+  // remaining reps (least-noise estimator for a deterministic workload).
+  for (int rep = 0; rep <= reps; ++rep) {
+    Engine eng;
+    if constexpr (requires { eng.reserve(std::size_t{0}); }) {
+      eng.reserve(static_cast<std::size_t>(chains) + 16);
+    }
+    const std::uint64_t a0 = g_new_calls.load(std::memory_order_relaxed);
+    ibridge::exp::Stopwatch sw;
+    for (int c = 0; c < chains; ++c) {
+      chain(eng, static_cast<std::uint64_t>(c), per_chain,
+            0x9E3779B97F4A7C15ULL ^ static_cast<std::uint64_t>(c));
+    }
+    eng.run();
+    const double s = sw.seconds();
+    const std::uint64_t a1 = g_new_calls.load(std::memory_order_relaxed);
+    m.events = eng.events_executed();
+    if (rep == 0) {
+      m.allocs_per_event =
+          static_cast<double>(a1 - a0) / static_cast<double>(m.events);
+      best_s = s;
+    } else if (s < best_s) {
+      best_s = s;
+    }
+  }
+  m.ns_per_event = best_s * 1e9 / static_cast<double>(m.events);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ibridge::exp::require_int;
+  std::int64_t events = 1'000'000;
+  int chains = 256;
+  int reps = 3;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_simcore: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--events") {
+      events = require_int("bench_simcore", "--events", next(), 1000,
+                           1'000'000'000);
+    } else if (a == "--chains") {
+      chains = static_cast<int>(
+          require_int("bench_simcore", "--chains", next(), 1, 65536));
+    } else if (a == "--reps") {
+      reps = static_cast<int>(
+          require_int("bench_simcore", "--reps", next(), 1, 100));
+    } else if (a == "--check") {
+      check = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_simcore [--events N] [--chains N] [--reps N] "
+                   "[--check]\n");
+      return 2;
+    }
+  }
+  if (events < chains) chains = static_cast<int>(events);
+
+  const Measurement fn = measure<FnSimulator>(events, chains, reps);
+  const Measurement inl = measure<ibridge::sim::Simulator>(events, chains,
+                                                           reps);
+
+  const double ns_red =
+      (fn.ns_per_event - inl.ns_per_event) / fn.ns_per_event * 100.0;
+  const double alloc_red = fn.allocs_per_event <= 0.0
+                               ? 0.0
+                               : (fn.allocs_per_event - inl.allocs_per_event) /
+                                     fn.allocs_per_event * 100.0;
+
+  std::printf("sim-core event engine, %llu events x %d chains\n",
+              static_cast<unsigned long long>(fn.events), chains);
+  std::printf("  %-34s %8.1f ns/event  %6.3f allocs/event\n",
+              "std::function + binary heap", fn.ns_per_event,
+              fn.allocs_per_event);
+  std::printf("  %-34s %8.1f ns/event  %6.3f allocs/event\n",
+              "InlineEvent + 4-ary heap", inl.ns_per_event,
+              inl.allocs_per_event);
+  std::printf("  reduction: %.1f%% ns/event, %.1f%% allocs/event\n", ns_red,
+              alloc_red);
+
+  ibridge::exp::Gauge g("simcore");
+  g.set("events", static_cast<double>(fn.events));
+  g.set("chains", chains);
+  g.set("allocs_per_event.fn", fn.allocs_per_event);
+  g.set("allocs_per_event.inline", inl.allocs_per_event);
+  g.set("alloc_reduction_pct", alloc_red);
+  g.set_wall("ns_per_event.fn", fn.ns_per_event);
+  g.set_wall("ns_per_event.inline", inl.ns_per_event);
+  g.set_wall("ns_reduction_pct", ns_red);
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_simcore.json\n");
+  }
+
+  if (check && (ns_red < 25.0 || alloc_red < 90.0)) {
+    std::fprintf(stderr,
+                 "bench_simcore: FAIL --check thresholds (need >=25%% ns, "
+                 ">=90%% allocs; got %.1f%%, %.1f%%)\n",
+                 ns_red, alloc_red);
+    return 1;
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "cluster/cluster.hpp"
+#include "exp/cli.hpp"
 #include "workloads/btio.hpp"
 
 using namespace ibridge;
@@ -41,7 +42,10 @@ void run(const char* label, const cluster::ClusterConfig& cc, int procs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int procs = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int procs =
+      argc > 1 ? static_cast<int>(ibridge::exp::require_int(
+                     "storage_tiering", "procs", argv[1], 1, 4096))
+               : 16;
   workloads::BtIoConfig probe;
   probe.nprocs = procs;
   std::printf("BTIO dump: %d processes, %lld-byte strided writes\n\n", procs,

@@ -42,6 +42,12 @@ storage::SeekProfile profile_disk(const storage::HddParams& params) {
 }
 
 Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
+  // Pre-size the event heap for the steady-state population: every rank can
+  // have a few events in flight (NIC, disk queue, coroutine resume) plus
+  // per-server daemons.  Avoids heap regrowth pauses mid-run.
+  sim_.reserve(static_cast<std::size_t>(cfg.client_nodes) *
+                   static_cast<std::size_t>(cfg.procs_per_node) * 4 +
+               static_cast<std::size_t>(cfg.data_servers) * 64 + 256);
   net_ = std::make_unique<net::NetworkModel>(sim_, cfg.network);
 
   storage::SeekProfile profile;

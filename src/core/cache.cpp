@@ -234,11 +234,11 @@ sim::Task<> IBridgeCache::flush_entry(EntryId id) {
   if (!table_.contains(id) || !table_.get(id).dirty) co_return;
   const CacheEntry e = table_.get(id);
 
-  std::vector<std::byte> buf;
+  sim::BufferPool::Lease buf = pool_.acquire();
   std::span<std::byte> span;
   if (ssd_fs_.data_mode() == fsim::DataMode::kVerify) {
-    buf.resize(static_cast<std::size_t>(e.length.count()));
-    span = buf;
+    buf->resize(static_cast<std::size_t>(e.length.count()));
+    span = *buf;
   }
   // Read the payload from the log, then write it to its home location.
   co_await ssd_fs_.read(log_file_, e.log_off.value(), e.length.count(), span);
@@ -435,14 +435,14 @@ sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
 
   ++active_stages_;
   const std::size_t mark = completed_writes_.size();
-  std::vector<std::byte> buf;
+  sim::BufferPool::Lease buf = pool_.acquire();
   std::span<const std::byte> span;
   if (ssd_fs_.data_mode() == fsim::DataMode::kVerify) {
-    buf.resize(static_cast<std::size_t>(r.length.count()));
+    buf->resize(static_cast<std::size_t>(r.length.count()));
     // The bytes were just read from the disk; fetch them from its store.
-    std::span<std::byte> mut(buf);
+    std::span<std::byte> mut(*buf);
     disk_fs_.peek_bytes(r.file, r.offset.value(), mut);
-    span = buf;
+    span = *buf;
   }
   co_await ssd_fs_.write(log_file_, log_off->value(), r.length.count(), span);
   charge_mapping_update(*log_off + r.length);
@@ -492,7 +492,7 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
   struct Staged {
     EntryId id;
     CacheEntry e;
-    std::vector<std::byte> buf;
+    sim::BufferPool::Lease buf;
   };
   auto staged = std::make_shared<std::vector<Staged>>();
   staged->reserve(batch.size());
@@ -500,15 +500,15 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
   sim::JoinSet reads(sim_);
   for (EntryId id : batch) {
     if (!table_.contains(id) || !table_.get(id).dirty) continue;
-    staged->push_back({id, table_.get(id), {}});
+    staged->push_back({id, table_.get(id), pool_.acquire()});
     if (verify) {
-      staged->back().buf.resize(
+      staged->back().buf->resize(
           static_cast<std::size_t>(staged->back().e.length.count()));
     }
     Staged* s = &staged->back();
     reads.add([](IBridgeCache& c, Staged* st) -> sim::Task<> {
       co_await c.ssd_fs_.read(c.log_file_, st->e.log_off.value(),
-                              st->e.length.count(), st->buf);
+                              st->e.length.count(), *st->buf);
     }(*this, s));
   }
   co_await reads.join();
@@ -541,15 +541,15 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
       ++j;
     }
 
-    std::vector<std::byte> run_buf;
+    sim::BufferPool::Lease run_buf = pool_.acquire();
     std::span<const std::byte> span;
     if (verify) {
-      run_buf.reserve(static_cast<std::size_t>(run_len.count()));
+      run_buf->reserve(static_cast<std::size_t>(run_len.count()));
       for (std::size_t k = i; k < j; ++k) {
-        run_buf.insert(run_buf.end(), (*staged)[k].buf.begin(),
-                       (*staged)[k].buf.end());
+        run_buf->insert(run_buf->end(), (*staged)[k].buf->begin(),
+                        (*staged)[k].buf->end());
       }
-      span = run_buf;
+      span = *run_buf;
     }
     // (As in flush_entry: internal write-back does not update Eq. (1).)
     const std::uint64_t win =

@@ -30,6 +30,7 @@
 #include "core/ssd_log.hpp"
 #include "fsim/filesystem.hpp"
 #include "obs/trace.hpp"
+#include "sim/buffer_pool.hpp"
 #include "sim/sync.hpp"
 #include "sim/units.hpp"
 #include "stats/histogram.hpp"
@@ -245,6 +246,9 @@ class IBridgeCache {
   std::vector<std::pair<Offset, Bytes>> deferred_releases_;
   bool running_ = false;
   std::uint64_t daemon_epoch_ = 0;
+  /// Recycled payload staging buffers (verify-mode flush/stage copies).
+  /// Keeps write-back and staging off the allocator in steady state.
+  sim::BufferPool pool_;
   CacheObserver* observer_ = nullptr;
   obs::TraceSession* trace_ = nullptr;
   obs::TrackId trace_bg_track_ = obs::kNoTrack;

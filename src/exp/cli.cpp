@@ -1,0 +1,78 @@
+#include "exp/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ibridge::exp {
+
+namespace {
+
+/// from_chars over the whole string, with 0x/0X detection.  `s` must not
+/// include a sign.
+template <typename T>
+std::optional<T> parse_whole(const std::string& s) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    first += 2;
+  }
+  T value{};
+  const auto [ptr, ec] = std::from_chars(first, last, value, base);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_int(const std::string& s, std::int64_t min,
+                                      std::int64_t max) {
+  if (s.empty()) return std::nullopt;
+  std::optional<std::int64_t> v;
+  if (s[0] == '-') {
+    // from_chars handles the sign for base 10, but not "-0x..."; parse the
+    // magnitude and negate so hex works uniformly.
+    const auto mag = parse_whole<std::uint64_t>(s.substr(1));
+    if (!mag || *mag > 0x8000000000000000ULL) return std::nullopt;
+    v = static_cast<std::int64_t>(0ULL - *mag);
+  } else {
+    const auto mag = parse_whole<std::uint64_t>(s);
+    if (!mag || *mag > 0x7fffffffffffffffULL) return std::nullopt;
+    v = static_cast<std::int64_t>(*mag);
+  }
+  if (*v < min || *v > max) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty() || s[0] == '-') return std::nullopt;
+  return parse_whole<std::uint64_t>(s);
+}
+
+std::int64_t require_int(const char* tool, const char* what,
+                         const std::string& s, std::int64_t min,
+                         std::int64_t max) {
+  const auto v = parse_int(s, min, max);
+  if (!v) {
+    std::fprintf(stderr, "%s: invalid %s '%s' (expected integer in [%lld, %lld])\n",
+                 tool, what, s.c_str(), static_cast<long long>(min),
+                 static_cast<long long>(max));
+    std::exit(2);
+  }
+  return *v;
+}
+
+std::uint64_t require_u64(const char* tool, const char* what,
+                          const std::string& s) {
+  const auto v = parse_u64(s);
+  if (!v) {
+    std::fprintf(stderr, "%s: invalid %s '%s' (expected unsigned integer)\n",
+                 tool, what, s.c_str());
+    std::exit(2);
+  }
+  return *v;
+}
+
+}  // namespace ibridge::exp

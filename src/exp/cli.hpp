@@ -1,0 +1,36 @@
+// Checked CLI argument parsing shared by tools, benches, and examples.
+//
+// std::atoi returns 0 on garbage and has undefined behaviour on overflow —
+// `ibridge-simcheck --iters 10O` (typo) silently became a 0-iteration "all
+// green" run.  These helpers accept exactly a full base-10 (or 0x-prefixed
+// hexadecimal) integer, reject everything else, and either report nullopt
+// (parse_*) or print a diagnostic and exit(2) (require_*), matching the
+// usage-error exit code the tools already use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ibridge::exp {
+
+/// The whole of `s` must be an integer in [min, max].  Accepts an optional
+/// leading '-' and a 0x/0X prefix for hexadecimal.  Returns nullopt on
+/// empty input, trailing garbage, overflow, or range violation.
+std::optional<std::int64_t> parse_int(
+    const std::string& s, std::int64_t min = INT64_MIN,
+    std::int64_t max = INT64_MAX);
+
+/// Unsigned variant (no leading '-'); same strictness.  Used for seeds.
+std::optional<std::uint64_t> parse_u64(const std::string& s);
+
+/// parse_int or `exit(2)` with "<tool>: invalid <what> '<s>'" on stderr.
+std::int64_t require_int(const char* tool, const char* what,
+                         const std::string& s, std::int64_t min,
+                         std::int64_t max);
+
+/// parse_u64 or `exit(2)` with the same diagnostic shape.
+std::uint64_t require_u64(const char* tool, const char* what,
+                          const std::string& s);
+
+}  // namespace ibridge::exp

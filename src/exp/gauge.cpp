@@ -1,0 +1,73 @@
+#include "exp/gauge.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ibridge::exp {
+
+void Gauge::add_metrics(const obs::MetricsRegistry& reg,
+                        const std::string& prefix) {
+  for (const auto& [name, value] : reg.flatten()) {
+    model_[prefix + name] = value;
+  }
+}
+
+namespace {
+
+/// Round-trip double formatting: shortest-ish, locale-independent, and —
+/// what the determinism tests rely on — a pure function of the bits.
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_section(std::string& out, const char* key,
+                    const std::map<std::string, double>& rows) {
+  out += "  \"";
+  out += key;
+  out += "\": {";
+  bool first = true;
+  for (const auto& [name, value] : rows) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += name;  // metric names are [A-Za-z0-9._-]; no escaping needed
+    out += "\": ";
+    append_number(out, value);
+  }
+  out += rows.empty() ? "}" : "\n  }";
+}
+
+}  // namespace
+
+std::string Gauge::json(bool include_wall) const {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"" + name_ + "\",\n";
+  out += "  \"schema\": \"";
+  out += kSchema;
+  out += "\",\n";
+  append_section(out, "model", model_);
+  if (include_wall) {
+    out += ",\n";
+    append_section(out, "wall", wall_);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void Gauge::write_json(std::ostream& os, bool include_wall) const {
+  os << json(include_wall);
+}
+
+bool Gauge::write_file(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream os(path);
+  if (!os) return false;
+  os << json(/*include_wall=*/true);
+  return static_cast<bool>(os);
+}
+
+}  // namespace ibridge::exp

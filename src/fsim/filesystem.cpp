@@ -57,12 +57,19 @@ std::int64_t ExtentAllocator::free_sectors() const {
 
 std::vector<MappedRange> LocalFile::map(std::int64_t offset,
                                         std::int64_t length) const {
+  std::vector<MappedRange> out;
+  map_into(offset, length, out);
+  return out;
+}
+
+void LocalFile::map_into(std::int64_t offset, std::int64_t length,
+                         std::vector<MappedRange>& out) const {
+  out.clear();
   assert(offset >= 0 && length > 0);
   assert(offset + length <= allocated_sectors_ * storage::kSectorBytes);
   const std::int64_t first_sector = offset / kSectorBytes;
   const std::int64_t last_sector = (offset + length - 1) / kSectorBytes;
 
-  std::vector<MappedRange> out;
   std::int64_t cur = first_sector;
   for (const auto& e : extents_) {
     if (cur > last_sector) break;
@@ -78,7 +85,6 @@ std::vector<MappedRange> LocalFile::map(std::int64_t offset,
     cur += take;
   }
   assert(cur == last_sector + 1 && "range not fully mapped");
-  return out;
 }
 
 // ------------------------------------------------------------ fs ----
@@ -164,14 +170,15 @@ sim::Task<sim::SimTime> LocalFileSystem::read(FileId id, std::int64_t offset,
   (void)ok;
 
   const sim::SimTime t0 = sim_.now();
-  auto pieces = f.map(offset, length);
-  std::vector<sim::SimFuture<storage::BlockCompletion>> futs;
-  futs.reserve(pieces.size());
-  for (const auto& p : pieces) {
-    futs.push_back(
+  auto pieces = map_pool_.acquire();
+  f.map_into(offset, length, *pieces);
+  auto futs = fut_pool_.acquire();
+  futs->reserve(pieces->size());
+  for (const auto& p : *pieces) {
+    futs->push_back(
         dev_.submit({storage::IoDirection::kRead, p.lbn, p.sectors, tag}));
   }
-  for (auto& fu : futs) co_await fu;
+  for (auto& fu : *futs) co_await fu;
 
   if (mode_ == DataMode::kVerify && !out.empty()) {
     assert(std::cmp_equal(out.size(), length));
@@ -195,7 +202,8 @@ sim::Task<sim::SimTime> LocalFileSystem::write(FileId id, std::int64_t offset,
   // Page-granularity read-modify-write: partially covered boundary pages
   // must be read in before the write can proceed.
   if (rmw_page_ > 0) {
-    std::vector<sim::SimFuture<storage::BlockCompletion>> fills;
+    auto fills = fut_pool_.acquire();
+    auto fill_pieces = map_pool_.acquire();
     const std::int64_t head = offset % rmw_page_;
     const std::int64_t tail = (offset + length) % rmw_page_;
     // The boundary pages may extend past the sector-rounded allocation.
@@ -204,29 +212,32 @@ sim::Task<sim::SimTime> LocalFileSystem::write(FileId id, std::int64_t offset,
     assert(ok2 && "device full during RMW fill");
     (void)ok2;
     if (head != 0) {
-      for (const auto& p : f.map(offset - head, rmw_page_)) {
-        fills.push_back(
+      f.map_into(offset - head, rmw_page_, *fill_pieces);
+      for (const auto& p : *fill_pieces) {
+        fills->push_back(
             dev_.submit({storage::IoDirection::kRead, p.lbn, p.sectors, tag}));
       }
     }
     if (tail != 0 && (head == 0 || length > rmw_page_ - head)) {
-      for (const auto& p :
-           f.map(((offset + length) / rmw_page_) * rmw_page_, rmw_page_)) {
-        fills.push_back(
+      f.map_into(((offset + length) / rmw_page_) * rmw_page_, rmw_page_,
+                 *fill_pieces);
+      for (const auto& p : *fill_pieces) {
+        fills->push_back(
             dev_.submit({storage::IoDirection::kRead, p.lbn, p.sectors, tag}));
       }
     }
-    for (auto& fu : fills) co_await fu;
+    for (auto& fu : *fills) co_await fu;
   }
 
-  auto pieces = f.map(offset, length);
-  std::vector<sim::SimFuture<storage::BlockCompletion>> futs;
-  futs.reserve(pieces.size());
-  for (const auto& p : pieces) {
-    futs.push_back(
+  auto pieces = map_pool_.acquire();
+  f.map_into(offset, length, *pieces);
+  auto futs = fut_pool_.acquire();
+  futs->reserve(pieces->size());
+  for (const auto& p : *pieces) {
+    futs->push_back(
         dev_.submit({storage::IoDirection::kWrite, p.lbn, p.sectors, tag}));
   }
-  for (auto& fu : futs) co_await fu;
+  for (auto& fu : *futs) co_await fu;
 
   if (mode_ == DataMode::kVerify && !in.empty()) {
     assert(std::cmp_equal(in.size(), length));

@@ -26,6 +26,8 @@
 #include <map>
 #include <vector>
 
+#include "sim/buffer_pool.hpp"
+#include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "storage/block.hpp"
 
@@ -81,6 +83,12 @@ class LocalFile {
   /// Map a byte range to device sector ranges (one entry per extent piece,
   /// adjacent pieces coalesced).  The range must be inside the file.
   std::vector<MappedRange> map(std::int64_t offset, std::int64_t length) const;
+
+  /// Allocation-free variant: clear `out` and fill it with the mapped
+  /// pieces, reusing its capacity.  read()/write() feed this pooled vectors
+  /// so the per-request hot path stays off the allocator.
+  void map_into(std::int64_t offset, std::int64_t length,
+                std::vector<MappedRange>& out) const;
 
   /// True if the whole file is one contiguous extent.
   bool contiguous() const { return extents_.size() <= 1; }
@@ -160,6 +168,11 @@ class LocalFileSystem {
   static constexpr std::int64_t kChunk = 4096;
   std::map<FileId, std::map<std::int64_t, std::vector<std::byte>>> data_;
   FileId next_id_ = 1;
+  // Per-request scratch vectors (mapped pieces, completion futures) recycle
+  // through these pools: steady-state reads/writes do zero heap allocation
+  // even in timing-only mode (see docs/PERF.md).
+  sim::VectorPool<MappedRange> map_pool_;
+  sim::VectorPool<sim::SimFuture<storage::BlockCompletion>> fut_pool_;
 };
 
 }  // namespace ibridge::fsim

@@ -45,6 +45,7 @@ const std::map<std::string, std::set<std::string>>& layer_allowlist() {
       {"check",
        {"sim", "stats", "net", "obs", "storage", "fsim", "core", "pvfs",
         "cluster", "mpiio", "plfs", "workloads"}},
+      {"exp", {"sim", "stats", "obs"}},
       {"lint", {}},
   };
   return kAllow;
@@ -61,6 +62,7 @@ const std::map<std::string, std::string>& suppression_keys() {
       {"pointer-key-ok", "pointer-key"},
       {"rng-ok", "rng-construction"},
       {"wall-clock-ok", "wall-clock"},
+      {"callback-ok", "sim-callback"},
   };
   return kKeys;
 }
@@ -456,6 +458,30 @@ void check_raw_unit_type(const SourceFile& f, Diags& out) {
   }
 }
 
+// ------------------------------------------------------ event callbacks ----
+
+/// `std::function<void()>` outside src/sim/: the simulator's callback slot
+/// is sim::InlineEvent (48-byte small-buffer, no per-event allocation), and
+/// std::function<void()> in model code almost always ends up scheduled on
+/// the simulator, re-introducing a heap round-trip per event plus a move
+/// through std::function's 16-byte SBO.  src/sim/ itself is exempt — it
+/// defines InlineEvent and legitimately uses std::function for non-event
+/// signatures.  Suppress with `// lint: callback-ok (reason)` for callables
+/// that never reach Simulator::schedule.
+void check_sim_callback(const SourceFile& f, Diags& out) {
+  if (starts_with(f.rel, "src/sim/")) return;
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 4 < t.size(); ++i) {
+    if (is_ident(t, i) && t[i].text == "function" && text_is(t, i + 1, "<") &&
+        text_is(t, i + 2, "void") && text_is(t, i + 3, "(") &&
+        text_is(t, i + 4, ")")) {
+      report(out, f, t[i].line, "sim-callback",
+             "std::function<void()> heap-allocates captured state per event; "
+             "use sim::InlineEvent (sim/inline_event.hpp)");
+    }
+  }
+}
+
 // ----------------------------------------------------------- suppression ----
 
 struct Suppression {
@@ -511,6 +537,7 @@ const std::vector<RuleInfo>& rules() {
       {"layering", "module #includes must follow the DAG"},
       {"include-what-you-use", "project includes must be used"},
       {"raw-unit-type", "typed-core headers use Bytes/Offset/ServerId"},
+      {"sim-callback", "event callbacks use sim::InlineEvent, not std::function"},
       {"lint-annotation", "suppressions need a known key and a reason"},
   };
   return kRules;
@@ -539,6 +566,7 @@ std::vector<Diagnostic> lint_corpus(const std::vector<SourceFile>& files) {
     check_layering(f, ctx, raw);
     check_include_what_you_use(f, ctx, raw);
     check_raw_unit_type(f, raw);
+    check_sim_callback(f, raw);
 
     auto sups = parse_suppressions(f);
     for (Diagnostic& d : raw) {

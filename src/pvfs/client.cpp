@@ -20,6 +20,10 @@ Client::Client(sim::Simulator& sim, MetadataServer& mds,
       rng_(cfg.seed) {
   assert(!servers_.empty());
   assert(!node_nics_.empty());
+  // Each request fans out one sub-request per data server, and each
+  // sub-request keeps an event or two pending (net hop, device completion,
+  // deferred resume).  Reserve so request bursts never regrow the heap.
+  sim_.reserve(servers_.size() * 8 + node_nics_.size() * 4 + 64);
 }
 
 sim::Task<sim::SimTime> Client::read_at(int rank, FileHandle fh,

@@ -6,21 +6,35 @@
 // events on one Simulator instance.  The simulation is single-threaded and
 // fully deterministic: two events scheduled for the same tick fire in the
 // order they were scheduled (FIFO by sequence number).
+//
+// Hot-path engineering (measured by bench/bench_simcore.cpp, design notes in
+// docs/PERF.md):
+//   - callbacks are sim::InlineEvent, not std::function — closures up to 48
+//     bytes schedule without touching the allocator;
+//   - the queue is a hand-rolled 4-ary min-heap on (when, seq).  A 4-ary
+//     heap halves tree depth vs binary, so sift_down touches fewer cache
+//     lines per pop while sibling scans stay within one or two lines;
+//   - the heap stores 24-byte POD nodes {when, seq, slot}; the InlineEvent
+//     payloads live in a slot arena (LIFO free list) that sifts never touch,
+//     so every heap move is a trivial copy instead of a callable relocation;
+//   - reserve() lets long-lived setups (pvfs::Client, cluster::Cluster)
+//     pre-size the event vector and avoid regrowth mid-run.
 #pragma once
 
-#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_event.hpp"
 #include "sim/time.hpp"
 
 namespace ibridge::sim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineEvent;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -28,6 +42,16 @@ class Simulator {
 
   /// Current simulated time.
   SimTime now() const { return now_; }
+
+  /// Pre-size the event heap for at least `n` concurrently pending events.
+  /// Never shrinks.  Cheap to call from component constructors.
+  void reserve(std::size_t n) {
+    if (n > heap_.capacity()) {
+      heap_.reserve(n);
+      slots_.reserve(n);
+      free_.reserve(n);
+    }
+  }
 
   /// Schedule `fn` to run `delay` after the current time.
   void schedule(SimTime delay, Callback fn) {
@@ -37,8 +61,17 @@ class Simulator {
   /// Schedule `fn` at an absolute simulated time (>= now).
   void schedule_at(SimTime when, Callback fn) {
     assert(when >= now_ && "cannot schedule into the past");
-    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
-    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    slots_[slot] = std::move(fn);
+    heap_.push_back(Node{make_key(when, next_seq_++), slot});
+    sift_up(heap_.size() - 1);
   }
 
   /// Schedule `fn` to run at the current time, after all callbacks already
@@ -49,15 +82,21 @@ class Simulator {
   /// Run a single event.  Returns false when the queue is empty.
   bool step() {
     if (heap_.empty()) return false;
-    // pop_heap moves the minimum element to the back, where it can be moved
-    // out without touching heap-ordered elements (no const_cast needed, as
-    // std::priority_queue::top() would have required).
-    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    assert(ev.when >= now_);
-    now_ = ev.when;
-    ev.fn();
+    const Node top = heap_[0];
+    if (heap_.size() > 1) {
+      heap_[0] = heap_.back();
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    assert(key_time(top.key) >= now_);
+    now_ = key_time(top.key);
+    // Move the callable out before invoking: the callback is free to
+    // schedule new events, which may reuse this slot immediately.
+    Callback fn = std::move(slots_[top.slot]);
+    free_.push_back(top.slot);
+    fn();
     ++executed_;
     return true;
   }
@@ -71,7 +110,7 @@ class Simulator {
   /// Run until the event queue drains or the clock passes `deadline`.
   /// Events scheduled after the deadline remain queued.
   void run_until(SimTime deadline) {
-    while (!heap_.empty() && heap_.front().when <= deadline) step();
+    while (!heap_.empty() && key_time(heap_[0].key) <= deadline) step();
     if (now_ < deadline) now_ = deadline;
   }
 
@@ -89,23 +128,68 @@ class Simulator {
   std::size_t pending() const { return heap_.size(); }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Callback fn;
+  /// (when, seq) packed into one unsigned 128-bit key: `when.ns() << 64 |
+  /// seq`.  A single integer compare orders events by time with same-tick
+  /// FIFO tie-break, and — unlike a two-field comparison — compiles to
+  /// branchless cmp/cmov in the sift loops, whose child-scan branches are
+  /// data-dependent and mispredict heavily on random keys.  Times are never
+  /// negative here (the clock starts at zero and delays are non-negative,
+  /// enforced by the schedule_at assert), so the int64->uint64 cast is
+  /// order-preserving.
+  using Key = unsigned __int128;
+
+  static Key make_key(SimTime when, std::uint64_t seq) {
+    return (static_cast<Key>(static_cast<std::uint64_t>(when.ns())) << 64) |
+           seq;
+  }
+  static SimTime key_time(Key k) {
+    return SimTime::nanos(static_cast<std::int64_t>(k >> 64));
+  }
+
+  /// A heap entry: ordering key plus the index of its callable in slots_.
+  /// Trivially copyable by design — sift moves are plain copies.
+  struct Node {
+    Key key;
+    std::uint32_t slot;
   };
 
-  /// Heap comparator: "a fires after b" — std::push_heap/pop_heap build a
-  /// max-heap w.r.t. the comparator, so this yields a min-heap on
-  /// (when, seq) and heap_.front() is always the next event.
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+  // 4-ary heap layout: children of i are 4i+1 .. 4i+4, parent is (i-1)/4.
+  // Both sifts hole-shift — copy the displaced node out once, shift
+  // ancestors/descendants into the hole, and place it at the end — so each
+  // level costs one node copy instead of a three-copy swap.
+
+  void sift_up(std::size_t i) {
+    const Node ev = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (ev.key >= heap_[parent].key) break;
+      heap_[i] = heap_[parent];
+      i = parent;
     }
-  };
+    heap_[i] = ev;
+  }
 
-  std::vector<Event> heap_;
+  void sift_down(std::size_t i) {
+    const Node ev = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        best = heap_[c].key < heap_[best].key ? c : best;  // cmov, no branch
+      }
+      if (heap_[best].key >= ev.key) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = ev;
+  }
+
+  std::vector<Node> heap_;
+  std::vector<Callback> slots_;    ///< callables, addressed by Node::slot
+  std::vector<std::uint32_t> free_;  ///< LIFO free list of slot indices
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,11 @@
+// Fixture: std::function<void()> outside src/sim/ must trip sim-callback
+// exactly once — event callbacks go through sim::InlineEvent instead.
+#include <functional>
+
+namespace fixture {
+
+struct DeferredWork {
+  std::function<void()> on_complete;
+};
+
+}  // namespace fixture

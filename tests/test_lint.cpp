@@ -63,6 +63,7 @@ const std::vector<FixtureCase>& cases() {
       {"layering.cc", "src/sim/fixture_layer.cpp", "layering"},
       {"iwyu.cc", "src/cluster/fixture_iwyu.cpp", "include-what-you-use"},
       {"raw_unit.cc", "src/core/fixture_raw.hpp", "raw-unit-type"},
+      {"sim_callback.cc", "src/core/fixture_simcb.cpp", "sim-callback"},
       {"suppression_no_reason.cc", "src/core/fixture_s1.hpp",
        "lint-annotation"},
       {"suppression_unknown.cc", "src/core/fixture_s2.hpp",

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
+#include "exp/runner.hpp"
 #include "workloads/ior_mpi_io.hpp"
 #include "workloads/mpi_io_test.hpp"
 
@@ -134,6 +136,38 @@ TEST(IorSweep, ThroughputOrderingSmallVsLargeRequests) {
   };
   // Larger requests amortize positioning: 129 KB must beat 33 KB.
   EXPECT_GT(run(129 * 1024), run(33 * 1024));
+}
+
+// Sweep cells are independent simulations, so fanning them out over the
+// exp::Runner pool must reproduce the serial results field-for-field.
+TEST(ParallelSweep, RunnerMatchesSerialFieldForField) {
+  // (procs, request KB, write, ibridge)
+  const std::vector<std::tuple<int, int, bool, bool>> cells = {
+      {4, 64, false, false}, {4, 65, false, true},  {16, 33, true, false},
+      {16, 65, true, true},  {8, 64, true, false},  {8, 65, false, false},
+  };
+  auto run_cell = [&](int i) {
+    const auto [procs, kb, write, ib] = cells[static_cast<std::size_t>(i)];
+    cluster::Cluster c(cfg_for(ib, 4));
+    MpiIoTestConfig cfg;
+    cfg.nprocs = procs;
+    cfg.request_size = static_cast<std::int64_t>(kb) * 1024;
+    cfg.file_bytes = 1 << 30;
+    cfg.access_bytes = 16 << 20;
+    cfg.write = write;
+    return run_mpi_io_test(c, cfg);
+  };
+  exp::Runner serial(1), pool(4);
+  const auto n = static_cast<int>(cells.size());
+  const auto ser = serial.map<WorkloadResult>(n, run_cell);
+  const auto par = pool.map<WorkloadResult>(n, run_cell);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(ser[i].elapsed, par[i].elapsed) << "cell " << i;
+    EXPECT_EQ(ser[i].io_elapsed, par[i].io_elapsed) << "cell " << i;
+    EXPECT_EQ(ser[i].bytes, par[i].bytes) << "cell " << i;
+    EXPECT_EQ(ser[i].requests, par[i].requests) << "cell " << i;
+    EXPECT_EQ(ser[i].avg_request_ms, par[i].avg_request_ms) << "cell " << i;
+  }
 }
 
 }  // namespace

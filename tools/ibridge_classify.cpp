@@ -5,19 +5,21 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "exp/cli.hpp"
 #include "workloads/trace.hpp"
 
 using namespace ibridge::workloads;
 
 int main(int argc, char** argv) {
-  const std::int64_t unit_kb = argc > 1 ? std::atoll(argv[1]) : 64;
-  const std::int64_t rand_kb = argc > 2 ? std::atoll(argv[2]) : 20;
-  if (unit_kb <= 0 || rand_kb <= 0) {
-    std::fprintf(stderr,
-                 "usage: ibridge-classify [stripe-unit-KB] "
-                 "[random-threshold-KB] < trace.txt\n");
-    return 2;
-  }
+  const std::int64_t unit_kb =
+      argc > 1 ? ibridge::exp::require_int("ibridge-classify", "stripe-unit-KB",
+                                           argv[1], 1, 1 << 20)
+               : 64;
+  const std::int64_t rand_kb =
+      argc > 2 ? ibridge::exp::require_int("ibridge-classify",
+                                           "random-threshold-KB", argv[2], 1,
+                                           1 << 20)
+               : 20;
 
   Trace trace;
   try {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cluster/cluster.hpp"
+#include "exp/cli.hpp"
 #include "workloads/trace.hpp"
 
 using namespace ibridge;
@@ -35,12 +36,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 2;
   }
-  if (argc > 2) cc.data_servers = std::atoi(argv[2]);
-  const int runs = argc > 3 ? std::atoi(argv[3]) : 1;
-  if (cc.data_servers <= 0 || runs <= 0) {
-    std::fprintf(stderr, "invalid servers/runs\n");
-    return 2;
+  if (argc > 2) {
+    cc.data_servers = static_cast<int>(
+        exp::require_int("ibridge-replay", "servers", argv[2], 1, 1024));
   }
+  const int runs =
+      argc > 3 ? static_cast<int>(exp::require_int("ibridge-replay", "runs",
+                                                   argv[3], 1, 1000000))
+               : 1;
 
   Trace trace;
   try {

@@ -1,27 +1,40 @@
 // ibridge-simcheck — standalone SimCheck fuzz runner.
 //
-//   ibridge-simcheck [--iters N] [--seed S] [--determinism] [--out FILE]
+//   ibridge-simcheck [--iters N] [--seed S] [--jobs J] [--determinism]
+//                    [--digests FILE] [--out FILE]
 //
 // Runs N generated cases (seeds S, S+1, ...) through the differential
 // checker (disk-only vs iBridge vs SSD-only on fresh clusters, with the
 // invariant oracle attached to the iBridge run).  With --determinism each
 // case is additionally executed twice to confirm bit-identical replay.
 //
+// --jobs J fans the independent cases over an exp::Runner thread pool; each
+// job builds its own clusters, so the per-seed results — and the --digests
+// file — are byte-identical at every J (the parallel-determinism acceptance
+// criterion; tests/test_exp.cpp holds the corresponding regression test).
+// --digests FILE records one line per passing seed with the payload/image
+// digests (equal across policies by construction) and the per-policy stats
+// digests, for cross-run comparison with `diff`.
+//
 // On the first failure the trace is minimized with the delta-debugging
-// shrinker and written in the one-record-per-line text format, so the
-// shrunk repro replays directly:
+// shrinker (serially — shrinking is a sequential search) and written in the
+// one-record-per-line text format, so the shrunk repro replays directly:
 //
 //   ibridge-replay ibridge <servers> < simcheck-fail-<seed>.trace
 //
-// Exit status: 0 when every case passes, 1 on a (shrunk) failure.
+// Exit status: 0 when every case passes, 1 on a (shrunk) failure, 2 on
+// usage errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "check/differential.hpp"
 #include "check/generator.hpp"
+#include "exp/cli.hpp"
+#include "exp/runner.hpp"
 #include "workloads/trace.hpp"
 
 using namespace ibridge;
@@ -31,57 +44,99 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ibridge-simcheck [--iters N] [--seed S] "
-               "[--determinism] [--out FILE]\n");
+               "usage: ibridge-simcheck [--iters N] [--seed S] [--jobs J] "
+               "[--determinism] [--digests FILE] [--out FILE]\n");
   return 2;
 }
+
+/// Everything one fuzz iteration produces, committed in seed order.
+struct CaseResult {
+  std::uint64_t seed = 0;
+  std::string failure;
+  DiffReport d;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   int iters = 100;
   std::uint64_t seed0 = 1;
+  int jobs = 1;
   bool determinism = false;
   std::string out;
+  std::string digests_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
-      iters = std::atoi(argv[++i]);
+      iters = static_cast<int>(
+          exp::require_int("ibridge-simcheck", "--iters", argv[++i], 1,
+                           1000000));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed0 = std::strtoull(argv[++i], nullptr, 0);
+      seed0 = exp::require_u64("ibridge-simcheck", "--seed", argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<int>(
+          exp::require_int("ibridge-simcheck", "--jobs", argv[++i], 1, 256));
     } else if (std::strcmp(argv[i], "--determinism") == 0) {
       determinism = true;
+    } else if (std::strcmp(argv[i], "--digests") == 0 && i + 1 < argc) {
+      digests_path = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else {
       return usage();
     }
   }
-  if (iters <= 0) return usage();
 
+  // Fan the independent cases over the pool; slot i is seed0 + i regardless
+  // of which worker runs it or in what order the workers finish.
+  exp::Runner runner(jobs);
+  const std::vector<CaseResult> results =
+      runner.map<CaseResult>(iters, [&](int i) {
+        CaseResult r;
+        r.seed = seed0 + static_cast<std::uint64_t>(i);
+        FuzzCase c = generate_case(r.seed);
+        r.d = run_differential(c);
+        r.failure = r.d.failure;
+        if (r.failure.empty() && determinism) {
+          r.failure = check_determinism(c).failure;
+        }
+        return r;
+      });
+
+  // Commit in submission order: output (and the digest file) is identical
+  // to a --jobs 1 run.
+  std::string digest_lines;
   std::uint64_t requests = 0;
   double worst_gap = 0.0;
   for (int i = 0; i < iters; ++i) {
-    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(i);
-    FuzzCase c = generate_case(seed);
-    DiffReport d = run_differential(c);
-    std::string failure = d.failure;
-    if (failure.empty() && determinism) {
-      DeterminismReport det = check_determinism(c);
-      failure = det.failure;
-    }
-    if (failure.empty()) {
-      requests += d.ibridge.requests;
-      worst_gap = std::max(worst_gap, d.max_rel_time_gap);
+    const CaseResult& r = results[static_cast<std::size_t>(i)];
+    if (r.failure.empty()) {
+      requests += r.d.ibridge.requests;
+      worst_gap = std::max(worst_gap, r.d.max_rel_time_gap);
+      if (!digests_path.empty()) {
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "seed=%llu payload=%016llx image=%016llx "
+                      "stats.disk=%016llx stats.ibridge=%016llx "
+                      "stats.ssd=%016llx\n",
+                      static_cast<unsigned long long>(r.seed),
+                      static_cast<unsigned long long>(r.d.ibridge.payload_digest),
+                      static_cast<unsigned long long>(r.d.ibridge.image_digest),
+                      static_cast<unsigned long long>(r.d.disk.stats_digest),
+                      static_cast<unsigned long long>(r.d.ibridge.stats_digest),
+                      static_cast<unsigned long long>(r.d.ssd.stats_digest));
+        digest_lines += line;
+      }
       if ((i + 1) % 10 == 0 || i + 1 == iters) {
         std::printf("[%d/%d] ok (last seed %llu)\n", i + 1, iters,
-                    static_cast<unsigned long long>(seed));
+                    static_cast<unsigned long long>(r.seed));
         std::fflush(stdout);
       }
       continue;
     }
 
     std::printf("seed %llu FAILED: %s\n",
-                static_cast<unsigned long long>(seed), failure.c_str());
+                static_cast<unsigned long long>(r.seed), r.failure.c_str());
+    FuzzCase c = generate_case(r.seed);
     std::printf("shrinking (%zu records)...\n", c.trace.size());
     auto fails = [&](const workloads::Trace& t) {
       FuzzCase cand = c;
@@ -94,12 +149,23 @@ int main(int argc, char** argv) {
                 s.evaluations);
 
     const std::string path =
-        out.empty() ? "simcheck-fail-" + std::to_string(seed) + ".trace" : out;
+        out.empty() ? "simcheck-fail-" + std::to_string(r.seed) + ".trace"
+                    : out;
     std::ofstream os(path);
     workloads::write_trace(os, s.trace);
     std::printf("wrote %s — replay with:\n  ibridge-replay ibridge %d < %s\n",
                 path.c_str(), c.base.data_servers, path.c_str());
     return 1;
+  }
+
+  if (!digests_path.empty()) {
+    std::ofstream os(digests_path);
+    os << digest_lines;
+    if (!os) {
+      std::fprintf(stderr, "ibridge-simcheck: cannot write %s\n",
+                   digests_path.c_str());
+      return 2;
+    }
   }
 
   std::printf("%d cases passed (%llu iBridge requests, max policy timing "

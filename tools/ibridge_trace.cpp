@@ -28,6 +28,7 @@
 #include <string>
 
 #include "cluster/cluster.hpp"
+#include "exp/cli.hpp"
 #include "mpiio/mpi.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -99,9 +100,11 @@ int main(int argc, char** argv) {
     if (a == "stock" || a == "ibridge" || a == "ssd-only") {
       mode = a;
     } else if (a == "--requests") {
-      requests = std::atoll(next());
+      requests = exp::require_int("ibridge-trace", "--requests", next(), 1,
+                                  100000000);
     } else if (a == "--k") {
-      k = std::atoi(next());
+      k = static_cast<int>(
+          exp::require_int("ibridge-trace", "--k", next(), 1, 7));
     } else if (a == "--no-fragment") {
       fragment = false;
     } else if (a == "--out") {
@@ -111,9 +114,11 @@ int main(int argc, char** argv) {
     } else if (a == "--metrics") {
       metrics_out = next();
     } else if (a == "--top") {
-      top = static_cast<std::size_t>(std::atoll(next()));
+      top = static_cast<std::size_t>(
+          exp::require_int("ibridge-trace", "--top", next(), 0, 1000000));
     } else if (a == "--interval-ms") {
-      interval_ms = std::atoll(next());
+      interval_ms = exp::require_int("ibridge-trace", "--interval-ms", next(),
+                                     1, 1000000);
     } else {
       std::fprintf(stderr,
                    "usage: ibridge-trace [stock|ibridge|ssd-only] "

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "exp/cli.hpp"
 #include "workloads/trace.hpp"
 
 using namespace ibridge::workloads;
@@ -59,12 +60,16 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  const auto n = static_cast<std::size_t>(std::atoll(argv[2]));
+  const auto n = static_cast<std::size_t>(ibridge::exp::require_int(
+      "ibridge-tracegen", "requests", argv[2], 1, 100000000));
   const std::int64_t file_bytes =
-      argc > 3 ? std::atoll(argv[3]) : 10LL * 1000 * 1000 * 1000;
+      argc > 3 ? ibridge::exp::require_int("ibridge-tracegen", "file-bytes",
+                                           argv[3], 1,
+                                           std::int64_t{1} << 50)
+               : 10LL * 1000 * 1000 * 1000;
   const std::uint64_t seed =
-      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
-  if (n == 0 || file_bytes <= 0) return usage();
+      argc > 4 ? ibridge::exp::require_u64("ibridge-tracegen", "seed", argv[4])
+               : 1;
 
   TraceSynthesizer synth(profile);
   write_trace(std::cout, synth.generate(n, file_bytes, seed));
