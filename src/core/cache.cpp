@@ -143,17 +143,29 @@ void IBridgeCache::release_log(Offset off, Bytes len) {
 }
 
 void IBridgeCache::invalidate_range(fsim::FileId file, Offset off, Bytes len) {
-  auto ids = table_.overlapping(file, off, len);
-  std::vector<std::pair<Offset, Bytes>> freed;
-  for (EntryId id : ids) table_.trim(id, off, len, freed);
-  for (const auto& [log_off, n] : freed) release_log(log_off, n);
+  auto ids = id_pool_.acquire();
+  table_.overlapping_into(file, off, len, *ids);
+  auto freed = range_pool_.acquire();
+  for (EntryId id : *ids) table_.trim(id, off, len, *freed);
+  for (const auto& [log_off, n] : *freed) release_log(log_off, n);
 }
 
 bool IBridgeCache::note_region_access(const CacheRequest& r) {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(r.file) << 40) ^
       static_cast<std::uint64_t>(r.offset / Bytes{cfg_.hot_block_region});
-  return ++region_heat_[key] >= cfg_.hot_block_min_hits;
+  const bool hot = ++region_heat_[key] >= cfg_.hot_block_min_hits;
+  // Keep the heat map bounded: long runs over huge, cold address spaces
+  // would otherwise grow it without limit.  Halve every count (erasing
+  // zeroed regions) until the map fits — exponential decay that preserves
+  // the relative standing of genuinely hot regions.
+  while (std::cmp_greater(region_heat_.size(), cfg_.hot_block_max_regions)) {
+    for (auto it = region_heat_.begin(); it != region_heat_.end();) {
+      it->second /= 2;
+      it = it->second == 0 ? region_heat_.erase(it) : std::next(it);
+    }
+  }
+  return hot;
 }
 
 bool IBridgeCache::admit(const CacheRequest& r, const ReturnEstimate& est) {
@@ -197,7 +209,9 @@ sim::Task<std::optional<Offset>> IBridgeCache::make_room(CacheClass c,
     if (seg < 0) break;
     ++stats_.cleanings;
     const auto [b, e] = log_.segment_range(seg);
-    for (EntryId id : table_.entries_in_log_range(b, e)) {
+    auto victims = id_pool_.acquire();
+    table_.entries_in_log_range_into(b, e, *victims);
+    for (EntryId id : *victims) {
       co_await evict(id);
     }
   }
@@ -211,8 +225,9 @@ sim::Task<bool> IBridgeCache::evict(EntryId id) {
     // capacity pressure (every admission would pay a synchronous small
     // disk write).  Amortize: flush a whole file-ordered batch, which
     // coalesces into long runs and leaves a clean cohort to evict cheaply.
-    co_await flush_batch(
-        table_.dirty_entries(Bytes{cfg_.writeback_daemon_bytes}));
+    auto batch = id_pool_.acquire();
+    table_.dirty_entries_into(Bytes{cfg_.writeback_daemon_bytes}, *batch);
+    co_await flush_batch(*batch);
     if (!table_.contains(id)) co_return false;  // raced with invalidation
     if (table_.get(id).dirty) co_await flush_entry(id);  // not in the batch
     if (!table_.contains(id)) co_return false;
@@ -352,15 +367,18 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
   }
 
   // ------------------------------------------------------------- read ----
-  auto slices = table_.coverage(r.file, r.offset, r.length);
-  if (!slices.empty()) {
+  auto slices = slice_pool_.acquire();
+  table_.coverage_into(r.file, r.offset, r.length, *slices);
+  if (!slices->empty()) {
     // Pin every slice's log bytes for the duration of the reads: a
     // concurrent eviction may erase these entries and recycle their log
     // space mid-read (the stale-read hazard SimCheck's fuzzer caught).
-    std::vector<std::uint64_t> pins;
-    pins.reserve(slices.size());
-    for (const auto& s : slices) pins.push_back(pin_log_range(s.log_off, s.length));
-    for (const auto& s : slices) {
+    auto pins = pin_pool_.acquire();
+    pins->reserve(slices->size());
+    for (const auto& s : *slices) {
+      pins->push_back(pin_log_range(s.log_off, s.length));
+    }
+    for (const auto& s : *slices) {
       std::span<std::byte> sub;
       if (!rdata.empty()) {
         sub = rdata.subspan(
@@ -371,7 +389,7 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
                             sub);
       if (table_.contains(s.entry)) table_.touch(s.entry);
     }
-    for (const std::uint64_t p : pins) unpin_log_range(p);
+    for (const std::uint64_t p : *pins) unpin_log_range(p);
     ++stats_.read_hits;
     stats_.ssd_bytes_served += r.length;
     result.ssd = true;
@@ -386,9 +404,13 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
 
   // Miss.  Dirty cached data overlapping the range is newer than the disk:
   // flush it first so the disk read returns current bytes.
-  for (EntryId id : table_.overlapping(r.file, r.offset, r.length)) {
-    if (table_.contains(id) && table_.get(id).dirty) {
-      co_await flush_entry(id);
+  {
+    auto dirty_overlaps = id_pool_.acquire();
+    table_.overlapping_into(r.file, r.offset, r.length, *dirty_overlaps);
+    for (EntryId id : *dirty_overlaps) {
+      if (table_.contains(id) && table_.get(id).dirty) {
+        co_await flush_entry(id);
+      }
     }
   }
 
@@ -452,7 +474,7 @@ sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
   // A foreground write that is still in flight — or that started *and*
   // finished while our SSD write was pending — is just as fatal: the peek
   // above may predate its poke, so the staged bytes could be either version.
-  bool stale = !table_.overlapping(r.file, r.offset, r.length).empty() ||
+  bool stale = table_.has_overlap(r.file, r.offset, r.length) ||
                window_overlaps(write_windows_, r.file, r.offset, r.length);
   for (std::size_t k = mark; !stale && k < completed_writes_.size(); ++k) {
     const RangeWindow& w = completed_writes_[k];
@@ -473,7 +495,7 @@ sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
   check("stage");
 }
 
-sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
+sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId>& batch,
                                       bool yield_to_foreground) {
   const obs::SpanId tspan =
       (trace_ != nullptr && !batch.empty())
@@ -494,18 +516,20 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
     CacheEntry e;
     sim::BufferPool::Lease buf;
   };
-  auto staged = std::make_shared<std::vector<Staged>>();
-  staged->reserve(batch.size());
+  // reserve() up front makes the element addresses handed to the reader
+  // coroutines stable; the vector outlives reads.join() below.
+  std::vector<Staged> staged;
+  staged.reserve(batch.size());
   const bool verify = ssd_fs_.data_mode() == fsim::DataMode::kVerify;
   sim::JoinSet reads(sim_);
   for (EntryId id : batch) {
     if (!table_.contains(id) || !table_.get(id).dirty) continue;
-    staged->push_back({id, table_.get(id), pool_.acquire()});
+    staged.push_back({id, table_.get(id), pool_.acquire()});
     if (verify) {
-      staged->back().buf->resize(
-          static_cast<std::size_t>(staged->back().e.length.count()));
+      staged.back().buf->resize(
+          static_cast<std::size_t>(staged.back().e.length.count()));
     }
-    Staged* s = &staged->back();
+    Staged* s = &staged.back();
     reads.add([](IBridgeCache& c, Staged* st) -> sim::Task<> {
       co_await c.ssd_fs_.read(c.log_file_, st->e.log_off.value(),
                               st->e.length.count(), *st->buf);
@@ -520,18 +544,18 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
   // entry even though the union of the entries is one contiguous region.
   constexpr Bytes kMaxRun{8 << 20};
   std::size_t i = 0;
-  while (i < staged->size()) {
+  while (i < staged.size()) {
     if (yield_to_foreground && disk_fs_.device().queue_depth() > 0) break;
     // Find the start of a valid run.
-    const Staged& head = (*staged)[i];
+    const Staged& head = staged[i];
     if (!table_.contains(head.id) || !table_.get(head.id).dirty) {
       ++i;
       continue;
     }
     std::size_t j = i + 1;
     Bytes run_len = head.e.length;
-    while (j < staged->size() && run_len < kMaxRun) {
-      const Staged& next = (*staged)[j];
+    while (j < staged.size() && run_len < kMaxRun) {
+      const Staged& next = staged[j];
       if (next.e.file != head.e.file ||
           next.e.file_off != head.e.file_off + run_len ||
           !table_.contains(next.id) || !table_.get(next.id).dirty) {
@@ -546,8 +570,8 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
     if (verify) {
       run_buf->reserve(static_cast<std::size_t>(run_len.count()));
       for (std::size_t k = i; k < j; ++k) {
-        run_buf->insert(run_buf->end(), (*staged)[k].buf->begin(),
-                        (*staged)[k].buf->end());
+        run_buf->insert(run_buf->end(), staged[k].buf->begin(),
+                        staged[k].buf->end());
       }
       span = *run_buf;
     }
@@ -560,8 +584,8 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
     notify_flush_waiters();
     stats_.writeback_bytes += run_len;
     for (std::size_t k = i; k < j; ++k) {
-      if (table_.contains((*staged)[k].id)) {
-        table_.mark_clean((*staged)[k].id);
+      if (table_.contains(staged[k].id)) {
+        table_.mark_clean(staged[k].id);
       }
       ++stats_.writebacks;
     }
@@ -569,7 +593,7 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId> batch,
   }
   if (tspan != 0) {
     trace_->arg(tspan, "entries",
-                static_cast<std::int64_t>(staged->size()));
+                static_cast<std::int64_t>(staged.size()));
     trace_->end(tspan);
   }
   check("flush.batch");
@@ -587,9 +611,10 @@ sim::Task<> IBridgeCache::writeback_daemon() {
     const bool pressure =
         table_.dirty_bytes() > partition_.capacity() / 2;  // Bytes compare
     if (!pressure && disk_fs_.device().queue_depth() > 0) continue;
-    auto batch = table_.dirty_entries(Bytes{cfg_.writeback_daemon_bytes});
-    if (batch.empty()) continue;
-    co_await flush_batch(std::move(batch), /*yield_to_foreground=*/!pressure);
+    auto batch = id_pool_.acquire();
+    table_.dirty_entries_into(Bytes{cfg_.writeback_daemon_bytes}, *batch);
+    if (batch->empty()) continue;
+    co_await flush_batch(*batch, /*yield_to_foreground=*/!pressure);
   }
 }
 
@@ -599,9 +624,10 @@ sim::Task<> IBridgeCache::drain() {
           ? trace_->begin(trace_bg_track_, "cache.drain", "cache")
           : 0;
   while (table_.dirty_bytes() > Bytes::zero()) {
-    auto batch = table_.dirty_entries(Bytes{cfg_.writeback_batch_bytes});
-    if (batch.empty()) break;
-    co_await flush_batch(std::move(batch));
+    auto batch = id_pool_.acquire();
+    table_.dirty_entries_into(Bytes{cfg_.writeback_batch_bytes}, *batch);
+    if (batch->empty()) break;
+    co_await flush_batch(*batch);
   }
   if (trace_ != nullptr) trace_->end(tspan);
   check("drain");

@@ -15,10 +15,9 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <memory>
+#include <map>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -116,6 +115,9 @@ class IBridgeCache {
   const PartitionController& partition() const { return partition_; }
   const sim::Simulator& simulator() const { return sim_; }
   Bytes cached_bytes() const { return table_.bytes_cached(); }
+  /// Regions currently tracked by the kHotBlock heat map (tests assert the
+  /// hot_block_max_regions bound holds under long workloads).
+  std::size_t region_heat_regions() const { return region_heat_.size(); }
 
   /// Install a SimCheck observer (nullptr to detach).  Invoked after every
   /// state-changing cache step; never installed on production paths.
@@ -170,7 +172,9 @@ class IBridgeCache {
   /// paper's "as many long sequential accesses as possible").  With
   /// `yield_to_foreground`, the write stream stops as soon as foreground
   /// requests queue at the disk (daemon mode); drain() flushes regardless.
-  sim::Task<> flush_batch(std::vector<EntryId> batch,
+  /// `batch` is sorted in place; the caller keeps it alive (pool leases)
+  /// until the task completes.
+  sim::Task<> flush_batch(std::vector<EntryId>& batch,
                           bool yield_to_foreground = false);
 
   /// Charge the SSD for persisting a mapping-table entry update.
@@ -230,8 +234,10 @@ class IBridgeCache {
   PartitionController partition_;
   TBoard board_;
   CacheStats stats_;
-  // kHotBlock heat map: (file, region index) -> access count.
-  std::unordered_map<std::uint64_t, int> region_heat_;
+  // kHotBlock heat map: (file, region index) -> access count.  Ordered so
+  // the bounding sweep in note_region_access iterates deterministically;
+  // bounded by cfg_.hot_block_max_regions via periodic halving.
+  std::map<std::uint64_t, int> region_heat_;
   std::vector<RangeWindow> flush_windows_;  ///< write-back writes in flight
   std::vector<RangeWindow> write_windows_;  ///< foreground writes in flight
   std::vector<std::coroutine_handle<>> flush_waiters_;
@@ -249,6 +255,13 @@ class IBridgeCache {
   /// Recycled payload staging buffers (verify-mode flush/stage copies).
   /// Keeps write-back and staging off the allocator in steady state.
   sim::BufferPool pool_;
+  /// Recycled scratch vectors for the mapping-table *_into queries on the
+  /// serve/invalidate/write-back paths: coverage slices, overlapping and
+  /// batch entry ids, freed (log_off, length) ranges, and read pins.
+  sim::VectorPool<LogSlice> slice_pool_;
+  sim::VectorPool<EntryId> id_pool_;
+  sim::VectorPool<std::pair<Offset, Bytes>> range_pool_;
+  sim::VectorPool<std::uint64_t> pin_pool_;
   CacheObserver* observer_ = nullptr;
   obs::TraceSession* trace_ = nullptr;
   obs::TrackId trace_bg_track_ = obs::kNoTrack;

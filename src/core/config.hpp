@@ -68,6 +68,11 @@ struct IBridgeConfig {
   int hot_block_min_hits = 2;
   /// kHotBlock: region granularity for the heat map.
   std::int64_t hot_block_region = 1 << 20;
+  /// kHotBlock: tracked-region cap for the heat map.  When the map grows
+  /// past this, every count is halved and zeroed regions are swept, so the
+  /// map stays bounded over arbitrarily long runs while hot regions keep
+  /// their relative standing (a coarse exponential decay).
+  std::int64_t hot_block_max_regions = 1 << 16;
 
   /// How often each server reports its T value to the metadata server, and
   /// how often the metadata server broadcasts the board (1 s default).

@@ -14,18 +14,28 @@
 //   * trim(): cut a byte range out of an entry (splitting it when the cut is
 //     interior), keeping the untouched parts cached without moving data;
 //   * per-class LRU with byte/return accounting for the partition logic.
+//
+// Layout: entries live in a dense slab of slots recycled through a free
+// list.  Each slot carries intrusive prev/next indices for two chains — its
+// class's LRU list and, while dirty, its class's dirty list — so
+// touch/insert/erase/lru_victim never allocate, and dirty_entries() walks
+// only dirty slots instead of the whole table.  The range indexes are
+// ordered maps whose nodes come from a per-table ChunkPool, so steady-state
+// insert/erase churn recycles nodes instead of hitting the global
+// allocator.  The *_into query variants fill caller-owned vectors (pool
+// leases in IBridgeCache), completing the allocation-free serve path.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
-#include <list>
 #include <map>
-#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "fsim/filesystem.hpp"
+#include "sim/mem_pool.hpp"
 #include "sim/units.hpp"
 
 namespace ibridge::core {
@@ -67,6 +77,12 @@ struct LogSlice {
 
 class MappingTable {
  public:
+  MappingTable();
+  // The range indexes allocate from the table's own arena; moving or
+  // copying would carry dangling allocator pointers.
+  MappingTable(const MappingTable&) = delete;
+  MappingTable& operator=(const MappingTable&) = delete;
+
   /// Insert a new entry covering a range with NO existing overlap (callers
   /// invalidate first).  Returns its id.
   EntryId insert(CacheEntry e);
@@ -84,12 +100,22 @@ class MappingTable {
   /// Move an entry to the MRU end of its class list.
   void touch(EntryId id);
 
-  /// Full-coverage lookup: non-empty iff [off, off+len) of `file` is
-  /// entirely cached.  Slices are returned in file-offset order.
+  /// Full-coverage lookup: fills `out` (cleared first) with slices in
+  /// file-offset order iff [off, off+len) of `file` is entirely cached;
+  /// leaves it empty otherwise.
+  void coverage_into(fsim::FileId file, Offset off, Bytes len,
+                     std::vector<LogSlice>& out) const;
+
+  /// All entries intersecting [off, off+len), into `out` (cleared first).
+  void overlapping_into(fsim::FileId file, Offset off, Bytes len,
+                        std::vector<EntryId>& out) const;
+
+  /// Does any entry intersect [off, off+len)?
+  bool has_overlap(fsim::FileId file, Offset off, Bytes len) const;
+
+  /// Allocating conveniences over the *_into variants (tests, oracle code).
   std::vector<LogSlice> coverage(fsim::FileId file, Offset off,
                                  Bytes len) const;
-
-  /// All entries intersecting [off, off+len).
   std::vector<EntryId> overlapping(fsim::FileId file, Offset off,
                                    Bytes len) const;
 
@@ -105,11 +131,15 @@ class MappingTable {
 
   /// All entries whose log ranges intersect [log_begin, log_end) — used by
   /// the log cleaner to empty a victim segment.
+  void entries_in_log_range_into(Offset log_begin, Offset log_end,
+                                 std::vector<EntryId>& out) const;
   std::vector<EntryId> entries_in_log_range(Offset log_begin,
                                             Offset log_end) const;
 
-  /// Oldest dirty entries of either class, in LRU order, up to `max_bytes`
-  /// total (used by the write-back daemon to build batches).
+  /// Dirty entries in file/offset order up to `max_bytes` total (used by
+  /// the write-back daemon to build coalescable batches).  Walks only the
+  /// intrusive dirty lists, never clean entries.
+  void dirty_entries_into(Bytes max_bytes, std::vector<EntryId>& out) const;
   std::vector<EntryId> dirty_entries(Bytes max_bytes) const;
 
   /// Every entry id, in file/offset order (used by the SimCheck oracle to
@@ -133,33 +163,74 @@ class MappingTable {
   Bytes bytes_cached() const { return bytes_[0] + bytes_[1]; }
   Bytes dirty_bytes() const { return dirty_bytes_; }
   std::size_t entry_count() const { return entries_.size(); }
-  std::size_t entry_count(CacheClass c) const { return lru_[idx(c)].size(); }
+  std::size_t entry_count(CacheClass c) const { return lru_[idx(c)].size; }
   double return_sum(CacheClass c) const { return ret_sum_[idx(c)]; }
   double return_avg(CacheClass c) const {
-    const auto n = lru_[idx(c)].size();
+    const auto n = lru_[idx(c)].size;
     return n ? ret_sum_[idx(c)] / static_cast<double>(n) : 0.0;
   }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  // The two intrusive chains every slot participates in.
+  enum : int { kLruChain = 0, kDirtyChain = 1 };
+
+  struct Links {
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  struct Slot {
+    CacheEntry entry;
+    EntryId id = kNoEntry;  // kNoEntry while the slot sits on the free list
+    Links link[2];          // [kLruChain] doubles as the free-list link
+  };
+
+  struct ListHead {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::size_t size = 0;
+  };
+
+  using FileKey = std::pair<fsim::FileId, Offset>;
+  using EntriesMap =
+      std::unordered_map<EntryId, std::uint32_t, std::hash<EntryId>,
+                         std::equal_to<EntryId>,
+                         sim::PoolAllocator<std::pair<const EntryId,
+                                                      std::uint32_t>>>;
+  using ByFileMap =
+      std::map<FileKey, EntryId, std::less<FileKey>,
+               sim::PoolAllocator<std::pair<const FileKey, EntryId>>>;
+  using ByLogMap =
+      std::map<Offset, EntryId, std::less<Offset>,
+               sim::PoolAllocator<std::pair<const Offset, EntryId>>>;
+
   static int idx(CacheClass c) { return static_cast<int>(c); }
 
-  struct Node {
-    CacheEntry entry;
-    std::list<EntryId>::iterator lru_it;
-  };
+  std::uint32_t slot_of(EntryId id) const;
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t s);
+  void list_push_back(int chain, ListHead& h, std::uint32_t s);
+  void list_unlink(int chain, ListHead& h, std::uint32_t s);
 
   void index_insert(EntryId id, const CacheEntry& e);
   void index_erase(EntryId id, const CacheEntry& e);
   void account_add(const CacheEntry& e);
   void account_remove(const CacheEntry& e);
 
-  std::unordered_map<EntryId, Node> entries_;
-  // Per-file ordered index: first file offset -> entry id.  Entries never
-  // overlap, so the key uniquely orders them.
-  std::unordered_map<fsim::FileId, std::map<Offset, EntryId>> by_file_;
+  // Node arena for the maps below; must outlive (so precede) all of them.
+  sim::ChunkPool arena_;
+  std::vector<Slot> slab_;
+  std::uint32_t free_head_ = kNil;
+  EntriesMap entries_;  // id -> slot index; never iterated
+  // Range index over (file, first file offset) -> entry id.  Entries never
+  // overlap, so the key uniquely orders them per file.
+  ByFileMap by_file_;
   // Log-offset index (entries' log ranges never overlap).
-  std::map<Offset, EntryId> by_log_;
-  std::list<EntryId> lru_[kNumClasses];  // front = LRU, back = MRU
+  ByLogMap by_log_;
+  ListHead lru_[kNumClasses];    // front = LRU, back = MRU
+  ListHead dirty_[kNumClasses];  // insertion-ordered; queries sort by range
+  mutable std::vector<std::uint32_t> dirty_scratch_;
   Bytes bytes_[kNumClasses];
   double ret_sum_[kNumClasses] = {0.0, 0.0};
   Bytes dirty_bytes_;

@@ -10,15 +10,23 @@
 // exists but live data is below capacity (fragmentation), the cache layer
 // asks for a victim segment and relocates or evicts its remaining live
 // entries (a minimal log cleaner).
+//
+// Victim selection is O(log n): live_index_ orders the segments with live
+// data by (live bytes, segment index) and is maintained incrementally by
+// append()/release(), so the cleaner reads the front of the index instead
+// of scanning every segment.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
+#include "sim/mem_pool.hpp"
 #include "sim/units.hpp"
 
 namespace ibridge::core {
@@ -27,12 +35,18 @@ class SsdLog {
  public:
   SsdLog(sim::Bytes capacity, sim::Bytes segment_bytes)
       : segment_bytes_(segment_bytes),
-        segments_(static_cast<std::size_t>(capacity / segment_bytes)) {
+        segments_(static_cast<std::size_t>(capacity / segment_bytes)),
+        live_index_(LiveIndex::key_compare{},
+                    LiveIndex::allocator_type{arena_}) {
     assert(segment_bytes > sim::Bytes::zero() && capacity >= segment_bytes);
     for (std::size_t i = 0; i < segments_.size(); ++i)
       free_segments_.push_back(static_cast<int>(i));
     activate_next();
   }
+  // live_index_ allocates from the log's own arena; moving or copying would
+  // carry dangling allocator pointers.
+  SsdLog(const SsdLog&) = delete;
+  SsdLog& operator=(const SsdLog&) = delete;
 
   /// Byte capacity of the log file.
   sim::Bytes capacity() const {
@@ -59,7 +73,7 @@ class SsdLog {
     }
     const sim::Offset off = segment_start(active_) + head_;
     head_ += len;
-    segments_[static_cast<std::size_t>(active_)].live += len;
+    add_live(active_, len);
     live_bytes_ += len;
     return off;
   }
@@ -69,30 +83,25 @@ class SsdLog {
     assert(len > sim::Bytes::zero());
     const int seg = static_cast<int>(off / segment_bytes_);
     assert(seg >= 0 && std::cmp_less(seg, segments_.size()));
-    auto& s = segments_[static_cast<std::size_t>(seg)];
-    s.live -= len;
+    add_live(seg, -len);
     live_bytes_ -= len;
-    assert(s.live >= sim::Bytes::zero());
-    if (s.live == sim::Bytes::zero() && seg != active_) {
+    assert(segments_[static_cast<std::size_t>(seg)].live >=
+           sim::Bytes::zero());
+    if (segments_[static_cast<std::size_t>(seg)].live == sim::Bytes::zero() &&
+        seg != active_) {
       free_segments_.push_back(seg);
     }
   }
 
   /// Segment with the least live data, excluding the active one; -1 if none.
-  /// Used by the cleaner to pick a victim.
+  /// Used by the cleaner to pick a victim.  The index holds exactly the
+  /// segments with live data, smallest (live, index) first, so this reads
+  /// at most two elements.
   int victim_segment() const {
-    int best = -1;
-    sim::Bytes best_live = segment_bytes_ + sim::Bytes{1};
-    for (std::size_t i = 0; i < segments_.size(); ++i) {
-      const int seg = static_cast<int>(i);
-      if (seg == active_) continue;
-      const sim::Bytes live = segments_[i].live;
-      if (live > sim::Bytes::zero() && live < best_live) {
-        best = seg;
-        best_live = live;
-      }
+    for (const auto& [live, seg] : live_index_) {
+      if (seg != active_) return seg;
     }
-    return best;
+    return -1;
   }
 
   /// Byte range [begin, end) of a segment within the log file.
@@ -135,13 +144,29 @@ class SsdLog {
     return true;
   }
 
+  /// Apply a live-byte delta to a segment, keeping live_index_ in sync:
+  /// the index holds {live, seg} for exactly the segments with live > 0.
+  void add_live(int seg, sim::Bytes delta) {
+    auto& s = segments_[static_cast<std::size_t>(seg)];
+    if (s.live > sim::Bytes::zero()) live_index_.erase({s.live, seg});
+    s.live += delta;
+    if (s.live > sim::Bytes::zero()) live_index_.insert({s.live, seg});
+  }
+
   struct Segment {
     sim::Bytes live;
   };
 
+  using LiveKey = std::pair<sim::Bytes, int>;
+  using LiveIndex =
+      std::set<LiveKey, std::less<LiveKey>, sim::PoolAllocator<LiveKey>>;
+
   sim::Bytes segment_bytes_;
   std::vector<Segment> segments_;
   std::deque<int> free_segments_;
+  // Node arena for live_index_; must outlive (so precede) it.
+  sim::ChunkPool arena_;
+  LiveIndex live_index_;
   int active_ = -1;
   sim::Bytes head_;
   sim::Bytes live_bytes_;

@@ -23,7 +23,6 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <map>
 #include <vector>
 
 #include "sim/buffer_pool.hpp"

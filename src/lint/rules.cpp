@@ -338,6 +338,22 @@ void check_layering(const SourceFile& f, const Context& ctx, Diags& out) {
   }
 }
 
+/// The same path included twice in one file — always a merge or edit
+/// leftover, so a hard ban with no suppression key.
+void check_duplicate_include(const SourceFile& f, Diags& out) {
+  std::map<std::string, int> first_line;
+  for (const IncludeDirective& inc : f.includes) {
+    const std::string key =
+        (inc.quoted ? "\"" : "<") + inc.path + (inc.quoted ? "\"" : ">");
+    const auto [it, inserted] = first_line.emplace(key, inc.line);
+    if (!inserted) {
+      report(out, f, inc.line, "duplicate-include",
+             "duplicate #include " + key + " (first included on line " +
+                 std::to_string(it->second) + ")");
+    }
+  }
+}
+
 void check_include_what_you_use(const SourceFile& f, const Context& ctx,
                                 Diags& out) {
   std::set<std::string> used;
@@ -535,6 +551,7 @@ const std::vector<RuleInfo>& rules() {
       {"unordered-iteration", "no iteration over unordered containers"},
       {"pointer-key", "no pointer-keyed associative containers"},
       {"layering", "module #includes must follow the DAG"},
+      {"duplicate-include", "no path #included twice in one file"},
       {"include-what-you-use", "project includes must be used"},
       {"raw-unit-type", "typed-core headers use Bytes/Offset/ServerId"},
       {"sim-callback", "event callbacks use sim::InlineEvent, not std::function"},
@@ -564,6 +581,7 @@ std::vector<Diagnostic> lint_corpus(const std::vector<SourceFile>& files) {
     check_unordered_iteration(f, ctx, raw);
     check_pointer_key(f, raw);
     check_layering(f, ctx, raw);
+    check_duplicate_include(f, raw);
     check_include_what_you_use(f, ctx, raw);
     check_raw_unit_type(f, raw);
     check_sim_callback(f, raw);

@@ -9,9 +9,12 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "sim/mem_pool.hpp"
 
 namespace ibridge::sim {
 
@@ -23,6 +26,16 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;  // resumed at final suspend
   bool finished = false;
+
+  // Coroutine frames for every Task on the serve path (client -> server ->
+  // cache -> fsim) come from the thread-local frame pool instead of the
+  // global allocator; steady state recycles the same few chunks.  The
+  // compiler prefers the sized delete, which lets the pool bucket the chunk
+  // without a size header.
+  static void* operator new(std::size_t n) { return frame_pool().allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    frame_pool().deallocate(p, n);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

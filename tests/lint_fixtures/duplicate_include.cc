@@ -1,0 +1,11 @@
+// Fixture: the same path included twice — duplicate-include must fire
+// (once, on the second occurrence).
+#include <cstdint>
+#include <vector>
+#include <vector>
+
+namespace fixture {
+
+inline std::vector<std::int64_t> ids() { return {1, 2, 3}; }
+
+}  // namespace fixture

@@ -317,5 +317,24 @@ TEST_F(CacheFixture, StopHaltsDaemonEventually) {
   SUCCEED();
 }
 
+TEST_F(CacheFixture, HotBlockHeatMapStaysBounded) {
+  IBridgeConfig cfg;
+  cfg.admission = AdmissionPolicy::kHotBlock;
+  cfg.hot_block_region = 64 << 10;
+  cfg.hot_block_max_regions = 8;
+  build(cfg);
+  // Sweep small writes across far more distinct regions than the cap; the
+  // halving sweep must keep the heat map bounded the whole way.
+  const auto data = pattern(4096, 5);
+  for (int i = 0; i < 64; ++i) {
+    write(static_cast<std::int64_t>(i) * (64 << 10), data);
+    ASSERT_LE(cache->region_heat_regions(), 8u) << "write " << i;
+  }
+  // A genuinely hot region still becomes cacheable after enough hits.
+  for (int hit = 0; hit < 4; ++hit) write(0, data);
+  EXPECT_LE(cache->region_heat_regions(), 8u);
+  EXPECT_GT(cache->stats().write_admits, 0u);
+}
+
 }  // namespace
 }  // namespace ibridge::core

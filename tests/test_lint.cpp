@@ -61,6 +61,8 @@ const std::vector<FixtureCase>& cases() {
        "unordered-iteration"},
       {"pointer_key.cc", "src/core/fixture_pk.cpp", "pointer-key"},
       {"layering.cc", "src/sim/fixture_layer.cpp", "layering"},
+      {"duplicate_include.cc", "src/core/fixture_dupinc.cpp",
+       "duplicate-include"},
       {"iwyu.cc", "src/cluster/fixture_iwyu.cpp", "include-what-you-use"},
       {"raw_unit.cc", "src/core/fixture_raw.hpp", "raw-unit-type"},
       {"sim_callback.cc", "src/core/fixture_simcb.cpp", "sim-callback"},

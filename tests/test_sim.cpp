@@ -12,6 +12,7 @@
 
 #include "sim/buffer_pool.hpp"
 #include "sim/inline_event.hpp"
+#include "sim/mem_pool.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -706,6 +707,59 @@ TEST(Simulator, ReserveDoesNotDisturbExecution) {
   for (int i = 0; i < 64; ++i) {
     EXPECT_EQ(order[static_cast<std::size_t>(i)], 63 - i);
   }
+}
+
+// -------------------------------------------- chunk pool / frame pool ----
+
+TEST(ChunkPool, RecyclesChunksWithinASizeClass) {
+  ChunkPool pool;
+  void* a = pool.allocate(100);  // 65..128 size class
+  EXPECT_EQ(pool.fresh_allocs(), 1u);
+  pool.deallocate(a, 100);
+  EXPECT_EQ(pool.idle_chunks(), 1u);
+  void* b = pool.allocate(128);  // same class, must reuse the chunk
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(pool.fresh_allocs(), 1u);
+  EXPECT_EQ(pool.reused_allocs(), 1u);
+  void* c = pool.allocate(40);  // different class -> fresh
+  EXPECT_EQ(pool.fresh_allocs(), 2u);
+  pool.deallocate(b, 128);
+  pool.deallocate(c, 40);
+  EXPECT_EQ(pool.idle_chunks(), 2u);
+}
+
+TEST(ChunkPool, OversizeRequestsBypassThePool) {
+  ChunkPool pool;
+  void* p = pool.allocate(ChunkPool::kMaxChunk + 1);
+  ASSERT_NE(p, nullptr);
+  pool.deallocate(p, ChunkPool::kMaxChunk + 1);
+  EXPECT_EQ(pool.idle_chunks(), 0u);
+  EXPECT_EQ(pool.fresh_allocs(), 0u);  // stats track pooled classes only
+  EXPECT_EQ(pool.reused_allocs(), 0u);
+}
+
+Task<> frame_pool_leaf() { co_return; }
+Task<> frame_pool_chain() {
+  co_await frame_pool_leaf();
+  co_await frame_pool_leaf();
+}
+
+TEST(FramePool, SteadyStateTaskChainsReuseFrames) {
+  ChunkPool& pool = frame_pool();
+  {
+    Task<> warm = frame_pool_chain();
+    warm.start();
+  }  // chain + leaf frames now sit idle in the pool
+  const std::uint64_t fresh0 = pool.fresh_allocs();
+  const std::uint64_t reused0 = pool.reused_allocs();
+  for (int i = 0; i < 64; ++i) {
+    Task<> t = frame_pool_chain();
+    t.start();
+  }
+  EXPECT_EQ(pool.fresh_allocs(), fresh0);  // no chunk left the allocator
+  // Each iteration resumes one chain frame and two leaf frames from the
+  // free lists.
+  EXPECT_GE(pool.reused_allocs(), reused0 + 64u * 3u);
 }
 
 }  // namespace

@@ -1,7 +1,12 @@
 // Tests for the segmented SSD log allocator.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "core/ssd_log.hpp"
+#include "sim/rng.hpp"
 
 namespace ibridge::core {
 namespace {
@@ -114,6 +119,42 @@ TEST(SsdLog, ManyCyclesDoNotLeakSpace) {
   }
   EXPECT_EQ(log.live_bytes(), len(0));
   EXPECT_GE(log.free_segment_count(), 9);
+}
+
+// The live-bytes-ordered victim index must agree with a brute-force scan
+// (least live data wins, active segment excluded, lowest index on ties) at
+// every point of a randomized append/release history.
+TEST(SsdLog, VictimIndexMatchesBruteForceUnderChurn) {
+  SsdLog log(len(64 * 1024), len(1024));
+  sim::Rng rng(0x5109c1ea);
+  std::vector<std::pair<Offset, Bytes>> live;
+
+  const auto brute_victim = [&] {
+    int best = -1;
+    Bytes best_live = log.segment_bytes() + Bytes{1};
+    for (int s = 0; s < log.segment_count(); ++s) {
+      if (s == log.active_segment()) continue;
+      const Bytes l = log.segment_live(s);
+      if (l > Bytes::zero() && l < best_live) {
+        best = s;
+        best_live = l;
+      }
+    }
+    return best;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    if (live.empty() || rng.chance(0.55)) {
+      const Bytes n = len((1 + static_cast<std::int64_t>(rng.below(16))) * 64);
+      const auto o = log.append(n);
+      if (o.has_value()) live.emplace_back(*o, n);
+    } else {
+      const auto i = static_cast<std::size_t>(rng.below(live.size()));
+      log.release(live[i].first, live[i].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_EQ(log.victim_segment(), brute_victim()) << "step " << step;
+  }
 }
 
 }  // namespace
