@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "check/digest.hpp"
+#include "fault/engine.hpp"
 #include "sim/task.hpp"
 
 namespace ibridge::check {
@@ -118,6 +120,9 @@ std::uint64_t stats_digest_of(cluster::Cluster& cl, const RunReport& r) {
       d.update_u64(table_digest(cache->table()));
     }
   }
+  // Healthy runs fold nothing extra, so their digests are unchanged by the
+  // existence of fault injection.
+  if (r.faulted) d.update_u64(r.fault_digest);
   return d.value();
 }
 
@@ -151,10 +156,27 @@ RunReport run_case(cluster::Cluster& cluster, const FuzzCase& c, Policy p,
   st.image.assign(static_cast<std::size_t>(c.file_bytes), std::byte{0});
   st.written.assign(static_cast<std::size_t>(c.file_bytes), 0);
 
+  // Inject the case's fault schedule (if any) while the trace runs; every
+  // policy run gets the identical schedule.
+  std::unique_ptr<fault::FaultEngine> engine;
+  if (!c.faults.empty()) {
+    engine = std::make_unique<fault::FaultEngine>(cluster, c.faults);
+    engine->start();
+  }
+
   auto io = drive(st);
   io.start();
   cluster.sim().run_while_pending([&] { return st.done; });
   const sim::SimTime io_done = cluster.sim().now();
+
+  // Let every crash actor run to completion (restart, recovery replay,
+  // degraded drain) before the final drain, so drain() sees healthy
+  // servers and the fault digest is complete.
+  if (engine != nullptr) {
+    cluster.sim().run_while_pending([&] { return engine->done(); });
+    r.fault_digest = engine->digest();
+    r.faulted = true;
+  }
 
   const sim::SimTime flushed = cluster.drain();
 
@@ -172,6 +194,7 @@ RunReport run_case(cluster::Cluster& cluster, const FuzzCase& c, Policy p,
   r.requests = st.requests;
   r.read_your_writes_ok = st.ryw_ok;
   r.failure = st.failure;
+  if (engine != nullptr) append_failure(r.failure, engine->failure());
   r.payload_digest = st.payload.value();
   r.image_digest = Digest().update(std::span<const std::byte>(rb.data)).value();
   bool image_ok = rb.data.size() == st.image.size();
@@ -263,6 +286,7 @@ DeterminismReport check_determinism(const FuzzCase& c, Policy p) {
                 r.first.payload_digest == r.second.payload_digest &&
                 r.first.image_digest == r.second.image_digest &&
                 r.first.stats_digest == r.second.stats_digest &&
+                r.first.fault_digest == r.second.fault_digest &&
                 r.first.io_elapsed.ns() == r.second.io_elapsed.ns() &&
                 r.first.total_elapsed.ns() == r.second.total_elapsed.ns();
   append_failure(r.failure, r.first.failure);

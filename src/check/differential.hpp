@@ -38,6 +38,10 @@ struct RunReport {
   sim::SimTime total_elapsed{};      ///< access + write-back drain
   std::uint64_t requests = 0;
   bool read_your_writes_ok = true;
+  /// FaultEngine::digest() for the run; 0 on healthy runs.  Folded into
+  /// stats_digest only when `faulted`, so healthy digests are unchanged.
+  std::uint64_t fault_digest = 0;
+  bool faulted = false;
   std::string failure;               ///< empty == clean run
 
   bool ok() const { return failure.empty() && read_your_writes_ok; }

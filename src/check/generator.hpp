@@ -22,6 +22,7 @@
 #include <span>
 
 #include "cluster/cluster.hpp"
+#include "fault/schedule.hpp"
 #include "workloads/trace.hpp"
 
 namespace ibridge::check {
@@ -56,6 +57,11 @@ struct FuzzCase {
   std::int64_t file_bytes = 1 << 20;
   cluster::ClusterConfig base;
   workloads::Trace trace;
+  /// Faults to inject while the trace runs (empty == healthy; see
+  /// fault::make_scenario for the canonical derived schedules).  Applied to
+  /// every policy run identically, so payload equivalence must survive GC
+  /// interference and crash/restart too.
+  fault::FaultSchedule faults;
 };
 
 /// Deterministically generate a case from a seed.

@@ -497,6 +497,10 @@ sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
 
 sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId>& batch,
                                       bool yield_to_foreground) {
+  // Crash-gate phase boundaries (see WritebackGate in observer.hpp).  A cut
+  // leaves every touched entry dirty and no window open, so the batch can be
+  // re-flushed after recovery.
+  if (gate_cut("batch.begin")) co_return;
   const obs::SpanId tspan =
       (trace_ != nullptr && !batch.empty())
           ? trace_->begin(trace_bg_track_, "cache.writeback", "cache")
@@ -536,6 +540,10 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId>& batch,
     }(*this, s));
   }
   co_await reads.join();
+  if (gate_cut("batch.staged")) {
+    if (tspan != 0) trace_->end(tspan);
+    co_return;
+  }
 
   // Coalesce byte-contiguous entries into single long disk writes — the
   // paper's write-back is "scheduled to form as many long sequential
@@ -564,6 +572,7 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId>& batch,
       run_len += next.e.length;
       ++j;
     }
+    if (gate_cut("batch.write")) break;
 
     sim::BufferPool::Lease run_buf = pool_.acquire();
     std::span<const std::byte> span;
@@ -582,6 +591,10 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId>& batch,
                             run_len.count(), span);
     close_window(flush_windows_, win);
     notify_flush_waiters();
+    // Crash after the data write but before the metadata update: the
+    // entries stay dirty and will be written again post-recovery —
+    // idempotent, since the payload already matches.
+    if (gate_cut("batch.clean")) break;
     stats_.writeback_bytes += run_len;
     for (std::size_t k = i; k < j; ++k) {
       if (table_.contains(staged[k].id)) {
@@ -631,6 +644,37 @@ sim::Task<> IBridgeCache::drain() {
   }
   if (trace_ != nullptr) trace_->end(tspan);
   check("drain");
+}
+
+sim::Task<> IBridgeCache::flush_dirty(Bytes budget) {
+  auto batch = id_pool_.acquire();
+  table_.dirty_entries_into(budget, *batch);
+  if (batch->empty()) co_return;
+  co_await flush_batch(*batch, /*yield_to_foreground=*/true);
+}
+
+bool IBridgeCache::recover(std::istream& in) {
+  assert(background_.all_finished() && read_pins_.empty() &&
+         flush_windows_.empty() && write_windows_.empty());
+  // Drop the current (post-crash, untrusted) state: erase every entry and
+  // zero the log's allocation accounting.
+  for (EntryId id : table_.all_entries()) table_.erase(id);
+  log_.reset();
+  if (!table_.load(in)) {
+    // Malformed image: load() may have admitted a prefix of the entries
+    // before rejecting — drop them and come back empty but usable.
+    for (EntryId id : table_.all_entries()) table_.erase(id);
+    log_.finish_restore();
+    check("recover");
+    return false;
+  }
+  for (EntryId id : table_.all_entries()) {
+    const CacheEntry& e = table_.get(id);
+    log_.restore_range(e.log_off, e.length);
+  }
+  log_.finish_restore();
+  check("recover");
+  return true;
 }
 
 }  // namespace ibridge::core

@@ -15,6 +15,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <span>
@@ -100,6 +101,24 @@ class IBridgeCache {
   /// location (program-exit accounting: the paper includes this time).
   sim::Task<> drain();
 
+  /// Flush up to `budget` dirty bytes (oldest-dirty first), yielding to
+  /// foreground traffic.  The degraded-mode drain after a crash recovery
+  /// trickles the recovered dirty data out through this.
+  sim::Task<> flush_dirty(Bytes budget);
+
+  /// Rebuild the cache from a mapping-table image previously written by
+  /// table().save() — the crash-recovery path, run cluster-wide by the
+  /// fault engine.  Requires quiescence (daemon stopped, no requests in
+  /// flight).  Drops all current entries, reloads the table, and rebuilds
+  /// the SSD log's segment accounting from the recovered entries.  Returns
+  /// false (leaving the cache empty) when the image is malformed.
+  bool recover(std::istream& in);
+
+  /// True when no background work (write-back daemon, staging, eviction)
+  /// is in flight.  The fault engine polls this to find a crash-consistent
+  /// quiescent point.
+  bool background_idle() const { return background_.all_finished(); }
+
   /// This server's current decayed average disk service time T (ms).
   double current_t() const { return stm_.t(); }
 
@@ -122,6 +141,10 @@ class IBridgeCache {
   /// Install a SimCheck observer (nullptr to detach).  Invoked after every
   /// state-changing cache step; never installed on production paths.
   void set_observer(CacheObserver* obs) { observer_ = obs; }
+
+  /// Install a write-back crash gate (nullptr to detach).  Consulted at the
+  /// flush_batch phase boundaries; only src/fault/'s engine installs one.
+  void set_writeback_gate(WritebackGate* gate) { writeback_gate_ = gate; }
 
   /// Attach a TraceSession (nullptr to detach).  Foreground serves nest
   /// "cache.serve" spans under the request's server span; background work
@@ -221,6 +244,10 @@ class IBridgeCache {
     if (observer_) observer_->on_check(*this, where);
   }
 
+  bool gate_cut(const char* phase) {
+    return writeback_gate_ != nullptr && writeback_gate_->cut(phase);
+  }
+
   sim::Simulator& sim_;
   IBridgeConfig cfg_;
   ServerId self_;
@@ -263,6 +290,7 @@ class IBridgeCache {
   sim::VectorPool<std::pair<Offset, Bytes>> range_pool_;
   sim::VectorPool<std::uint64_t> pin_pool_;
   CacheObserver* observer_ = nullptr;
+  WritebackGate* writeback_gate_ = nullptr;
   obs::TraceSession* trace_ = nullptr;
   obs::TrackId trace_bg_track_ = obs::kNoTrack;
   sim::TaskGroup background_;

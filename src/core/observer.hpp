@@ -23,4 +23,28 @@ class CacheObserver {
   virtual void on_check(const IBridgeCache& cache, const char* where) = 0;
 };
 
+/// Crash hook for the write-back machinery (the fault-engine attachment
+/// point).  A gate installed on an IBridgeCache is consulted at the phase
+/// boundaries of flush_batch(); returning true "cuts" the batch there,
+/// modelling a server that died mid-write-back.  The phases, in order:
+///
+///   "batch.begin"   before any staging read is issued
+///   "batch.staged"  after staging reads complete, before any disk write
+///   "batch.write"   before each coalesced run's disk write
+///   "batch.clean"   after a run's disk write, before entries are marked
+///                   clean (crash between data write and metadata update)
+///
+/// A cut never leaves a flush window open and never marks entries clean, so
+/// re-flushing after recovery is idempotent.  Gates must be one-shot per
+/// crash: drain() retries until dirty data reaches zero, so a gate that cuts
+/// forever would spin.  The foreground flush_entry() path (read-miss
+/// consistency) is intentionally not gated.
+class WritebackGate {
+ public:
+  virtual ~WritebackGate() = default;
+
+  /// Return true to cut the current flush batch at this phase.
+  virtual bool cut(const char* phase) = 0;
+};
+
 }  // namespace ibridge::core

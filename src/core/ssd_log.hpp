@@ -128,6 +128,55 @@ class SsdLog {
            !free_segments_.empty();
   }
 
+  // --- Crash-recovery rebuild -------------------------------------------
+  //
+  // After a crash the mapping table is reloaded from its saved image and the
+  // log's segment accounting is rebuilt from the surviving entries:
+  //
+  //   log.reset();
+  //   for each recovered entry e: log.restore_range(e.log_off, e.length);
+  //   log.finish_restore();
+  //
+  // The rebuilt log has exactly the recovered entries live; everything else
+  // is free space.  Segments that held now-lost allocations simply come back
+  // empty — the log is an allocator, not a data store, so no cleaning pass
+  // is needed.
+
+  /// Drop all allocation state (segment live counts, free list, active
+  /// head).  The log is unusable until finish_restore().
+  void reset() {
+    for (auto& s : segments_) s.live = sim::Bytes::zero();
+    live_index_.clear();
+    free_segments_.clear();
+    active_ = -1;
+    head_ = sim::Bytes::zero();
+    live_bytes_ = sim::Bytes::zero();
+  }
+
+  /// Re-account one surviving allocation.  Ranges never straddle segments
+  /// (append() seals the active segment instead of splitting).
+  void restore_range(sim::Offset off, sim::Bytes len) {
+    assert(len > sim::Bytes::zero() && len <= segment_bytes_);
+    const int seg = static_cast<int>(off / segment_bytes_);
+    assert(seg >= 0 && std::cmp_less(seg, segments_.size()));
+    assert(off % segment_bytes_ + len <= segment_bytes_);
+    add_live(seg, len);
+    live_bytes_ += len;
+  }
+
+  /// Rebuild the free list from the zero-live segments (in index order, for
+  /// determinism) and open a fresh active segment.  If every segment holds
+  /// live data the log comes back full (active_ == -1); append() recovers
+  /// via activate_next() once something is released.
+  void finish_restore() {
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      if (segments_[i].live == sim::Bytes::zero()) {
+        free_segments_.push_back(static_cast<int>(i));
+      }
+    }
+    activate_next();
+  }
+
  private:
   sim::Offset segment_start(int seg) const {
     return sim::Offset::zero() + static_cast<std::int64_t>(seg) * segment_bytes_;

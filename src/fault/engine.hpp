@@ -1,0 +1,87 @@
+// FaultEngine — executes a FaultSchedule against a running cluster.
+//
+// On start() the engine installs the per-server SSD fault models (GC
+// pauses, read variability) and spawns one crash actor per CrashSpec.  A
+// crash actor takes its server off the network mid-write-back (cutting the
+// flush batch at the scheduled phase via core::WritebackGate), waits for
+// quiescence, snapshots the mapping table and a dirty-position bitmap,
+// rides out the outage, replays the table through IBridgeCache::recover(),
+// and then drains the recovered dirty data in degraded mode — a bounded
+// trickle per interval — until every pre-crash dirty byte is home.
+//
+// Everything the engine injects is folded into digest(), so two runs with
+// the same seed and schedule can be compared with one 64-bit value; crash
+// and recovery show up as "fault.crash" spans when a TraceSession is
+// attached.  The destructor uninstalls every hook it planted, so clusters
+// shared across cases come back healthy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "fault/model.hpp"
+#include "fault/schedule.hpp"
+#include "obs/trace.hpp"
+#include "sim/sync.hpp"
+
+namespace ibridge::fault {
+
+class FaultEngine {
+ public:
+  /// The engine references (never owns) the cluster; schedule times are
+  /// relative to the start() call.
+  FaultEngine(cluster::Cluster& cluster, FaultSchedule schedule);
+  ~FaultEngine();
+  FaultEngine(const FaultEngine&) = delete;
+  FaultEngine& operator=(const FaultEngine&) = delete;
+
+  /// Attach a TraceSession (nullptr to detach); call before start().
+  void set_trace(obs::TraceSession* session);
+
+  /// Install hooks and spawn the crash actors.  Idempotent.
+  void start();
+
+  /// True once start() was called and every crash actor has finished
+  /// (crashed, recovered, and drained its degraded backlog).
+  bool done() const { return started_ && actors_.all_finished(); }
+
+  /// Digest over the schedule plus every injected event (crash instants,
+  /// recovery instants, GC pauses, slowed reads) — byte-identical for
+  /// same-seed same-schedule runs.
+  std::uint64_t digest() const;
+
+  /// Non-empty when a recovery replay failed ("; "-joined).
+  const std::string& failure() const { return failure_; }
+
+  struct Stats {
+    std::uint64_t crashes = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t degraded_flushes = 0;
+    std::uint64_t gc_pauses = 0;
+    std::uint64_t slow_reads = 0;
+  };
+  Stats stats() const;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  class CrashGate;
+  sim::Task<> crash_actor(CrashSpec spec);
+
+  cluster::Cluster& cluster_;
+  FaultSchedule schedule_;
+  /// One model per server index (null where no gc/readvar spec applies).
+  std::vector<std::unique_ptr<SsdFaultModel>> models_;
+  obs::TraceSession* trace_ = nullptr;
+  obs::TrackId trace_track_ = obs::kNoTrack;
+  bool started_ = false;
+  std::string failure_;
+  Stats counters_;
+  FaultDigest digest_;
+  sim::TaskGroup actors_;
+};
+
+}  // namespace ibridge::fault

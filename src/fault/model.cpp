@@ -1,0 +1,107 @@
+#include "fault/model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ibridge::fault {
+
+SsdFaultModel::SsdFaultModel(const GcSpec* gc, const ReadVarSpec* readvar,
+                             std::uint64_t seed)
+    : rng_(seed) {
+  if (gc != nullptr) {
+    gc_enabled_ = true;
+    gc_ = *gc;
+    assert(gc_.churn_bytes > 0);
+  }
+  if (readvar != nullptr) {
+    readvar_enabled_ = true;
+    readvar_ = *readvar;
+    assert(readvar_.min_extra <= readvar_.max_extra);
+  }
+}
+
+sim::SimTime SsdFaultModel::dispatch_delay(storage::IoDirection dir,
+                                           std::int64_t /*lbn*/,
+                                           std::int64_t sectors,
+                                           sim::SimTime now,
+                                           sim::SimTime /*base_service*/) {
+  sim::SimTime extra;
+  if (gc_enabled_) {
+    if (dir == storage::IoDirection::kWrite) {
+      churn_accum_ += sectors * storage::kSectorBytes;
+      while (churn_accum_ >= gc_.churn_bytes) {
+        churn_accum_ -= gc_.churn_bytes;
+        // Back-to-back GC cycles queue: a pause starts when the previous
+        // one ends (or now, if the device was healthy).
+        pause_until_ = std::max(pause_until_, now) + gc_.pause;
+        ++gc_pauses_;
+        gc_pause_time_ += gc_.pause;
+      }
+    }
+    if (pause_until_ > now) extra += pause_until_ - now;
+  }
+  if (readvar_enabled_ && dir == storage::IoDirection::kRead &&
+      rng_.chance(readvar_.probability)) {
+    const std::int64_t span_ns =
+        (readvar_.max_extra - readvar_.min_extra).ns();
+    extra += readvar_.min_extra +
+             sim::SimTime::nanos(static_cast<std::int64_t>(
+                 rng_.below(static_cast<std::uint64_t>(span_ns) + 1)));
+    ++slow_reads_;
+  }
+  if (extra > sim::SimTime::zero()) {
+    digest_.update_i64(now.ns());
+    digest_.update_i64(extra.ns());
+  }
+  return extra;
+}
+
+DirtyBitmap::DirtyBitmap(sim::Bytes capacity, sim::Bytes granule)
+    : granule_(granule) {
+  assert(granule > sim::Bytes::zero() && capacity > sim::Bytes::zero());
+  tiles_ = (capacity.count() + granule.count() - 1) / granule.count();
+  words_.resize(static_cast<std::size_t>((tiles_ + 63) / 64));
+}
+
+void DirtyBitmap::apply(sim::Offset off, sim::Bytes len, bool value) {
+  assert(len > sim::Bytes::zero());
+  const std::int64_t first = off / granule_;
+  const std::int64_t last = (off + len - sim::Bytes{1}) / granule_;
+  assert(first >= 0 && last < tiles_);
+  for (std::int64_t t = first; t <= last; ++t) {
+    const std::size_t w = static_cast<std::size_t>(t / 64);
+    const std::uint64_t bit = 1ULL << (t % 64);
+    if (value) {
+      words_[w] |= bit;
+    } else {
+      words_[w] &= ~bit;
+    }
+  }
+}
+
+void DirtyBitmap::intersect(const DirtyBitmap& other) {
+  assert(tiles_ == other.tiles_ && granule_ == other.granule_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+bool DirtyBitmap::any() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::int64_t DirtyBitmap::set_count() const {
+  std::int64_t n = 0;
+  for (std::uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+bool DirtyBitmap::test(std::int64_t tile) const {
+  assert(tile >= 0 && tile < tiles_);
+  return (words_[static_cast<std::size_t>(tile / 64)] &
+          (1ULL << (tile % 64))) != 0;
+}
+
+}  // namespace ibridge::fault

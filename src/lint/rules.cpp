@@ -35,6 +35,9 @@ const std::map<std::string, std::set<std::string>>& layer_allowlist() {
       {"pvfs", {"sim", "stats", "net", "obs", "storage", "fsim", "core"}},
       {"cluster",
        {"sim", "stats", "net", "obs", "storage", "fsim", "core", "pvfs"}},
+      {"fault",
+       {"sim", "stats", "net", "obs", "storage", "fsim", "core", "pvfs",
+        "cluster"}},
       {"mpiio", {"sim", "stats", "net", "storage", "fsim", "core", "pvfs"}},
       {"plfs",
        {"sim", "stats", "net", "storage", "fsim", "core", "pvfs", "cluster",
@@ -44,7 +47,7 @@ const std::map<std::string, std::set<std::string>>& layer_allowlist() {
         "mpiio"}},
       {"check",
        {"sim", "stats", "net", "obs", "storage", "fsim", "core", "pvfs",
-        "cluster", "mpiio", "plfs", "workloads"}},
+        "cluster", "fault", "mpiio", "plfs", "workloads"}},
       {"exp", {"sim", "stats", "obs"}},
       {"lint", {}},
   };
@@ -498,6 +501,26 @@ void check_sim_callback(const SourceFile& f, Diags& out) {
   }
 }
 
+// ------------------------------------------------------- fault injection ----
+
+/// SsdModel::set_fault_hook outside src/fault/ (and src/storage/, which
+/// declares it): every injected latency must flow through the seeded fault
+/// engine, or the "same schedule ⇒ same run" guarantee dies.  A hard ban —
+/// there is no legitimate ad-hoc installation site.
+void check_ssd_fault_hook(const SourceFile& f, Diags& out) {
+  if (starts_with(f.rel, "src/storage/") || starts_with(f.rel, "src/fault/")) {
+    return;
+  }
+  for (const Token& tok : f.tokens) {
+    if (tok.kind == TokKind::kIdent && tok.text == "set_fault_hook") {
+      report(out, f, tok.line, "ssd-fault-hook",
+             "installing an SSD fault hook outside src/fault/ bypasses the "
+             "deterministic fault engine; declare the fault in a "
+             "FaultSchedule instead");
+    }
+  }
+}
+
 // ----------------------------------------------------------- suppression ----
 
 struct Suppression {
@@ -555,6 +578,7 @@ const std::vector<RuleInfo>& rules() {
       {"include-what-you-use", "project includes must be used"},
       {"raw-unit-type", "typed-core headers use Bytes/Offset/ServerId"},
       {"sim-callback", "event callbacks use sim::InlineEvent, not std::function"},
+      {"ssd-fault-hook", "SSD fault hooks are installed only by src/fault/"},
       {"lint-annotation", "suppressions need a known key and a reason"},
   };
   return kRules;
@@ -585,6 +609,7 @@ std::vector<Diagnostic> lint_corpus(const std::vector<SourceFile>& files) {
     check_include_what_you_use(f, ctx, raw);
     check_raw_unit_type(f, raw);
     check_sim_callback(f, raw);
+    check_ssd_fault_hook(f, raw);
 
     auto sups = parse_suppressions(f);
     for (Diagnostic& d : raw) {

@@ -62,14 +62,43 @@ fsim::FileId DataServer::create_datafile(const std::string& name,
   return id;
 }
 
+void DataServer::set_offline(bool offline) {
+  if (offline_ == offline) return;
+  offline_ = offline;
+  if (offline_) return;
+  // Back online: release parked arrivals in arrival order.  Resumption is
+  // deferred through the simulator so it interleaves deterministically with
+  // other work scheduled at this instant.
+  std::vector<std::coroutine_handle<>> waiters;
+  waiters.swap(offline_waiters_);
+  for (std::coroutine_handle<> h : waiters) {
+    sim_.defer([h] { h.resume(); });
+  }
+}
+
 sim::Task<core::ServeResult> DataServer::io(core::CacheRequest req,
                                             std::span<const std::byte> wdata,
                                             std::span<std::byte> rdata) {
   const sim::SimTime t0 = sim_.now();
+  // Entry gate: while the server is offline (crashed), park until restart.
+  // Re-check after resumption — the server may crash again before this
+  // request gets through.
+  while (offline_) {
+    struct OfflineWake {
+      DataServer& s;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        s.offline_waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await OfflineWake{*this};
+  }
   const sim::Bytes length = req.length;
   obs::SpanId qspan = 0, sspan = 0;
+  ++inflight_;
   if (trace_ != nullptr) {
-    trace_->counter(trace_prefix_ + ".inflight", ++inflight_);
+    trace_->counter(trace_prefix_ + ".inflight", inflight_);
     if (req.trace_parent != 0) {
       qspan = trace_->begin(trace_track_, "server.queue", "server",
                             req.trace_request, req.trace_parent);
@@ -100,12 +129,13 @@ sim::Task<core::ServeResult> DataServer::io(core::CacheRequest req,
   result.elapsed = sim_.now() - t0;
   service_.add(result.elapsed);
   bytes_served_ += length;
+  --inflight_;
   if (trace_ != nullptr) {
     if (sspan != 0) {
       trace_->arg(sspan, "ssd", result.ssd ? 1 : 0);
       trace_->end(sspan);
     }
-    trace_->counter(trace_prefix_ + ".inflight", --inflight_);
+    trace_->counter(trace_prefix_ + ".inflight", inflight_);
   }
   co_return result;
 }

@@ -12,10 +12,12 @@
 //   * SSD-only   — datafiles live directly on the SSD (Figure 10 baseline).
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/cache.hpp"
 #include "core/config.hpp"
@@ -95,10 +97,26 @@ class DataServer {
   /// Attach a TraceSession (nullptr to detach): queue/serve spans for every
   /// traced sub-request, device dispatch spans, in-flight depth counter.
   void set_trace(obs::TraceSession* session);
+
+  /// Take the server off the network (crashed) or bring it back.  While
+  /// offline, newly arriving io() calls park before touching any server
+  /// state and resume — in arrival order — when the server returns; their
+  /// outage wait is part of the measured service time, exactly what a
+  /// client of a crashed-and-restarted server observes.  Requests already
+  /// past the entry gate when the crash hits run to completion (the fault
+  /// engine waits for inflight() to reach zero before acting on state).
+  void set_offline(bool offline);
+  bool offline() const { return offline_; }
+  /// Requests between io()'s entry gate and exit (parked arrivals excluded).
+  int inflight() const { return inflight_; }
+
   storage::BlockDevice& disk() { return *disk_; }
   const storage::BlockDevice& disk() const { return *disk_; }
   storage::BlockDevice* ssd() { return ssd_.get(); }
   const storage::BlockDevice* ssd() const { return ssd_.get(); }
+  /// Concrete SSD model, for the fault engine's set_fault_hook (nullptr on
+  /// disk-only servers).
+  storage::SsdModel* ssd_model() { return ssd_.get(); }
   fsim::LocalFileSystem& fs() { return *primary_fs_; }
   const stats::ServiceTimeMeter& service_meter() const { return service_; }
 
@@ -122,6 +140,9 @@ class DataServer {
   obs::TrackId trace_track_ = obs::kNoTrack;
   std::string trace_prefix_;  ///< "srv<N>", counter-name prefix
   int inflight_ = 0;          ///< requests between io() entry and exit
+  bool offline_ = false;
+  /// io() coroutines parked at the entry gate while the server is offline.
+  std::vector<std::coroutine_handle<>> offline_waiters_;
 };
 
 }  // namespace ibridge::pvfs

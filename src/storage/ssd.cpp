@@ -46,8 +46,14 @@ void SsdModel::maybe_start() {
     DispatchBatch batch = sched_->pop_next(/*head_lbn=*/0);
     assert(!batch.empty());
 
-    const sim::SimTime service =
-        service_time(batch.dir, batch.lbn, batch.sectors);
+    sim::SimTime service = service_time(batch.dir, batch.lbn, batch.sectors);
+    if (fault_hook_ != nullptr) {
+      // Injected latency (GC pause, read variability) is part of the service
+      // time proper: it shows up in busy-time accounting, dispatch records,
+      // and trace spans exactly like a slow device would.
+      service += fault_hook_->dispatch_delay(batch.dir, batch.lbn,
+                                             batch.sectors, sim_.now(), service);
+    }
     if (batch.dir == IoDirection::kRead) {
       next_read_lbn_ = batch.end();
     } else {

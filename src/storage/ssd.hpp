@@ -46,6 +46,24 @@ struct SsdParams {
   }
 };
 
+/// Fault-injection attachment point for the SSD.  A hook installed on an
+/// SsdModel is consulted once per dispatch and may add extra service latency
+/// (garbage-collection pauses, per-read variability).  Only src/fault/ — the
+/// deterministic, seeded fault engine — installs hooks (enforced by
+/// ibridge-lint's ssd-fault-hook rule); with no hook the device timing is
+/// byte-identical to a build without this class.
+class SsdFaultHook {
+ public:
+  virtual ~SsdFaultHook() = default;
+
+  /// Extra service latency for a dispatch starting at `now` whose healthy
+  /// service time is `base_service`.  Must be non-negative and a pure
+  /// function of the hook's own (seeded) state plus the arguments.
+  virtual sim::SimTime dispatch_delay(IoDirection dir, std::int64_t lbn,
+                                      std::int64_t sectors, sim::SimTime now,
+                                      sim::SimTime base_service) = 0;
+};
+
 class SsdModel final : public BlockDevice {
  public:
   SsdModel(sim::Simulator& sim, SsdParams params,
@@ -55,6 +73,10 @@ class SsdModel final : public BlockDevice {
   SsdModel(sim::Simulator& sim, SsdParams params);
 
   sim::SimFuture<BlockCompletion> submit(BlockRequest req) override;
+
+  /// Install a fault hook (nullptr to detach).  Same zero-cost-when-null
+  /// contract as the observer/trace hooks elsewhere in the simulator.
+  void set_fault_hook(SsdFaultHook* hook) { fault_hook_ = hook; }
 
   bool busy() const override { return in_flight_ > 0 || !sched_->empty(); }
   std::size_t queue_depth() const override { return sched_->depth(); }
@@ -79,6 +101,7 @@ class SsdModel final : public BlockDevice {
   // Expected next LBN per direction for sequential-continuation detection.
   std::int64_t next_read_lbn_ = -1;
   std::int64_t next_write_lbn_ = -1;
+  SsdFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace ibridge::storage

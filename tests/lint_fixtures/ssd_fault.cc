@@ -1,0 +1,10 @@
+// Fixture: installing an SSD fault hook outside src/fault/ must trip the
+// ssd-fault-hook rule (once).
+namespace fixture {
+
+template <typename Device, typename Hook>
+void sabotage(Device& dev, Hook& hook) {
+  dev.set_fault_hook(&hook);
+}
+
+}  // namespace fixture

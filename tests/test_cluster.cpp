@@ -3,7 +3,11 @@
 // deterministic.
 #include <gtest/gtest.h>
 
+#include "check/differential.hpp"
+#include "check/generator.hpp"
+#include "check/invariants.hpp"
 #include "cluster/cluster.hpp"
+#include "fault/schedule.hpp"
 #include "workloads/btio.hpp"
 #include "workloads/mpi_io_test.hpp"
 
@@ -140,6 +144,65 @@ TEST(Cluster, AggregateMetricsAccumulate) {
   EXPECT_EQ(c.total_bytes_served().count(), r.bytes);
   EXPECT_GT(c.ssd_bytes_served(), sim::Bytes::zero());
   EXPECT_GT(c.avg_service_ms(), 0.0);
+}
+
+// Whole-cluster promotion of the mapping-table crash/recovery tests: the
+// table's save/load cycle now runs inside a live cluster — a data server
+// crashes mid-write-back, restarts, replays its mapping table, and drains
+// the recovered dirty data in degraded mode.
+TEST(ClusterFaults, CrashMidFlushMatchesNeverCrashedRun) {
+  const check::FuzzCase healthy = check::generate_case(0x5ca1ab1e);
+  check::FuzzCase crashy = healthy;
+  fault::CrashSpec spec;
+  spec.server = 0;
+  spec.at = sim::SimTime::millis(1);
+  spec.outage = sim::SimTime::millis(4);
+  spec.phase = "batch.write";
+  spec.drain_budget = 128 << 10;
+  spec.drain_interval = sim::SimTime::millis(1);
+  crashy.faults.seed = 5;
+  crashy.faults.crashes.push_back(spec);
+
+  check::RunReport hr;
+  {
+    Cluster cl(check::make_config(healthy, check::Policy::kIBridge));
+    hr = check::run_case(cl, healthy, check::Policy::kIBridge);
+  }
+  check::RunReport cr;
+  {
+    Cluster cl(check::make_config(crashy, check::Policy::kIBridge));
+    check::InvariantOracle oracle;
+    cr = check::run_case(cl, crashy, check::Policy::kIBridge, &oracle);
+    EXPECT_TRUE(oracle.ok()) << oracle.failures().front();
+    EXPECT_GT(oracle.checks_run(), 0u);
+  }
+  ASSERT_TRUE(hr.ok()) << hr.failure;
+  ASSERT_TRUE(cr.ok()) << cr.failure;
+  // The crash may reorder and delay everything, but never change bytes.
+  EXPECT_EQ(hr.payload_digest, cr.payload_digest);
+  EXPECT_EQ(hr.image_digest, cr.image_digest);
+  EXPECT_FALSE(hr.faulted);
+  EXPECT_TRUE(cr.faulted);
+}
+
+TEST(ClusterFaults, RestartedServerComesBackCleanAndOnline) {
+  check::FuzzCase c = check::generate_case(0xfeedULL);
+  c.faults =
+      fault::make_scenario(fault::Scenario::kCrashRestart,
+                           c.base.data_servers, 0xfeedULL,
+                           sim::SimTime::millis(30));
+  ASSERT_FALSE(c.faults.empty());
+  Cluster cl(check::make_config(c, check::Policy::kIBridge));
+  const check::RunReport r = check::run_case(cl, c, check::Policy::kIBridge);
+  ASSERT_TRUE(r.ok()) << r.failure;
+  for (int s = 0; s < cl.server_count(); ++s) {
+    EXPECT_FALSE(cl.server(s).offline()) << "server " << s;
+    if (cl.server(s).has_cache()) {
+      EXPECT_EQ(cl.server(s).cache()->table().dirty_bytes(),
+                sim::Bytes::zero())
+          << "server " << s;
+    }
+  }
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "check/differential.hpp"
 #include "check/generator.hpp"
+#include "fault/schedule.hpp"
 
 namespace ibridge::check {
 namespace {
@@ -78,6 +79,64 @@ TEST(Differential, ReportsCarryTimingAndStats) {
   }
   EXPECT_EQ(d.disk.payload_digest, d.ssd.payload_digest);
   EXPECT_EQ(d.disk.image_digest, d.ibridge.image_digest);
+}
+
+// ------------------------------------------------- faulted differentials ----
+
+GenLimits fault_limits() {
+  GenLimits lim;
+  lim.min_ops = 8;
+  lim.max_ops = 20;
+  lim.min_file_bytes = 256 << 10;
+  lim.max_file_bytes = 1 << 20;
+  return lim;
+}
+
+/// Storage contract under interference: every policy runs the identical
+/// fault schedule, and the bytes must still agree across all three.
+TEST(DifferentialFaults, PayloadEquivalenceSurvivesGcInterference) {
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t seed = 0x6cf17ULL + static_cast<std::uint64_t>(i);
+    FuzzCase c = generate_case(seed, fault_limits());
+    c.faults = fault::make_scenario(fault::Scenario::kGcInterference,
+                                    c.base.data_servers, seed,
+                                    sim::SimTime::millis(40));
+    const DiffReport d = run_differential(c);
+    ASSERT_TRUE(d.ok()) << "failing seed=" << seed << ": " << d.failure;
+    ASSERT_TRUE(d.payload_equal) << "failing seed=" << seed;
+    EXPECT_TRUE(d.ibridge.faulted);
+    EXPECT_NE(d.ibridge.fault_digest, 0u);
+  }
+}
+
+TEST(DifferentialFaults, PayloadEquivalenceSurvivesCrashRestart) {
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t seed = 0xc4a54ULL + static_cast<std::uint64_t>(i);
+    FuzzCase c = generate_case(seed, fault_limits());
+    const fault::Scenario scen = i % 2 == 0 ? fault::Scenario::kCrashRestart
+                                            : fault::Scenario::kMixed;
+    c.faults = fault::make_scenario(scen, c.base.data_servers, seed,
+                                    sim::SimTime::millis(40));
+    ASSERT_EQ(c.faults.crashes.size(), 1u);
+    const DiffReport d = run_differential(c);
+    ASSERT_TRUE(d.ok()) << "failing seed=" << seed << " scenario "
+                        << fault::to_string(scen) << ": " << d.failure;
+    ASSERT_TRUE(d.payload_equal) << "failing seed=" << seed;
+    EXPECT_TRUE(d.disk.faulted);
+    EXPECT_TRUE(d.ibridge.faulted);
+    EXPECT_TRUE(d.ssd.faulted);
+  }
+}
+
+/// A healthy run's digests must not depend on the fault machinery existing:
+/// an empty schedule is byte-for-byte the old healthy pipeline.
+TEST(DifferentialFaults, EmptyScheduleIsExactlyHealthy) {
+  const FuzzCase c = generate_case(31337, fault_limits());
+  ASSERT_TRUE(c.faults.empty());
+  const DiffReport d = run_differential(c);
+  ASSERT_TRUE(d.ok()) << d.failure;
+  EXPECT_FALSE(d.ibridge.faulted);
+  EXPECT_EQ(d.ibridge.fault_digest, 0u);
 }
 
 }  // namespace

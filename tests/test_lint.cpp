@@ -66,6 +66,7 @@ const std::vector<FixtureCase>& cases() {
       {"iwyu.cc", "src/cluster/fixture_iwyu.cpp", "include-what-you-use"},
       {"raw_unit.cc", "src/core/fixture_raw.hpp", "raw-unit-type"},
       {"sim_callback.cc", "src/core/fixture_simcb.cpp", "sim-callback"},
+      {"ssd_fault.cc", "src/core/fixture_fault.cpp", "ssd-fault-hook"},
       {"suppression_no_reason.cc", "src/core/fixture_s1.hpp",
        "lint-annotation"},
       {"suppression_unknown.cc", "src/core/fixture_s2.hpp",

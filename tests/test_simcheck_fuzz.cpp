@@ -22,6 +22,7 @@
 #include "check/generator.hpp"
 #include "check/invariants.hpp"
 #include "core/cache.hpp"
+#include "fault/schedule.hpp"
 #include "fsim/filesystem.hpp"
 #include "sim/simulator.hpp"
 #include "storage/calibration.hpp"
@@ -171,6 +172,32 @@ TEST(SimCheckFuzz, ClusterLevelSubsetHoldsInvariants) {
     ASSERT_TRUE(oracle.ok())
         << "failing seed=" << seed << ": " << oracle.failures().front();
     EXPECT_GT(oracle.checks_run(), 0u);
+    EXPECT_EQ(r.requests, c.trace.size());
+  }
+}
+
+// The same cluster-level fleet with a fault schedule attached: GC pauses,
+// read-latency variability, and crash/restart cut through the same stack
+// while the oracle audits every cache step and recovery replay.
+TEST(SimCheckFuzz, ClusterLevelFaultedSubsetHoldsInvariants) {
+  const int iters = fuzz_iterations(200) / 25;  // scales with the env knob
+  for (int i = 0; i < std::max(6, iters); ++i) {
+    const std::uint64_t seed = 0xfa17c10cULL + static_cast<std::uint64_t>(i);
+    FuzzCase c = generate_case(seed);
+    const fault::Scenario scen = i % 3 == 0   ? fault::Scenario::kGcInterference
+                                 : i % 3 == 1 ? fault::Scenario::kCrashRestart
+                                              : fault::Scenario::kMixed;
+    c.faults = fault::make_scenario(scen, c.base.data_servers, seed,
+                                    sim::SimTime::millis(40));
+    ASSERT_FALSE(c.faults.empty());
+    cluster::Cluster cl(make_config(c, Policy::kIBridge));
+    InvariantOracle oracle;
+    const RunReport r = run_case(cl, c, Policy::kIBridge, &oracle);
+    ASSERT_TRUE(r.ok()) << "failing seed=" << seed << " scenario "
+                        << fault::to_string(scen) << ": " << r.failure;
+    ASSERT_TRUE(oracle.ok())
+        << "failing seed=" << seed << ": " << oracle.failures().front();
+    EXPECT_TRUE(r.faulted) << "seed=" << seed;
     EXPECT_EQ(r.requests, c.trace.size());
   }
 }

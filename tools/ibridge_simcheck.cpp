@@ -1,12 +1,20 @@
 // ibridge-simcheck — standalone SimCheck fuzz runner.
 //
 //   ibridge-simcheck [--iters N] [--seed S] [--jobs J] [--determinism]
+//                    [--faults healthy|gc|crash|mixed]
 //                    [--digests FILE] [--out FILE]
 //
 // Runs N generated cases (seeds S, S+1, ...) through the differential
 // checker (disk-only vs iBridge vs SSD-only on fresh clusters, with the
 // invariant oracle attached to the iBridge run).  With --determinism each
 // case is additionally executed twice to confirm bit-identical replay.
+//
+// --faults attaches a seed-derived fault schedule (fault::make_scenario) to
+// every case: GC pauses and read variability ("gc"), a data-server
+// crash/restart mid-write-back ("crash"), or both ("mixed").  The same
+// schedule hits all three policies, so payload equivalence — and, with
+// --digests, byte-identical replay including the fault digest — is enforced
+// under injected failures too.
 //
 // --jobs J fans the independent cases over an exp::Runner thread pool; each
 // job builds its own clusters, so the per-seed results — and the --digests
@@ -35,6 +43,8 @@
 #include "check/generator.hpp"
 #include "exp/cli.hpp"
 #include "exp/runner.hpp"
+#include "fault/schedule.hpp"
+#include "sim/time.hpp"
 #include "workloads/trace.hpp"
 
 using namespace ibridge;
@@ -45,8 +55,17 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ibridge-simcheck [--iters N] [--seed S] [--jobs J] "
-               "[--determinism] [--digests FILE] [--out FILE]\n");
+               "[--determinism] [--faults healthy|gc|crash|mixed] "
+               "[--digests FILE] [--out FILE]\n");
   return 2;
+}
+
+/// Derive and attach the per-case schedule (no-op for kHealthy, keeping
+/// healthy runs byte-identical to pre-fault builds).
+void apply_faults(FuzzCase& c, fault::Scenario scenario) {
+  if (scenario == fault::Scenario::kHealthy) return;
+  c.faults = fault::make_scenario(scenario, c.base.data_servers, c.seed,
+                                  sim::SimTime::millis(60));
 }
 
 /// Everything one fuzz iteration produces, committed in seed order.
@@ -63,6 +82,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed0 = 1;
   int jobs = 1;
   bool determinism = false;
+  fault::Scenario scenario = fault::Scenario::kHealthy;
   std::string out;
   std::string digests_path;
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +97,21 @@ int main(int argc, char** argv) {
           exp::require_int("ibridge-simcheck", "--jobs", argv[++i], 1, 256));
     } else if (std::strcmp(argv[i], "--determinism") == 0) {
       determinism = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "healthy") == 0) {
+        scenario = fault::Scenario::kHealthy;
+      } else if (std::strcmp(mode, "gc") == 0) {
+        scenario = fault::Scenario::kGcInterference;
+      } else if (std::strcmp(mode, "crash") == 0) {
+        scenario = fault::Scenario::kCrashRestart;
+      } else if (std::strcmp(mode, "mixed") == 0) {
+        scenario = fault::Scenario::kMixed;
+      } else {
+        std::fprintf(stderr, "ibridge-simcheck: unknown --faults mode '%s'\n",
+                     mode);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--digests") == 0 && i + 1 < argc) {
       digests_path = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -94,6 +129,7 @@ int main(int argc, char** argv) {
         CaseResult r;
         r.seed = seed0 + static_cast<std::uint64_t>(i);
         FuzzCase c = generate_case(r.seed);
+        apply_faults(c, scenario);
         r.d = run_differential(c);
         r.failure = r.d.failure;
         if (r.failure.empty() && determinism) {
@@ -113,18 +149,27 @@ int main(int argc, char** argv) {
       requests += r.d.ibridge.requests;
       worst_gap = std::max(worst_gap, r.d.max_rel_time_gap);
       if (!digests_path.empty()) {
-        char line[256];
-        std::snprintf(line, sizeof(line),
-                      "seed=%llu payload=%016llx image=%016llx "
-                      "stats.disk=%016llx stats.ibridge=%016llx "
-                      "stats.ssd=%016llx\n",
-                      static_cast<unsigned long long>(r.seed),
-                      static_cast<unsigned long long>(r.d.ibridge.payload_digest),
-                      static_cast<unsigned long long>(r.d.ibridge.image_digest),
-                      static_cast<unsigned long long>(r.d.disk.stats_digest),
-                      static_cast<unsigned long long>(r.d.ibridge.stats_digest),
-                      static_cast<unsigned long long>(r.d.ssd.stats_digest));
+        char line[320];
+        int n = std::snprintf(
+            line, sizeof(line),
+            "seed=%llu payload=%016llx image=%016llx "
+            "stats.disk=%016llx stats.ibridge=%016llx "
+            "stats.ssd=%016llx",
+            static_cast<unsigned long long>(r.seed),
+            static_cast<unsigned long long>(r.d.ibridge.payload_digest),
+            static_cast<unsigned long long>(r.d.ibridge.image_digest),
+            static_cast<unsigned long long>(r.d.disk.stats_digest),
+            static_cast<unsigned long long>(r.d.ibridge.stats_digest),
+            static_cast<unsigned long long>(r.d.ssd.stats_digest));
+        if (r.d.ibridge.faulted && n > 0 &&
+            static_cast<std::size_t>(n) < sizeof(line)) {
+          std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                        " fault=%016llx",
+                        static_cast<unsigned long long>(
+                            r.d.ibridge.fault_digest));
+        }
         digest_lines += line;
+        digest_lines += '\n';
       }
       if ((i + 1) % 10 == 0 || i + 1 == iters) {
         std::printf("[%d/%d] ok (last seed %llu)\n", i + 1, iters,
@@ -137,6 +182,7 @@ int main(int argc, char** argv) {
     std::printf("seed %llu FAILED: %s\n",
                 static_cast<unsigned long long>(r.seed), r.failure.c_str());
     FuzzCase c = generate_case(r.seed);
+    apply_faults(c, scenario);
     std::printf("shrinking (%zu records)...\n", c.trace.size());
     auto fails = [&](const workloads::Trace& t) {
       FuzzCase cand = c;
