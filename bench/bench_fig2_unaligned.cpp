@@ -6,6 +6,7 @@
 //  (c,d,e) blktrace request-size distributions for 64 KB aligned, 65 KB,
 //          and 64 KB + 10 KB offset.
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 
 using namespace ibridge;
 using namespace ibridge::bench;
@@ -40,6 +41,8 @@ void print_distribution(const stats::IntHistogram& h, const char* label) {
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
+  exp::Stopwatch sw;
+  exp::Gauge g("fig2_unaligned");
 
   banner("Figure 2(a)", "stock read throughput, Pattern II (request size)");
   {
@@ -48,8 +51,10 @@ int main(int argc, char** argv) {
     for (std::int64_t kb : {64, 65, 74, 84, 94}) {
       std::vector<std::string> row{std::to_string(kb) + " KB"};
       for (int procs : {16, 64, 128, 512}) {
-        row.push_back(stats::Table::fmt(
-            "%.1f", run(scale, procs, kb * 1024, 0).mbps()));
+        const double mbps = run(scale, procs, kb * 1024, 0).mbps();
+        row.push_back(stats::Table::fmt("%.1f", mbps));
+        g.set("p2." + std::to_string(kb) + "kb.p" + std::to_string(procs),
+              mbps);
       }
       t.add_row(row);
     }
@@ -70,8 +75,10 @@ int main(int argc, char** argv) {
       label += " KB";
       std::vector<std::string> row{std::move(label)};
       for (int procs : {16, 64, 128, 512}) {
-        row.push_back(stats::Table::fmt(
-            "%.1f", run(scale, procs, 64 * 1024, kb * 1024).mbps()));
+        const double mbps = run(scale, procs, 64 * 1024, kb * 1024).mbps();
+        row.push_back(stats::Table::fmt("%.1f", mbps));
+        g.set("p3.shift" + std::to_string(kb) + "kb.p" + std::to_string(procs),
+              mbps);
       }
       t.add_row(row);
     }
@@ -101,5 +108,10 @@ int main(int argc, char** argv) {
                 "(d) many small sizes; (e) 40 KB / 88 KB dominant\n");
   }
   footnote();
+
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_fig2_unaligned.json\n");
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 // access pattern: request sizes 33/64/65/129 KB, writes and reads, stock vs
 // iBridge.
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 
 using namespace ibridge;
 using namespace ibridge::bench;
@@ -25,13 +26,17 @@ double run_case(const Scale& scale, bool ibridge, bool write,
   return mbps_total(run_ior_mpi_io(c, cfg));
 }
 
-void table_for(const Scale& scale, bool write) {
+void table_for(const Scale& scale, bool write, exp::Gauge& g) {
   banner(write ? "Figure 8(a)" : "Figure 8(b)",
          write ? "ior-mpi-io writes" : "ior-mpi-io reads");
   stats::Table t({"req size", "stock", "iBridge", "improvement"});
   for (std::int64_t kb : {33, 64, 65, 129}) {
     const double stock = run_case(scale, false, write, kb * 1024);
     const double ib = run_case(scale, true, write, kb * 1024);
+    const std::string stem =
+        std::string(write ? "write." : "read.") + std::to_string(kb) + "kb";
+    g.set(stem + ".stock", stock);
+    g.set(stem + ".ibridge", ib);
     t.add_row({std::to_string(kb) + " KB", stats::Table::fmt("%.1f", stock),
                stats::Table::fmt("%.1f", ib),
                stats::Table::fmt("%+.0f%%", 100.0 * (ib / stock - 1.0))});
@@ -43,11 +48,18 @@ void table_for(const Scale& scale, bool write) {
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
-  table_for(scale, /*write=*/true);
-  table_for(scale, /*write=*/false);
+  exp::Stopwatch sw;
+  exp::Gauge g("fig8_ior");
+  table_for(scale, /*write=*/true, g);
+  table_for(scale, /*write=*/false, g);
   std::printf("  paper: average improvement 169%% for writes, 48%% for "
               "reads; 64 KB aligned unchanged;\n  even 129 KB (4%% SSD "
               "share) gains 60%%/35%%\n");
   footnote();
+
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_fig8_ior.json\n");
+  }
   return 0;
 }

@@ -127,6 +127,7 @@ void MappingTable::touch(EntryId id) {
   list_push_back(kLruChain, lru, s);
 }
 
+// lint: no-alloc
 void MappingTable::coverage_into(fsim::FileId file, Offset off, Bytes len,
                                  std::vector<LogSlice>& out) const {
   out.clear();
@@ -146,6 +147,7 @@ void MappingTable::coverage_into(fsim::FileId file, Offset off, Bytes len,
       return;
     }
     const Bytes take = std::min(end, e.file_end()) - pos;
+    // lint: alloc-ok (pooled lease: serve passes slice_pool_ vectors whose capacity survives release/acquire)
     out.push_back({it->second, pos, e.log_off + (pos - e.file_off), take});
     pos += take;
     if (pos >= end) break;
@@ -157,6 +159,7 @@ void MappingTable::coverage_into(fsim::FileId file, Offset off, Bytes len,
   }
 }
 
+// lint: no-alloc
 void MappingTable::overlapping_into(fsim::FileId file, Offset off, Bytes len,
                                     std::vector<EntryId>& out) const {
   out.clear();
@@ -167,12 +170,14 @@ void MappingTable::overlapping_into(fsim::FileId file, Offset off, Bytes len,
     auto prev = std::prev(it);
     if (prev->first.first == file) {
       const CacheEntry& e = slab_[slot_of(prev->second)].entry;
+      // lint: alloc-ok (pooled lease: id_pool_ vectors keep their capacity across serves)
       if (e.file_end() > off) out.push_back(prev->second);
     }
   }
   for (; it != by_file_.end() && it->first.first == file &&
          it->first.second < end;
        ++it) {
+    // lint: alloc-ok (pooled lease: id_pool_ vectors keep their capacity across serves)
     out.push_back(it->second);
   }
 }
@@ -235,6 +240,7 @@ EntryId MappingTable::lru_victim(CacheClass c) const {
   return lru.head == kNil ? kNoEntry : slab_[lru.head].id;
 }
 
+// lint: no-alloc
 void MappingTable::dirty_entries_into(Bytes max_bytes,
                                       std::vector<EntryId>& out) const {
   out.clear();
@@ -246,6 +252,7 @@ void MappingTable::dirty_entries_into(Bytes max_bytes,
   for (int c = 0; c < kNumClasses; ++c) {
     for (std::uint32_t s = dirty_[c].head; s != kNil;
          s = slab_[s].link[kDirtyChain].next) {
+      // lint: alloc-ok (member scratch: capacity reaches dirty-entry high-water mark once, then stays)
       dirty_scratch_.push_back(s);
     }
   }
@@ -260,6 +267,7 @@ void MappingTable::dirty_entries_into(Bytes max_bytes,
   for (std::uint32_t s : dirty_scratch_) {
     const CacheEntry& e = slab_[s].entry;
     if (budget - e.length < Bytes::zero() && !out.empty()) return;
+    // lint: alloc-ok (pooled lease: id_pool_ vectors keep their capacity across serves)
     out.push_back(slab_[s].id);
     budget -= e.length;
     if (budget <= Bytes::zero()) return;
@@ -272,6 +280,7 @@ std::vector<EntryId> MappingTable::dirty_entries(Bytes max_bytes) const {
   return out;
 }
 
+// lint: no-alloc
 void MappingTable::entries_in_log_range_into(Offset log_begin, Offset log_end,
                                              std::vector<EntryId>& out) const {
   out.clear();
@@ -279,9 +288,11 @@ void MappingTable::entries_in_log_range_into(Offset log_begin, Offset log_end,
   if (it != by_log_.begin()) {
     auto prev = std::prev(it);
     const CacheEntry& e = slab_[slot_of(prev->second)].entry;
+    // lint: alloc-ok (pooled lease: id_pool_ vectors keep their capacity across serves)
     if (e.log_off + e.length > log_begin) out.push_back(prev->second);
   }
   for (; it != by_log_.end() && it->first < log_end; ++it)
+    // lint: alloc-ok (pooled lease: id_pool_ vectors keep their capacity across serves)
     out.push_back(it->second);
 }
 

@@ -1,0 +1,213 @@
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/graph.hpp"
+
+namespace ibridge::lint {
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Method names so ubiquitous across std containers and utility types that
+/// a member call to one of them is assumed external.  Resolving `out.clear()`
+/// to every project `clear` would drown the call graph in false edges.
+/// (Growth methods — push_back etc. — never get here: the indexer records
+/// them as allocation sites instead of call sites.)
+const std::set<std::string>& common_method_names() {
+  static const std::set<std::string> kCommon = {
+      "clear",       "size",     "empty",     "begin",    "end",
+      "rbegin",      "rend",     "cbegin",    "cend",     "front",
+      "back",        "data",     "at",        "find",     "count",
+      "contains",    "erase",    "pop_back",  "pop_front","swap",
+      "lower_bound", "upper_bound", "equal_range",        "get",
+      "release",     "value",    "has_value", "value_or", "load",
+      "store",       "exchange", "fetch_add", "fetch_sub","c_str",
+      "substr",      "length",   "compare",   "top",      "pop",
+      "str",         "good",     "fail",      "eof",      "is_open",
+      "rdbuf",       "first",    "second",    "lock",     "unlock",
+      "try_lock",    "wait",     "notify_one","notify_all"};
+  return kCommon;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> include_cycles(const Index& idx) {
+  std::vector<std::vector<std::string>> out;
+  std::set<std::string> reported;  // canonical "a -> b -> a" keys
+
+  // Iterative DFS with an explicit color map; the include graph is small.
+  enum class Color { kWhite, kGrey, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<std::string> stack;
+
+  // Recursive lambda via explicit worklist is awkward for path recovery;
+  // plain recursion bounded by file count is fine here.
+  struct Dfs {
+    const Index& idx;
+    std::map<std::string, Color>& color;
+    std::vector<std::string>& stack;
+    std::set<std::string>& reported;
+    std::vector<std::vector<std::string>>& out;
+
+    void visit(const std::string& file) {
+      color[file] = Color::kGrey;
+      stack.push_back(file);
+      const auto it = idx.includes.find(file);
+      if (it != idx.includes.end()) {
+        for (const std::string& next : it->second) {
+          const Color c =
+              color.count(next) != 0 ? color[next] : Color::kWhite;
+          if (c == Color::kGrey) {
+            record(next);
+          } else if (c == Color::kWhite) {
+            visit(next);
+          }
+        }
+      }
+      stack.pop_back();
+      color[file] = Color::kBlack;
+    }
+
+    void record(const std::string& entry) {
+      const auto begin =
+          std::find(stack.begin(), stack.end(), entry);
+      std::vector<std::string> cycle(begin, stack.end());
+      // Canonicalize: rotate so the smallest member leads.
+      const auto min = std::min_element(cycle.begin(), cycle.end());
+      std::rotate(cycle.begin(), min, cycle.end());
+      std::string key;
+      for (const std::string& f : cycle) key += f + " -> ";
+      if (reported.insert(key).second) out.push_back(std::move(cycle));
+    }
+  };
+
+  Dfs dfs{idx, color, stack, reported, out};
+  for (const std::string& file : idx.files) {
+    const Color c = color.count(file) != 0 ? color[file] : Color::kWhite;
+    if (c == Color::kWhite) dfs.visit(file);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CallGraph resolve_calls(const Index& idx) {
+  std::map<std::string, std::vector<int>> by_name;
+  for (std::size_t i = 0; i < idx.functions.size(); ++i) {
+    by_name[idx.functions[i].name].push_back(static_cast<int>(i));
+  }
+
+  CallGraph g;
+  g.targets.resize(idx.calls.size());
+  g.edges.resize(idx.functions.size());
+
+  for (std::size_t k = 0; k < idx.calls.size(); ++k) {
+    const CallSite& c = idx.calls[k];
+    if (c.caller < 0 ||
+        static_cast<std::size_t>(c.caller) >= idx.functions.size()) {
+      continue;
+    }
+    const auto named = by_name.find(c.callee);
+    if (named == by_name.end()) continue;  // external or unresolvable
+    std::vector<int>& out = g.targets[k];
+
+    if (!c.qual.empty()) {
+      if (c.qual == "std" || starts_with(c.qual, "std::")) continue;
+      for (int i : named->second) {
+        const FunctionSym& fn = idx.functions[i];
+        if (fn.scope == c.qual || ends_with(fn.scope, "::" + c.qual)) {
+          out.push_back(i);
+        }
+      }
+    } else if (c.member) {
+      if (common_method_names().count(c.callee) != 0) continue;
+      for (int i : named->second) {
+        if (idx.functions[i].in_class) out.push_back(i);
+      }
+    } else {
+      // Plain call: prefer the enclosing class's own methods.
+      const std::string& scope = idx.functions[c.caller].scope;
+      for (int i : named->second) {
+        if (!scope.empty() && idx.functions[i].scope == scope) {
+          out.push_back(i);
+        }
+      }
+      if (out.empty()) out = named->second;
+    }
+    // A call never targets its own definition for propagation purposes
+    // (recursion adds nothing to may-allocate).
+    out.erase(std::remove(out.begin(), out.end(), c.caller), out.end());
+    for (int i : out) g.edges[c.caller].push_back(i);
+  }
+
+  for (auto& e : g.edges) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+  }
+  return g;
+}
+
+std::vector<AllocFact> compute_alloc_facts(const Index& idx,
+                                           const CallGraph& graph) {
+  std::vector<AllocFact> facts(idx.functions.size());
+
+  // Base: direct allocation sites (no-alloc functions excluded — their
+  // bodies are enforced by the rule, so the annotation is trusted here).
+  for (const AllocSite& a : idx.allocs) {
+    if (a.caller < 0 ||
+        static_cast<std::size_t>(a.caller) >= idx.functions.size()) {
+      continue;
+    }
+    const FunctionSym& fn = idx.functions[a.caller];
+    if (fn.no_alloc) continue;
+    AllocFact& f = facts[a.caller];
+    if (!f.may_allocate) {
+      f.may_allocate = true;
+      f.witness = "'" + a.what + "' at " + fn.file + ":" +
+                  std::to_string(a.line);
+    }
+  }
+
+  // Propagate caller <- callee until fixed.  Deterministic: call sites are
+  // visited in index order every round.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t k = 0; k < idx.calls.size(); ++k) {
+      const CallSite& c = idx.calls[k];
+      if (c.caller < 0 ||
+          static_cast<std::size_t>(c.caller) >= idx.functions.size()) {
+        continue;
+      }
+      if (facts[c.caller].may_allocate) continue;
+      if (idx.functions[c.caller].no_alloc) continue;  // checked by the rule
+      for (int tgt : graph.targets[k]) {
+        const FunctionSym& callee = idx.functions[tgt];
+        if (callee.no_alloc || !facts[tgt].may_allocate) continue;
+        AllocFact& f = facts[c.caller];
+        f.may_allocate = true;
+        f.witness = "calls " + callee.qualified() + " (" +
+                    idx.functions[c.caller].file + ":" +
+                    std::to_string(c.line) + "), which allocates: " +
+                    facts[tgt].witness;
+        if (f.witness.size() > 240) {
+          f.witness = f.witness.substr(0, 237) + "...";
+        }
+        changed = true;
+        break;
+      }
+    }
+  }
+  return facts;
+}
+
+}  // namespace ibridge::lint

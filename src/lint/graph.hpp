@@ -1,0 +1,54 @@
+// Graphs over the symbol index: the project #include graph (cycle
+// detection) and the resolved call graph with the may-allocate fixpoint
+// that powers the static no-alloc zones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/index.hpp"
+
+namespace ibridge::lint {
+
+/// Cycles in the project include graph.  Each cycle is reported once, as
+/// the file list along the cycle starting from its lexicographically
+/// smallest member (so output is deterministic and duplicates collapse).
+std::vector<std::vector<std::string>> include_cycles(const Index& idx);
+
+/// The resolved call graph.  `targets[k]` lists the indices (into
+/// Index::functions) a call site `idx.calls[k]` may reach; empty when the
+/// callee is external (std::, libc, container methods) or unresolvable.
+/// `edges[i]` is the union of targets over function i's call sites.
+struct CallGraph {
+  std::vector<std::vector<int>> targets;  ///< parallel to idx.calls
+  std::vector<std::vector<int>> edges;    ///< parallel to idx.functions
+};
+
+/// Resolves call sites against the function table.  Name-based, with three
+/// shapes:
+///   * qualified (`Foo::bar(...)`)  — functions whose scope is or ends in
+///     the qualifier; `std::...` is skipped outright;
+///   * member (`x.f(...)`, `p->f(...)`) — any project *method* of that
+///     name, except a skip-list of ubiquitous container/utility method
+///     names (size, clear, find, ...) that would otherwise alias;
+///   * plain (`f(...)`) — methods of the caller's own class first, then
+///     any project function of that name.
+/// Over-approximate by construction: a false edge costs an audited
+/// `alloc-ok` escape, a missed edge would cost silent unsoundness.
+CallGraph resolve_calls(const Index& idx);
+
+/// Why a function may allocate.
+struct AllocFact {
+  bool may_allocate = false;
+  std::string witness;  ///< e.g. "new at src/x.cpp:42" or a call chain
+};
+
+/// Fixpoint over the call graph: a function may allocate if its body has a
+/// direct allocation site, or if it calls a may-allocate function.
+/// Functions annotated `// lint: no-alloc` are treated as non-allocating
+/// when propagating — their own bodies are enforced separately by the
+/// no-alloc rule, so the annotation is a checked promise, not a blind one.
+std::vector<AllocFact> compute_alloc_facts(const Index& idx,
+                                           const CallGraph& graph);
+
+}  // namespace ibridge::lint

@@ -79,7 +79,10 @@ SourceFile lex_source(std::string rel, const std::string& text);
 std::vector<Diagnostic> lint_corpus(const std::vector<SourceFile>& files);
 
 /// Walks root/{src,tests,bench,tools,examples} for .hpp/.cpp files (skipping
-/// lint fixtures) and lints them as one corpus.
+/// lint fixtures) and lexes them into a corpus, sorted by rel path.
+std::vector<SourceFile> load_tree(const std::string& root);
+
+/// load_tree + lint_corpus.
 std::vector<Diagnostic> lint_tree(const std::string& root);
 
 /// The rule registry, for --list-rules and the fixture tests.

@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "lint/index.hpp"
 #include "lint/lint.hpp"
+#include "lint/semantic.hpp"
 
 namespace ibridge::lint {
 namespace {
@@ -66,8 +68,18 @@ const std::map<std::string, std::string>& suppression_keys() {
       {"rng-ok", "rng-construction"},
       {"wall-clock-ok", "wall-clock"},
       {"callback-ok", "sim-callback"},
+      {"alloc-ok", "no-alloc"},
   };
   return kKeys;
+}
+
+/// Marker keys owned by the semantic pass (index.hpp annotations).  They
+/// are not suppressions of a same-line diagnostic, so the generic audit
+/// below skips them; semantic.cpp audits attachment and reasons instead.
+const std::set<std::string>& marker_keys() {
+  static const std::set<std::string> kMarkers = {"no-alloc", "shard-owned",
+                                                 "shared-ok"};
+  return kMarkers;
 }
 
 bool starts_with(const std::string& s, const std::string& prefix) {
@@ -545,6 +557,7 @@ std::vector<Suppression> parse_suppressions(const SourceFile& f) {
             c.text[p] == '-')) {
       key += c.text[p++];
     }
+    if (marker_keys().count(key) != 0) continue;  // semantic.cpp audits these
     std::string reason;
     const auto open = c.text.find('(', p);
     const auto close = c.text.rfind(')');
@@ -580,6 +593,11 @@ const std::vector<RuleInfo>& rules() {
       {"sim-callback", "event callbacks use sim::InlineEvent, not std::function"},
       {"ssd-fault-hook", "SSD fault hooks are installed only by src/fault/"},
       {"lint-annotation", "suppressions need a known key and a reason"},
+      {"shared-global", "no unannotated mutable globals or class statics"},
+      {"static-local", "no unannotated static/thread_local function state"},
+      {"shard-ownership", "shard-owned state names its owner; only it writes"},
+      {"no-alloc", "no allocation inside `no-alloc` annotated functions"},
+      {"include-cycle", "the project include graph stays acyclic"},
   };
   return kRules;
 }
@@ -595,9 +613,11 @@ std::vector<Diagnostic> lint_corpus(const std::vector<SourceFile>& files) {
     ctx.unordered_names.insert(names.begin(), names.end());
   }
 
-  Diags all;
+  // Per-file token rules first, pooled by file so the cross-file semantic
+  // diagnostics can join them before suppression filtering.
+  std::map<std::string, Diags> raw_by_file;
   for (const SourceFile& f : files) {
-    Diags raw;
+    Diags& raw = raw_by_file[f.rel];
     check_wall_clock(f, raw);
     check_rand(f, raw);
     check_rng_construction(f, raw);
@@ -610,7 +630,23 @@ std::vector<Diagnostic> lint_corpus(const std::vector<SourceFile>& files) {
     check_raw_unit_type(f, raw);
     check_sim_callback(f, raw);
     check_ssd_fault_hook(f, raw);
+  }
 
+  // The semantic pass: symbol index + include/call graphs, shared-state and
+  // no-alloc analysis.  Its findings are suppressed (alloc-ok) and audited
+  // through the same per-file machinery as everything else.
+  {
+    const Index idx = build_index(files);
+    Diags semantic;
+    run_semantic_pass(files, idx, semantic);
+    for (Diagnostic& d : semantic) {
+      raw_by_file[d.file].push_back(std::move(d));
+    }
+  }
+
+  Diags all;
+  for (const SourceFile& f : files) {
+    Diags& raw = raw_by_file[f.rel];
     auto sups = parse_suppressions(f);
     for (Diagnostic& d : raw) {
       bool suppressed = false;
@@ -648,7 +684,7 @@ std::vector<Diagnostic> lint_corpus(const std::vector<SourceFile>& files) {
   return all;
 }
 
-std::vector<Diagnostic> lint_tree(const std::string& root) {
+std::vector<SourceFile> load_tree(const std::string& root) {
   namespace fs = std::filesystem;
   std::vector<SourceFile> files;
   for (const char* top : {"src", "tests", "bench", "tools", "examples"}) {
@@ -672,7 +708,11 @@ std::vector<Diagnostic> lint_tree(const std::string& root) {
             [](const SourceFile& a, const SourceFile& b) {
               return a.rel < b.rel;
             });
-  return lint_corpus(files);
+  return files;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root) {
+  return lint_corpus(load_tree(root));
 }
 
 }  // namespace ibridge::lint

@@ -142,6 +142,7 @@ class PoolAllocator {
 /// allocated it, and must be freed before that thread exits — which the
 /// structured Task/TaskGroup/JoinSet ownership discipline guarantees.
 inline ChunkPool& frame_pool() {
+  // lint: shared-ok (one pool per exp::Runner worker thread by design; a frame is always freed on its allocating thread)
   thread_local ChunkPool pool;
   return pool;
 }

@@ -80,6 +80,7 @@ class Simulator {
   void defer(Callback fn) { schedule_at(now_, std::move(fn)); }
 
   /// Run a single event.  Returns false when the queue is empty.
+  // lint: no-alloc
   bool step() {
     if (heap_.empty()) return false;
     const Node top = heap_[0];
@@ -95,6 +96,7 @@ class Simulator {
     // Move the callable out before invoking: the callback is free to
     // schedule new events, which may reuse this slot immediately.
     Callback fn = std::move(slots_[top.slot]);
+    // lint: alloc-ok (LIFO free list is bounded by slots_.size(), whose capacity schedule_at/reserve() already paid for)
     free_.push_back(top.slot);
     fn();
     ++executed_;

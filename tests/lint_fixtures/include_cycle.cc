@@ -1,0 +1,9 @@
+// Fixture: a file on a project include cycle (here the degenerate
+// self-include) must trip the include-cycle rule (once).
+#include "core/fixture_cycle.hpp"
+
+namespace fixture {
+
+inline int depth() { return 1; }
+
+}  // namespace fixture

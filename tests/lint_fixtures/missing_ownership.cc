@@ -1,0 +1,11 @@
+// Fixture: a shard-owned annotation that names no owner module must trip
+// the shard-ownership rule (once).  The annotation silences shared-global,
+// but an empty owner defeats the point of declaring one.
+namespace fixture {
+
+// lint: shard-owned ()
+inline int g_ticks = 0;
+
+inline void tick() { g_ticks = g_ticks + 1; }
+
+}  // namespace fixture

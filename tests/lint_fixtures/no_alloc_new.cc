@@ -1,0 +1,10 @@
+// Fixture: a direct `new` inside a `lint:`-style no-alloc function must
+// trip the no-alloc rule (once).
+namespace fixture {
+
+// lint: no-alloc
+inline int* grab() {
+  return new int(7);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: a no-alloc function calling a helper that allocates must trip
+// the no-alloc rule (once) at the call site — the call graph carries the
+// may-allocate fact, not just the direct body scan.
+namespace fixture {
+
+inline int* fresh_cell() {
+  return new int(7);
+}
+
+// lint: no-alloc
+inline int* grab() {
+  return fresh_cell();
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: mutable function-local static state must trip the static-local
+// rule (once).  A per-process counter silently couples every Simulator
+// instance in the process.
+namespace fixture {
+
+inline int next_id() {
+  static int counter = 0;
+  return ++counter;
+}
+
+}  // namespace fixture

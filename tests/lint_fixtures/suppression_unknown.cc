@@ -2,6 +2,6 @@
 // audit (once).
 namespace fixture {
 
-inline int x = 0;  // lint: frobnicate-ok (no such rule)
+inline const int x = 0;  // lint: frobnicate-ok (no such rule)
 
 }  // namespace fixture

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "lint/graph.hpp"
+#include "lint/index.hpp"
 #include "lint/lint.hpp"
 
 namespace ibridge::lint {
@@ -73,6 +75,12 @@ const std::vector<FixtureCase>& cases() {
        "lint-annotation"},
       {"suppression_unused.cc", "src/core/fixture_s3.hpp",
        "lint-annotation"},
+      {"shared_global.cc", "src/core/fixture_sg.cpp", "shared-global"},
+      {"static_local.cc", "src/core/fixture_sl.cpp", "static-local"},
+      {"no_alloc_new.cc", "src/core/fixture_na1.cpp", "no-alloc"},
+      {"no_alloc_transitive.cc", "src/core/fixture_na2.cpp", "no-alloc"},
+      {"missing_ownership.cc", "src/core/fixture_own.cpp", "shard-ownership"},
+      {"include_cycle.cc", "src/core/fixture_cycle.hpp", "include-cycle"},
   };
   return kCases;
 }
@@ -127,6 +135,128 @@ TEST(LintLexer, TracksLinesStringsAndIncludes) {
 TEST(LintTree, RepositoryIsClean) {
   const auto diags = lint_tree(IBRIDGE_SOURCE_ROOT);
   EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+// ------------------------------------------------------- semantic layer ----
+
+TEST(LintIndex, BuildsSymbolsAndAttachesAnnotations) {
+  std::vector<SourceFile> fs;
+  fs.push_back(lex_source("src/core/sample.hpp",
+                          "namespace ibridge::core {\n"
+                          "class Gadget {\n"
+                          " public:\n"
+                          "  // lint: no-alloc\n"
+                          "  int fast_path() { return helper(); }\n"
+                          "  int helper();\n"
+                          "  static int s_uses;\n"
+                          "};\n"
+                          "// lint: shared-ok (test tuning knob)\n"
+                          "inline int g_tuning = 4;\n"
+                          "thread_local int g_scratch = 0;\n"
+                          "}  // namespace\n"));
+  const auto idx = build_index(fs);
+
+  ASSERT_EQ(idx.classes.size(), 1u);
+  EXPECT_EQ(idx.classes[0], "ibridge::core::Gadget");
+
+  // Only the definition is indexed; helper() is a mere declaration.
+  ASSERT_EQ(idx.functions.size(), 1u);
+  EXPECT_EQ(idx.functions[0].qualified(), "ibridge::core::Gadget::fast_path");
+  EXPECT_EQ(idx.functions[0].line, 5);
+  EXPECT_TRUE(idx.functions[0].in_class);
+  EXPECT_TRUE(idx.functions[0].no_alloc);  // attached from the line above
+
+  ASSERT_EQ(idx.vars.size(), 3u);
+  EXPECT_EQ(idx.vars[0].name, "s_uses");
+  EXPECT_EQ(idx.vars[0].kind, VarKind::kClassStatic);
+  EXPECT_EQ(idx.vars[1].name, "g_tuning");
+  EXPECT_EQ(idx.vars[1].kind, VarKind::kGlobal);
+  EXPECT_TRUE(idx.vars[1].shared_ok);
+  EXPECT_EQ(idx.vars[2].name, "g_scratch");
+  EXPECT_EQ(idx.vars[2].kind, VarKind::kThreadLocal);
+
+  // The unqualified helper() call inside fast_path was recorded.
+  ASSERT_EQ(idx.calls.size(), 1u);
+  EXPECT_EQ(idx.calls[0].callee, "helper");
+  EXPECT_EQ(idx.calls[0].caller, 0);
+}
+
+TEST(LintGraph, ResolvesCallEdgesAndPropagatesMayAllocate) {
+  std::vector<SourceFile> fs;
+  fs.push_back(lex_source("src/core/chain.cpp",
+                          "namespace ibridge::core {\n"
+                          "inline int* leaf() { return new int(1); }\n"
+                          "inline int* mid() { return leaf(); }\n"
+                          "inline int* top() { return mid(); }\n"
+                          "inline int safe() { return 0; }\n"
+                          "}  // namespace\n"));
+  const auto idx = build_index(fs);
+  ASSERT_EQ(idx.functions.size(), 4u);
+  const auto find = [&](const std::string& name) {
+    for (std::size_t i = 0; i < idx.functions.size(); ++i) {
+      if (idx.functions[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  const int leaf = find("leaf");
+  const int mid = find("mid");
+  const int top = find("top");
+  const int safe = find("safe");
+
+  const CallGraph graph = resolve_calls(idx);
+  ASSERT_EQ(graph.edges.size(), idx.functions.size());
+  EXPECT_EQ(graph.edges[static_cast<std::size_t>(mid)],
+            std::vector<int>{leaf});
+  EXPECT_EQ(graph.edges[static_cast<std::size_t>(top)],
+            std::vector<int>{mid});
+  EXPECT_TRUE(graph.edges[static_cast<std::size_t>(leaf)].empty());
+
+  const auto facts = compute_alloc_facts(idx, graph);
+  EXPECT_TRUE(facts[static_cast<std::size_t>(leaf)].may_allocate);
+  EXPECT_TRUE(facts[static_cast<std::size_t>(mid)].may_allocate);
+  EXPECT_TRUE(facts[static_cast<std::size_t>(top)].may_allocate);
+  EXPECT_FALSE(facts[static_cast<std::size_t>(safe)].may_allocate);
+  // The witness names the root cause, through the chain.
+  EXPECT_NE(facts[static_cast<std::size_t>(top)].witness.find("'new'"),
+            std::string::npos);
+}
+
+TEST(LintSemantic, FlagsCrossModuleWriteToShardOwnedState) {
+  std::vector<SourceFile> fs;
+  fs.push_back(lex_source("src/core/owned.hpp",
+                          "namespace ibridge::core {\n"
+                          "// lint: shard-owned (core)\n"
+                          "inline int g_shard_epoch = 0;\n"
+                          "inline void advance() { g_shard_epoch = 1; }\n"
+                          "}  // namespace\n"));
+  fs.push_back(lex_source("src/sim/meddler.cpp",
+                          "namespace ibridge::sim {\n"
+                          "inline void meddle() { g_shard_epoch = 2; }\n"
+                          "}  // namespace\n"));
+  const auto diags = lint_corpus(fs);
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_EQ(diags[0].rule, "shard-ownership");
+  EXPECT_EQ(diags[0].file, "src/sim/meddler.cpp");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintIndex, CacheRoundTripIsByteIdenticalAndDeterministic) {
+  const auto files = load_tree(IBRIDGE_SOURCE_ROOT);
+  const auto idx = build_index(files);
+  const std::string text = serialize_index(idx);
+  EXPECT_EQ(text.compare(0, 22, "ibridge-lint-index-v1\n"), 0);
+
+  const auto back = parse_index(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(serialize_index(*back), text);
+
+  // Rebuilding from the same corpus is byte-identical (the CI index-cache
+  // artifact relies on this).
+  EXPECT_EQ(serialize_index(build_index(files)), text);
+
+  // A corrupted cache is rejected, not half-parsed.
+  EXPECT_FALSE(parse_index("ibridge-lint-index-v2\n").has_value());
+  EXPECT_FALSE(parse_index(text + "garbage record\n").has_value());
 }
 
 }  // namespace

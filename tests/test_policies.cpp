@@ -121,7 +121,11 @@ struct RmwFixture : ::testing::Test {
   fsim::LocalFileSystem fs{sim, disk, fsim::DataMode::kTimingOnly};
 
   std::uint64_t reads_issued(std::int64_t off, std::int64_t len) {
-    const auto id = fs.create("f" + std::to_string(off), 16 << 20);
+    // Built stepwise: the one-expression "f" + to_string(off) form trips
+    // GCC 12's -Werror=restrict false positive at -O3.
+    std::string name = "f";
+    name += std::to_string(off);
+    const auto id = fs.create(name, 16 << 20);
     const std::int64_t before = disk.trace().requests();
     const std::int64_t rbytes_before = disk.bytes_read();
     bool done = false;

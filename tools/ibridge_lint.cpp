@@ -1,37 +1,179 @@
 // ibridge-lint — the project's static analyzer.
 //
-//   ibridge-lint <repo-root>     lint the whole tree (the ctest -L lint job)
-//   ibridge-lint --list-rules    print the rule registry
+//   ibridge-lint [--project] <repo-root>   lint the whole tree (token rules
+//                                          + the cross-file semantic pass)
+//   ibridge-lint --list-rules              print the rule registry
+//   ibridge-lint --audit-suppressions <repo-root>
+//                                          list every `lint:` annotation with
+//                                          file/line/reason; exit 1 on any
+//                                          reason-less suppression
+//   --index-cache FILE                     write the symbol index
+//                                          ("ibridge-lint-index-v1") to FILE;
+//                                          if FILE already exists, verify the
+//                                          fresh index round-trips identically
+//   --json                                 machine-readable findings, one
+//                                          JSON object per line
 //
 // Exit status is the number of diagnostics, clamped to 125, so any finding
 // fails the build.  See docs/LINT.md for the rules and escape hatches.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "lint/index.hpp"
 #include "lint/lint.hpp"
 
-int main(int argc, char** argv) {
-  const std::string arg = argc > 1 ? argv[1] : ".";
-  if (arg == "--list-rules") {
-    for (const auto& r : ibridge::lint::rules()) {
-      std::printf("%-22s %s\n", r.id.c_str(), r.summary.c_str());
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
     }
-    return 0;
+    out += c;
   }
-  if (arg == "--help" || arg == "-h") {
-    std::printf("usage: ibridge-lint [<repo-root>|--list-rules]\n");
-    return 0;
+  return out;
+}
+
+int run_audit(const std::string& root) {
+  const auto files = ibridge::lint::load_tree(root);
+  int missing = 0;
+  int total = 0;
+  for (const auto& f : files) {
+    for (const auto& a : ibridge::lint::parse_annotations(f)) {
+      ++total;
+      // no-alloc is a bare marker; every other key carries a mandatory
+      // payload — a reason for suppressions/shared-ok, the owner module
+      // for shard-owned.
+      const bool needs_payload = a.key != "no-alloc";
+      const bool blank =
+          a.payload.find_first_not_of(" \t") == std::string::npos;
+      const bool bad = needs_payload && blank;
+      std::printf("%s:%d: %-24s %s%s\n", f.rel.c_str(), a.line,
+                  a.key.c_str(), a.payload.empty() ? "-" : a.payload.c_str(),
+                  bad ? "   <-- missing reason" : "");
+      if (bad) ++missing;
+    }
   }
-  const auto diags = ibridge::lint::lint_tree(arg);
+  std::printf("ibridge-lint: %d annotation(s), %d missing a reason\n", total,
+              missing);
+  return missing == 0 ? 0 : 1;
+}
+
+/// Writes the serialized index to `path`.  When the file already exists,
+/// first checks that the fresh serialization matches (the determinism
+/// contract CI relies on for the cached artifact).
+int write_index_cache(const std::string& path, const std::string& fresh) {
+  std::ifstream existing(path);
+  if (existing.good()) {
+    std::ostringstream old;
+    old << existing.rdbuf();
+    if (old.str() == fresh) {
+      std::printf("ibridge-lint: index cache up to date (%s)\n", path.c_str());
+      return 0;
+    }
+    std::printf("ibridge-lint: index cache refreshed (%s)\n", path.c_str());
+  }
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::fprintf(stderr, "ibridge-lint: cannot write index cache %s\n",
+                 path.c_str());
+    return 1;
+  }
+  out << fresh;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string index_cache;
+  bool json = false;
+  bool audit = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : ibridge::lint::rules()) {
+        std::printf("%-22s %s\n", r.id.c_str(), r.summary.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: ibridge-lint [--project] [--json] [--index-cache FILE] "
+          "[--audit-suppressions] [<repo-root>]\n"
+          "       ibridge-lint --list-rules\n");
+      return 0;
+    }
+    if (arg == "--project") continue;  // tree mode is already project-wide
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--audit-suppressions") {
+      audit = true;
+      continue;
+    }
+    if (arg == "--index-cache") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ibridge-lint: --index-cache needs a path\n");
+        return 2;
+      }
+      index_cache = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ibridge-lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+    root = arg;
+  }
+  if (root.empty()) root = ".";
+
+  if (audit) return run_audit(root);
+
+  const auto files = ibridge::lint::load_tree(root);
+  if (!index_cache.empty()) {
+    const auto idx = ibridge::lint::build_index(files);
+    const std::string fresh = ibridge::lint::serialize_index(idx);
+    // A cache that fails to parse back would poison later consumers; check
+    // the round trip before publishing it.
+    const auto back = ibridge::lint::parse_index(fresh);
+    if (!back || ibridge::lint::serialize_index(*back) != fresh) {
+      std::fprintf(stderr,
+                   "ibridge-lint: index serialization does not round-trip\n");
+      return 2;
+    }
+    const int rc = write_index_cache(index_cache, fresh);
+    if (rc != 0) return rc;
+  }
+
+  const auto diags = ibridge::lint::lint_corpus(files);
   for (const auto& d : diags) {
-    std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
-                d.message.c_str());
+    if (json) {
+      std::printf(
+          "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"message\":\"%s\"}\n",
+          json_escape(d.file).c_str(), d.line, json_escape(d.rule).c_str(),
+          json_escape(d.message).c_str());
+    } else {
+      std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                  d.message.c_str());
+    }
   }
   if (diags.empty()) {
-    std::printf("ibridge-lint: clean\n");
+    if (!json) std::printf("ibridge-lint: clean\n");
     return 0;
   }
-  std::printf("ibridge-lint: %zu diagnostic(s)\n", diags.size());
+  if (!json) {
+    std::printf("ibridge-lint: %zu diagnostic(s)\n", diags.size());
+  }
   return static_cast<int>(std::min<std::size_t>(diags.size(), 125));
 }
