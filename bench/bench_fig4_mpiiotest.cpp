@@ -10,6 +10,7 @@
 // same program ("the data access patterns ... are generally consistent from
 // one run to another").
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 
 using namespace ibridge;
 using namespace ibridge::bench;
@@ -56,23 +57,37 @@ double run_case(const Scale& scale, bool ibridge, bool write,
   return mbps_total(r);
 }
 
-void figure4(const Scale& scale, bool write) {
+void figure4(const Scale& scale, bool write, exp::Gauge& g) {
   banner(write ? "Figure 4(a)" : "Figure 4(b)",
          write ? "mpi-io-test writes, 64 procs, stock vs iBridge"
                : "mpi-io-test reads, 64 procs, stock vs iBridge (warm)");
   stats::Table t({"case", "stock", "iBridge", "improvement", "SSD share"});
   struct Case {
     std::string label;
+    std::string key;  ///< gauge-safe case name, e.g. "33KB" / "64KB+10KB"
     std::int64_t size, shift;
   };
   std::vector<Case> cases;
   for (std::int64_t kb : {33, 65, 129}) {
-    cases.push_back({std::to_string(kb) + " KB", kb * 1024, 0});
+    // Built stepwise: the one-expression concatenation trips GCC 12's
+    // -Werror=restrict false positive at -O3 (see bench_fig2_unaligned).
+    std::string label = std::to_string(kb);
+    label += " KB";
+    std::string key = std::to_string(kb);
+    key += "KB";
+    cases.push_back({std::move(label), std::move(key), kb * 1024, 0});
   }
   for (std::int64_t kb : {0, 1, 10, 20}) {
-    cases.push_back({"64 KB +" + std::to_string(kb) + " KB", 64 * 1024,
+    std::string label = "64 KB +";
+    label += std::to_string(kb);
+    label += " KB";
+    std::string key = "64KB+";
+    key += std::to_string(kb);
+    key += "KB";
+    cases.push_back({std::move(label), std::move(key), 64 * 1024,
                      kb * 1024});
   }
+  const std::string section = write ? "write." : "read.";
   for (const auto& k : cases) {
     const double stock = run_case(scale, false, write, k.size, k.shift);
     double share = 0.0;
@@ -81,6 +96,9 @@ void figure4(const Scale& scale, bool write) {
                stats::Table::fmt("%.1f", ib),
                stats::Table::fmt("%+.0f%%", 100.0 * (ib / stock - 1.0)),
                stats::Table::fmt("%.0f%%", share)});
+    g.set(section + k.key + ".stock", stock);
+    g.set(section + k.key + ".ibridge", ib);
+    g.set(section + k.key + ".ssd_share_pct", share);
   }
   t.print();
   if (write) {
@@ -96,8 +114,10 @@ void figure4(const Scale& scale, bool write) {
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
-  figure4(scale, /*write=*/true);
-  figure4(scale, /*write=*/false);
+  exp::Stopwatch sw;
+  exp::Gauge g("fig4_mpiiotest");
+  figure4(scale, /*write=*/true, g);
+  figure4(scale, /*write=*/false, g);
 
   banner("Figure 5",
          "block-size distribution with iBridge, 64 KB + 10 KB offset reads");
@@ -130,5 +150,11 @@ int main(int argc, char** argv) {
     print_metrics(c, "cache.");
   }
   footnote();
+
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr,
+                 "warning: could not write BENCH_fig4_mpiiotest.json\n");
+  }
   return 0;
 }

@@ -2,6 +2,7 @@
 // stock vs iBridge.  All BTIO requests are regular random requests (640 B -
 // 2160 B), so this exercises the non-fragment admission path.
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 
 using namespace ibridge;
 using namespace ibridge::bench;
@@ -21,6 +22,8 @@ workloads::BtIoResult run_case(const Scale& scale, bool ibridge, int procs) {
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
+  exp::Stopwatch sw;
+  exp::Gauge g("fig9_btio");
   banner("Figure 9", "BTIO execution time (class C grid), stock vs iBridge");
 
   stats::Table t({"procs", "req size", "stock (s)", "iBridge (s)",
@@ -41,10 +44,20 @@ int main(int argc, char** argv) {
                                          stock.elapsed.to_seconds()),
          stats::Table::fmt("%.0f%%", 100.0 * ib.io_time.to_seconds() /
                                          ib.elapsed.to_seconds())});
+    const std::string p = "p" + std::to_string(procs);
+    g.set("stock." + p + ".elapsed_s", stock.elapsed.to_seconds());
+    g.set("ibridge." + p + ".elapsed_s", ib.elapsed.to_seconds());
+    g.set("stock." + p + ".io_s", stock.io_time.to_seconds());
+    g.set("ibridge." + p + ".io_s", ib.io_time.to_seconds());
   }
   t.print();
   std::printf("  paper: reductions 45%%/55%%/61%%/59%%; I/O fraction drops "
               "from 58%% to 4%% on average\n");
   footnote();
+
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_fig9_btio.json\n");
+  }
   return 0;
 }

@@ -139,8 +139,21 @@ void Cluster::set_trace(obs::TraceSession* session) {
   for (auto& s : servers_) s->set_trace(session);
 }
 
+void Cluster::set_profiler(obs::SimProfiler* profiler) {
+  profiler_ = profiler;
+  sim_.set_step_hook(profiler);
+  if (profiler != nullptr) {
+    profiler->set_server_count(servers_.size());
+    client_->set_profiler(profiler, profiler->category("client"));
+  } else {
+    client_->set_profiler(nullptr, 0);
+  }
+  for (auto& s : servers_) s->set_profiler(profiler);
+}
+
 void Cluster::collect_metrics(obs::MetricsRegistry& reg) const {
   reg.counter("client.bytes_completed") = client_->bytes_completed();
+  if (profiler_ != nullptr) profiler_->publish(reg);
 
   core::CacheStats agg;
   bool any_cache = false;
@@ -149,6 +162,8 @@ void Cluster::collect_metrics(obs::MetricsRegistry& reg) const {
     const std::string p = "srv" + std::to_string(i) + ".";
     reg.counter(p + "server.bytes_served") = s.bytes_served().count();
     reg.gauge(p + "server.service_ms.mean") = s.service_meter().mean_ms();
+    reg.gauge(p + "server.service_ms.p50") = s.service_meter().p50_ms();
+    reg.gauge(p + "server.service_ms.p99") = s.service_meter().p99_ms();
 
     const auto& disk = s.disk();
     reg.gauge(p + "disk.busy_ms") = disk.busy_time().to_millis();

@@ -14,6 +14,7 @@
 
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "pvfs/client.hpp"
 #include "pvfs/metadata.hpp"
@@ -84,6 +85,13 @@ class Cluster {
   /// subsequent set_trace(nullptr).
   void set_trace(obs::TraceSession* session);
 
+  /// Attach a SimProfiler to every layer and install it as the simulator's
+  /// step hook (nullptr detaches everywhere).  Wire before running — the
+  /// profiler interns its categories and sizes its per-server heat tables
+  /// here.  While attached, collect_metrics() also publishes the profiler's
+  /// sim.* / prof.* / srv<N>.prof.* rows.
+  void set_profiler(obs::SimProfiler* profiler);
+
   /// Publish every component's counters into `reg` under the naming scheme
   /// of obs/metrics.hpp: per-server "srv<N>.<subsystem>.<metric>" rows plus
   /// cluster-wide "cache.*" / "cluster.*" aggregates.
@@ -115,6 +123,7 @@ class Cluster {
   std::vector<std::unique_ptr<pvfs::DataServer>> servers_;
   std::unique_ptr<pvfs::MetadataServer> mds_;
   std::unique_ptr<pvfs::Client> client_;
+  obs::SimProfiler* profiler_ = nullptr;
 };
 
 /// Profile the configured disk model offline (scratch simulation) — the

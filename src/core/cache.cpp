@@ -443,6 +443,7 @@ sim::Task<ServeResult> IBridgeCache::serve(CacheRequest r,
 
 sim::Task<> IBridgeCache::stage_read(CacheRequest r, CacheClass klass,
                                      double ret_ms) {
+  if (profiler_ != nullptr) profiler_->mark(prof_cat_);
   const obs::SpanId tspan =
       trace_ != nullptr
           ? trace_->begin(trace_bg_track_, "cache.stage", "cache",
@@ -501,6 +502,7 @@ sim::Task<> IBridgeCache::flush_batch(std::vector<EntryId>& batch,
   // leaves every touched entry dirty and no window open, so the batch can be
   // re-flushed after recovery.
   if (gate_cut("batch.begin")) co_return;
+  if (profiler_ != nullptr) profiler_->mark(prof_cat_);
   const obs::SpanId tspan =
       (trace_ != nullptr && !batch.empty())
           ? trace_->begin(trace_bg_track_, "cache.writeback", "cache")
@@ -632,6 +634,7 @@ sim::Task<> IBridgeCache::writeback_daemon() {
 }
 
 sim::Task<> IBridgeCache::drain() {
+  if (profiler_ != nullptr) profiler_->mark(prof_cat_);
   const obs::SpanId tspan =
       trace_ != nullptr
           ? trace_->begin(trace_bg_track_, "cache.drain", "cache")

@@ -62,6 +62,21 @@ void Gauge::write_json(std::ostream& os, bool include_wall) const {
   os << json(include_wall);
 }
 
+double peak_rss_mb() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0.0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    // "VmHWM:    12345 kB"
+    std::istringstream fields(line.substr(6));
+    double kb = 0.0;
+    fields >> kb;
+    return kb * 1e3 / 1e6;
+  }
+  return 0.0;
+}
+
 bool Gauge::write_file(const std::string& dir) const {
   const std::string path = dir + "/BENCH_" + name_ + ".json";
   std::ofstream os(path);

@@ -65,6 +65,12 @@ class Gauge {
   std::map<std::string, double> wall_;
 };
 
+/// Peak resident set size of this process in MB (VmHWM from
+/// /proc/self/status, 1 MB = 10^6 bytes); 0.0 when unavailable (non-Linux
+/// hosts).  A host measurement — record it under set_wall(), never as a
+/// model metric.
+double peak_rss_mb();
+
 /// Minimal wall timer for gauge "wall" entries.  steady_clock, so it never
 /// jumps; never used for model time (the lint wall-clock rule still bans
 /// calendar clocks in model code).

@@ -69,6 +69,7 @@ const std::map<std::string, std::string>& suppression_keys() {
       {"wall-clock-ok", "wall-clock"},
       {"callback-ok", "sim-callback"},
       {"alloc-ok", "no-alloc"},
+      {"obs-bounded-ok", "obs-bounded"},
   };
   return kKeys;
 }
@@ -533,6 +534,30 @@ void check_ssd_fault_hook(const SourceFile& f, Diags& out) {
   }
 }
 
+
+// -------------------------------------------------------- bounded metrics ----
+
+/// stats::Histogram keeps every sample — O(n) memory that grows for the
+/// whole run.  src/stats and src/obs own it (the sketch/reservoir backends
+/// and the registry's HistogramCell wrap it there); everywhere else in src/
+/// a distribution must go through MetricsRegistry::histogram(), whose
+/// per-metric policy can bound memory.  `// lint: obs-bounded-ok (reason)`
+/// escapes the rare deliberate exact accumulator.
+void check_obs_bounded(const SourceFile& f, Diags& out) {
+  if (!starts_with(f.rel, "src/")) return;
+  if (starts_with(f.rel, "src/stats/") || starts_with(f.rel, "src/obs/")) {
+    return;
+  }
+  for (const Token& tok : f.tokens) {
+    if (tok.kind == TokKind::kIdent && tok.text == "Histogram") {
+      report(out, f, tok.line, "obs-bounded",
+             "stats::Histogram stores every sample (unbounded); use "
+             "MetricsRegistry::histogram() so a bounded policy (sketch/"
+             "reservoir) can apply, or annotate obs-bounded-ok");
+    }
+  }
+}
+
 // ----------------------------------------------------------- suppression ----
 
 struct Suppression {
@@ -592,6 +617,7 @@ const std::vector<RuleInfo>& rules() {
       {"raw-unit-type", "typed-core headers use Bytes/Offset/ServerId"},
       {"sim-callback", "event callbacks use sim::InlineEvent, not std::function"},
       {"ssd-fault-hook", "SSD fault hooks are installed only by src/fault/"},
+      {"obs-bounded", "exact stats::Histogram lives only in src/stats + src/obs"},
       {"lint-annotation", "suppressions need a known key and a reason"},
       {"shared-global", "no unannotated mutable globals or class statics"},
       {"static-local", "no unannotated static/thread_local function state"},
@@ -630,6 +656,7 @@ std::vector<Diagnostic> lint_corpus(const std::vector<SourceFile>& files) {
     check_raw_unit_type(f, raw);
     check_sim_callback(f, raw);
     check_ssd_fault_hook(f, raw);
+    check_obs_bounded(f, raw);
   }
 
   // The semantic pass: symbol index + include/call graphs, shared-state and

@@ -63,30 +63,32 @@ void write_json_string(std::ostream& os, const std::string& s) {
 /// parent is absent or lives on another track) sweep start-ordered into the
 /// lowest free lane; descendants inherit their ancestor's lane.  Returns
 /// lane-per-span (indexed id-1) and the lane count per track.
-void assign_lanes(const TraceSession& session, std::vector<int>& lane_of,
+/// `view` must be a dense TraceSession::export_spans() view (ids 1..n).
+void assign_lanes(const TraceSession::SpanView& view, std::size_t track_count,
+                  std::vector<int>& lane_of,
                   std::vector<int>& lanes_per_track) {
-  const auto& spans = session.spans();
+  const auto& spans = view.all();
   lane_of.assign(spans.size(), 0);
-  lanes_per_track.assign(session.tracks().size(), 0);
+  lanes_per_track.assign(track_count, 0);
 
   std::vector<SpanId> roots;
   for (const SpanRecord& s : spans) {
     if (s.track == kNoTrack) continue;
-    if (s.parent == 0 || session.span(s.parent).track != s.track) {
+    if (s.parent == 0 || view.span(s.parent).track != s.track) {
       roots.push_back(s.id);
     }
   }
   std::sort(roots.begin(), roots.end(), [&](SpanId a, SpanId b) {
-    const SpanRecord& sa = session.span(a);
-    const SpanRecord& sb = session.span(b);
+    const SpanRecord& sa = view.span(a);
+    const SpanRecord& sb = view.span(b);
     if (sa.start != sb.start) return sa.start < sb.start;
     return a < b;
   });
 
   // lane -> finish time of its latest occupant, one vector per track.
-  std::vector<std::vector<sim::SimTime>> occupied(session.tracks().size());
+  std::vector<std::vector<sim::SimTime>> occupied(track_count);
   for (const SpanId id : roots) {
-    const SpanRecord& s = session.span(id);
+    const SpanRecord& s = view.span(id);
     auto& lanes = occupied[static_cast<std::size_t>(s.track)];
     const sim::SimTime finish = s.open ? sim::SimTime::max() : s.finish;
     std::size_t lane = 0;
@@ -98,11 +100,12 @@ void assign_lanes(const TraceSession& session, std::vector<int>& lane_of,
     }
     lane_of[id - 1] = static_cast<int>(lane);
   }
-  // Spans are created parent-first, so one id-ordered pass resolves every
-  // descendant after its ancestors.
+  // Spans are created parent-first and renumbering preserves recording
+  // order, so one id-ordered pass resolves every descendant after its
+  // ancestors.
   for (const SpanRecord& s : spans) {
     if (s.track == kNoTrack) continue;
-    if (s.parent != 0 && session.span(s.parent).track == s.track) {
+    if (s.parent != 0 && view.span(s.parent).track == s.track) {
       lane_of[s.id - 1] = lane_of[s.parent - 1];
     }
   }
@@ -114,7 +117,8 @@ void assign_lanes(const TraceSession& session, std::vector<int>& lane_of,
 }  // namespace
 
 std::vector<RequestBreakdown> analyze(const TraceSession& session) {
-  const auto& spans = session.spans();
+  const TraceSession::SpanView view = session.export_spans();
+  const auto& spans = view.all();
 
   // Sum of direct children's durations per span, for exclusive time.
   std::vector<sim::SimTime> child_sum(spans.size(), sim::SimTime::zero());
@@ -133,7 +137,7 @@ std::vector<RequestBreakdown> analyze(const TraceSession& session) {
   std::vector<RequestBreakdown> out;
   out.reserve(root_of.size());
   for (const auto& [request, root_id] : root_of) {
-    const SpanRecord& root = session.span(root_id);
+    const SpanRecord& root = view.span(root_id);
     if (root.open) continue;  // request never completed; no total to report
     RequestBreakdown b;
     b.request = request;
@@ -176,9 +180,10 @@ std::vector<RequestBreakdown> analyze(const TraceSession& session) {
 }
 
 void write_chrome_trace(std::ostream& os, const TraceSession& session) {
+  const TraceSession::SpanView view = session.export_spans();
   std::vector<int> lane_of;
   std::vector<int> lanes_per_track;
-  assign_lanes(session, lane_of, lanes_per_track);
+  assign_lanes(view, session.tracks().size(), lane_of, lanes_per_track);
 
   const auto& tracks = session.tracks();
 
@@ -231,7 +236,7 @@ void write_chrome_trace(std::ostream& os, const TraceSession& session) {
        << ",\"args\":{\"sort_index\":" << tid << "}}";
   }
 
-  for (const SpanRecord& s : session.spans()) {
+  for (const SpanRecord& s : view.all()) {
     if (s.track == kNoTrack) continue;
     const auto t = static_cast<std::size_t>(s.track);
     const int tid = tid_of.at(std::make_pair(t, lane_of[s.id - 1]));

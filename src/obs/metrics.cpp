@@ -1,29 +1,102 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <ostream>
 
 namespace ibridge::obs {
 
-std::vector<MetricRow> MetricsRegistry::flatten() const {
-  std::vector<MetricRow> rows;
-  rows.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+HistogramCell& MetricsRegistry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  HistogramPolicy policy = default_policy_;
+  if (const auto ov = policy_overrides_.find(name);
+      ov != policy_overrides_.end()) {
+    policy = ov->second;
+  }
+  // Seed reservoirs from the metric name so per-metric sample choices are
+  // independent but reproducible.
+  std::uint64_t seed = 0x0b5e55edULL;
+  for (const char c : name) {
+    seed ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    seed = sim::splitmix64(seed);
+  }
+  return histograms_
+      .emplace(name, HistogramCell(policy, buckets_per_octave_,
+                                   reservoir_capacity_, seed))
+      .first->second;
+}
+
+void MetricsRegistry::set_histogram_policy(const std::string& name,
+                                           HistogramPolicy p) {
+  policy_overrides_[name] = p;
+  if (const auto it = histograms_.find(name);
+      it != histograms_.end() && it->second.count() == 0) {
+    histograms_.erase(it);  // recreated with the new policy on next use
+  }
+}
+
+std::vector<MetricRow> MetricsRegistry::flatten(
+    std::vector<MetricKind>* kinds) const {
+  struct Entry {
+    MetricRow row;
+    MetricKind kind;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(counters_.size() + gauges_.size() + 6 * histograms_.size());
   for (const auto& [name, v] : counters_) {
-    rows.emplace_back(name, static_cast<double>(v));
+    entries.push_back({{name, static_cast<double>(v)}, MetricKind::kCounter});
   }
-  for (const auto& [name, v] : gauges_) rows.emplace_back(name, v);
+  for (const auto& [name, v] : gauges_) {
+    entries.push_back({{name, v}, MetricKind::kGauge});
+  }
   for (const auto& [name, h] : histograms_) {
-    rows.emplace_back(name + ".count", static_cast<double>(h.count()));
-    rows.emplace_back(name + ".mean", h.mean());
-    rows.emplace_back(name + ".p50", h.percentile(50.0));
-    rows.emplace_back(name + ".p95", h.percentile(95.0));
-    rows.emplace_back(name + ".max", h.max());
+    entries.push_back({{name + ".count", static_cast<double>(h.count())},
+                       MetricKind::kCounter});
+    entries.push_back({{name + ".mean", h.mean()}, MetricKind::kGauge});
+    entries.push_back({{name + ".p50", h.percentile(50.0)},
+                       MetricKind::kGauge});
+    entries.push_back({{name + ".p95", h.percentile(95.0)},
+                       MetricKind::kGauge});
+    entries.push_back({{name + ".p99", h.percentile(99.0)},
+                       MetricKind::kGauge});
+    entries.push_back({{name + ".max", h.max()}, MetricKind::kGauge});
   }
-  std::sort(rows.begin(), rows.end(),
-            [](const MetricRow& a, const MetricRow& b) {
-              return a.first < b.first;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.row.first < b.row.first;
             });
+  std::vector<MetricRow> rows;
+  rows.reserve(entries.size());
+  if (kinds) {
+    kinds->clear();
+    kinds->reserve(entries.size());
+  }
+  for (auto& e : entries) {
+    rows.push_back(std::move(e.row));
+    if (kinds) kinds->push_back(e.kind);
+  }
   return rows;
+}
+
+std::size_t MetricsRegistry::histogram_memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, h] : histograms_) total += h.memory_bytes();
+  return total;
+}
+
+std::uint64_t MetricsRegistry::sketch_digest() const {
+  std::uint64_t h = 0;
+  for (const auto& [name, cell] : histograms_) {
+    const stats::QuantileSketch* sk = cell.sketch();
+    if (!sk) continue;
+    std::uint64_t s = sk->digest();
+    for (const char c : name) {
+      s ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    }
+    h ^= sim::splitmix64(s);
+  }
+  return h;
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
@@ -34,11 +107,14 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
 }
 
 void TimeSeries::sample(sim::SimTime when, const MetricsRegistry& reg) {
-  const auto rows = reg.flatten();
-  for (const auto& [name, _] : rows) {
+  std::vector<MetricKind> kinds;
+  const auto rows = reg.flatten(&kinds);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string& name = rows[i].first;
     if (column_index_.count(name) != 0) continue;
     column_index_.emplace(name, columns_.size());
     columns_.push_back(name);
+    kinds_.push_back(kinds[i]);
   }
   std::vector<double> cells(columns_.size(), 0.0);
   for (const auto& [name, value] : rows) {
@@ -53,9 +129,16 @@ void TimeSeries::write_csv(std::ostream& os) const {
   os << '\n';
   for (const auto& [when, cells] : samples_) {
     os << when.to_millis();
-    // Early rows may predate late-appearing columns; pad with zeros.
+    // Early rows may predate late-appearing columns.  A missing counter
+    // cell really was 0; a missing gauge was unknown, so emit an empty
+    // cell rather than a false zero (see header).
     for (std::size_t i = 0; i < columns_.size(); ++i) {
-      os << ',' << (i < cells.size() ? cells[i] : 0.0);
+      os << ',';
+      if (i < cells.size()) {
+        os << cells[i];
+      } else if (kinds_[i] == MetricKind::kCounter) {
+        os << 0.0;
+      }
     }
     os << '\n';
   }

@@ -13,6 +13,15 @@
 // e.g. "cache.read_hits", "srv3.disk.busy_ms", "cache.admit.fragment".
 // All storage is ordered (std::map) so iteration, flattening, and CSV output
 // are deterministic.
+//
+// Distributions go through HistogramCell, which dispatches on a per-metric
+// HistogramPolicy: kExact keeps every sample (stats::Histogram, exact
+// percentiles, O(n) memory), kSketch uses the bounded-memory
+// stats::QuantileSketch (guaranteed relative error, exact mergeable), and
+// kReservoir keeps a seeded fixed-size uniform sample.  The default policy
+// is kExact for compatibility; scale runs switch the registry default (or
+// individual metrics) to kSketch — see docs/OBSERVABILITY.md
+// "Bounded-memory mode".
 #pragma once
 
 #include <cstdint>
@@ -24,11 +33,178 @@
 
 #include "sim/time.hpp"
 #include "stats/histogram.hpp"
+#include "stats/sketch.hpp"
 
 namespace ibridge::obs {
 
 /// A flattened (name, value) view of the registry, for tables and CSV.
 using MetricRow = std::pair<std::string, double>;
+
+/// How a flattened row behaves over time — drives TimeSeries backfill
+/// semantics (see TimeSeries below).
+enum class MetricKind {
+  kCounter,  ///< monotonic count; "absent" genuinely means zero
+  kGauge,    ///< point-in-time value; "absent" means *unknown*, not zero
+};
+
+/// Storage policy for one distribution metric.
+enum class HistogramPolicy {
+  kExact,      ///< stats::Histogram — every sample kept, exact percentiles
+  kSketch,     ///< stats::QuantileSketch — O(1) memory, bounded rel. error
+  kReservoir,  ///< stats::Reservoir — fixed-size seeded uniform sample
+};
+
+/// One distribution metric behind MetricsRegistry::histogram().  Presents
+/// the add/merge/percentile surface of stats::Histogram but stores samples
+/// according to its policy, fixed at creation.
+class HistogramCell {
+ public:
+  explicit HistogramCell(HistogramPolicy policy = HistogramPolicy::kExact,
+                         int buckets_per_octave = 100,
+                         std::size_t reservoir_capacity = 1024,
+                         std::uint64_t reservoir_seed = 0x0b5e55ed)
+      : policy_(policy),
+        sketch_(buckets_per_octave),
+        reservoir_(reservoir_capacity, reservoir_seed) {}
+
+  HistogramPolicy policy() const { return policy_; }
+
+  void add(double x) {
+    switch (policy_) {
+      case HistogramPolicy::kExact:
+        exact_.add(x);
+        break;
+      case HistogramPolicy::kSketch:
+        sketch_.add(x);
+        break;
+      case HistogramPolicy::kReservoir:
+        reservoir_.add(x);
+        break;
+    }
+  }
+
+  /// Fold a component-side exact histogram into this cell (the
+  /// collect_metrics publication path).  Under kExact this is
+  /// Histogram::merge; bounded policies re-feed the samples one by one.
+  void merge(const stats::Histogram& h) {
+    if (policy_ == HistogramPolicy::kExact) {
+      exact_.merge(h);
+      return;
+    }
+    for (const double x : h.samples()) add(x);
+  }
+
+  std::uint64_t count() const {
+    switch (policy_) {
+      case HistogramPolicy::kExact:
+        return exact_.count();
+      case HistogramPolicy::kSketch:
+        return sketch_.count();
+      case HistogramPolicy::kReservoir:
+        return reservoir_.count();
+    }
+    return 0;
+  }
+
+  double mean() const {
+    switch (policy_) {
+      case HistogramPolicy::kExact:
+        return exact_.mean();
+      case HistogramPolicy::kSketch:
+        return sketch_.mean();
+      case HistogramPolicy::kReservoir:
+        return reservoir_.mean();
+    }
+    return 0.0;
+  }
+
+  double min() const {
+    switch (policy_) {
+      case HistogramPolicy::kExact:
+        return exact_.min();
+      case HistogramPolicy::kSketch:
+        return sketch_.min();
+      case HistogramPolicy::kReservoir:
+        return reservoir_.min();
+    }
+    return 0.0;
+  }
+
+  double max() const {
+    switch (policy_) {
+      case HistogramPolicy::kExact:
+        return exact_.max();
+      case HistogramPolicy::kSketch:
+        return sketch_.max();
+      case HistogramPolicy::kReservoir:
+        return reservoir_.max();
+    }
+    return 0.0;
+  }
+
+  double sum() const {
+    switch (policy_) {
+      case HistogramPolicy::kExact:
+        return exact_.sum();
+      case HistogramPolicy::kSketch:
+        return sketch_.sum();
+      case HistogramPolicy::kReservoir:
+        return reservoir_.sum();
+    }
+    return 0.0;
+  }
+
+  double percentile(double p) const {
+    switch (policy_) {
+      case HistogramPolicy::kExact:
+        return exact_.percentile(p);
+      case HistogramPolicy::kSketch:
+        return sketch_.percentile(p);
+      case HistogramPolicy::kReservoir:
+        return reservoir_.percentile(p);
+    }
+    return 0.0;
+  }
+
+  double median() const { return percentile(50.0); }
+
+  /// Heap bytes this cell holds — O(samples) under kExact, O(1) otherwise
+  /// (bench_obs --check asserts the bound).
+  std::size_t memory_bytes() const {
+    switch (policy_) {
+      case HistogramPolicy::kExact:
+        return sizeof(*this) + exact_.count() * sizeof(double);
+      case HistogramPolicy::kSketch:
+        return sizeof(*this) + sketch_.memory_bytes();
+      case HistogramPolicy::kReservoir:
+        return sizeof(*this) + reservoir_.memory_bytes();
+    }
+    return sizeof(*this);
+  }
+
+  void clear() {
+    exact_.clear();
+    sketch_.clear();
+    reservoir_.clear();
+  }
+
+  /// Typed views; null unless the matching policy is active.
+  const stats::Histogram* exact() const {
+    return policy_ == HistogramPolicy::kExact ? &exact_ : nullptr;
+  }
+  const stats::QuantileSketch* sketch() const {
+    return policy_ == HistogramPolicy::kSketch ? &sketch_ : nullptr;
+  }
+  const stats::Reservoir* reservoir() const {
+    return policy_ == HistogramPolicy::kReservoir ? &reservoir_ : nullptr;
+  }
+
+ private:
+  HistogramPolicy policy_;
+  stats::Histogram exact_;
+  stats::QuantileSketch sketch_;
+  stats::Reservoir reservoir_;
+};
 
 class MetricsRegistry {
  public:
@@ -38,10 +214,25 @@ class MetricsRegistry {
   /// Point-in-time value; created at zero on first use.
   double& gauge(const std::string& name) { return gauges_[name]; }
 
-  /// Value distribution with percentiles; created empty on first use.
-  stats::Histogram& histogram(const std::string& name) {
-    return histograms_[name];
+  /// Value distribution with percentiles; created empty on first use with
+  /// the per-name policy override if one was set, else the registry
+  /// default.
+  HistogramCell& histogram(const std::string& name);
+
+  /// Policy for histograms created after this call (existing non-empty
+  /// cells keep their storage; existing *empty* cells are re-created).
+  void set_default_histogram_policy(HistogramPolicy p) {
+    default_policy_ = p;
   }
+  HistogramPolicy default_histogram_policy() const { return default_policy_; }
+
+  /// Per-metric override, same re-creation rule as the default.
+  void set_histogram_policy(const std::string& name, HistogramPolicy p);
+
+  /// Sketch resolution / reservoir size for subsequently created cells.
+  void set_sketch_buckets_per_octave(int b) { buckets_per_octave_ = b; }
+  int sketch_buckets_per_octave() const { return buckets_per_octave_; }
+  void set_reservoir_capacity(std::size_t n) { reservoir_capacity_ = n; }
 
   bool has(const std::string& name) const {
     return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
@@ -52,13 +243,20 @@ class MetricsRegistry {
     return counters_;
   }
   const std::map<std::string, double>& gauges() const { return gauges_; }
-  const std::map<std::string, stats::Histogram>& histograms() const {
+  const std::map<std::string, HistogramCell>& histograms() const {
     return histograms_;
   }
 
   /// Every metric as (name, value), sorted by name.  Histograms expand to
-  /// .count/.mean/.p50/.p95/.max rows.
-  std::vector<MetricRow> flatten() const;
+  /// .count/.mean/.p50/.p95/.p99/.max rows.  When `kinds` is non-null it is
+  /// filled parallel to the result: counters and histogram .count rows are
+  /// kCounter, everything else kGauge.
+  std::vector<MetricRow> flatten(std::vector<MetricKind>* kinds = nullptr) const;
+
+  /// Total heap bytes held by histogram cells plus a stable fingerprint of
+  /// every sketch-backed cell (0 when none) — the bench_obs hooks.
+  std::size_t histogram_memory_bytes() const;
+  std::uint64_t sketch_digest() const;
 
   /// Two-column "name,value" CSV of flatten().
   void write_csv(std::ostream& os) const;
@@ -72,11 +270,21 @@ class MetricsRegistry {
  private:
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, double> gauges_;
-  std::map<std::string, stats::Histogram> histograms_;
+  std::map<std::string, HistogramCell> histograms_;
+  std::map<std::string, HistogramPolicy> policy_overrides_;
+  HistogramPolicy default_policy_ = HistogramPolicy::kExact;
+  int buckets_per_octave_ = 100;
+  std::size_t reservoir_capacity_ = 1024;
 };
 
 /// Periodic snapshots of a metric set: one row per sample time, one column
-/// per metric name (union over all samples; missing cells repeat as 0).
+/// per metric name (union over all samples).
+///
+/// Missing-cell rule: a row sampled before a column first appeared has no
+/// value for it.  Counter columns backfill as 0 (the count genuinely was
+/// zero before the subsystem emitted it); gauge columns backfill as an
+/// *empty* CSV cell, because a gauge that did not exist yet was unknown —
+/// writing 0 would plot false zeros on dashboards.
 /// cluster::Cluster::start_metrics_sampler() feeds one of these on a
 /// configurable sim-time cadence.
 class TimeSeries {
@@ -86,12 +294,15 @@ class TimeSeries {
 
   std::size_t rows() const { return samples_.size(); }
   const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<MetricKind>& column_kinds() const { return kinds_; }
 
-  /// "time_ms,<col>,<col>,..." CSV of all samples.
+  /// "time_ms,<col>,<col>,..." CSV of all samples (see missing-cell rule
+  /// above).
   void write_csv(std::ostream& os) const;
 
  private:
   std::vector<std::string> columns_;
+  std::vector<MetricKind> kinds_;
   std::map<std::string, std::size_t> column_index_;
   std::vector<std::pair<sim::SimTime, std::vector<double>>> samples_;
 };

@@ -1,0 +1,42 @@
+#include "obs/profiler.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ibridge::obs {
+
+int SimProfiler::category(const char* name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (std::strcmp(names_[i], name) == 0) return static_cast<int>(i);
+  }
+  names_.push_back(name);
+  event_counts_.push_back(0);
+  model_ns_.push_back(0);
+  wall_ns_.push_back(0);
+  return static_cast<int>(names_.size()) - 1;
+}
+
+void SimProfiler::publish(MetricsRegistry& reg) const {
+  reg.counter("sim.events") =
+      static_cast<std::int64_t>(events_total());
+  reg.gauge("sim.queue_depth") = static_cast<double>(last_depth_);
+  reg.gauge("prof.queue_depth.mean") = queue_depth_mean();
+  reg.gauge("prof.queue_depth.max") = static_cast<double>(depth_peak_);
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    const std::string suffix(names_[c]);
+    reg.counter("prof.events." + suffix) =
+        static_cast<std::int64_t>(event_counts_[c]);
+    reg.gauge("prof.model_ms." + suffix) =
+        static_cast<double>(model_ns_[c]) / 1e6;
+  }
+  for (std::size_t s = 0; s < heat_ops_.size(); ++s) {
+    const std::string prefix = "srv" + std::to_string(s) + ".prof.";
+    reg.counter(prefix + "heat_ops") =
+        static_cast<std::int64_t>(heat_ops_[s]);
+    reg.counter(prefix + "heat_bytes") = heat_bytes_[s];
+  }
+}
+
+}  // namespace ibridge::obs

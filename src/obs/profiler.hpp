@@ -1,0 +1,172 @@
+// Sim-core profiler: where do a run's events — and its simulated and host
+// time — actually go?
+//
+// SimProfiler implements sim::StepHook, so it observes every event the
+// Simulator executes.  Subsystems mark the running event with a category
+// ("client", "server", "cache", "disk", "ssd") through the same
+// null-guarded-pointer pattern as TraceSession; the first mark during an
+// event wins, so device-completion events are attributed to the device
+// model even when a coroutine resumes on top of them.  Per event the
+// profiler attributes:
+//
+//   * model time — the simulated-clock advance the event consumed (the gap
+//     from the previous event's timestamp), credited to the marked
+//     category.  Summing over categories reconstructs the timeline, which
+//     is how "the run spent 70% of simulated time in disk service" is read
+//     directly off `prof.model_ms.*`.
+//   * wall time — optional host steady_clock timing of the event callback
+//     (enable_wall_timing), for finding which subsystem burns host CPU.
+//     Wall numbers are host-dependent and never published into the
+//     MetricsRegistry; tools and benches read them via accessors.
+//
+// It also tracks event-queue depth (mean/peak occupancy) and per-server
+// heat counters (operations and bytes served), published as
+// `sim.*`/`prof.*`/`srv<N>.prof.*` metrics — see docs/OBSERVABILITY.md.
+//
+// Determinism: both hook callbacks run inside Simulator::step()'s static
+// no-alloc zone, so every container is pre-sized during wiring
+// (category()/set_server_count() allocate and must happen before the run).
+// The hooks neither allocate nor touch the event queue, so an attached
+// profiler keeps the simulated timeline byte-identical to an unprofiled
+// run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ibridge::obs {
+
+class MetricsRegistry;
+
+class SimProfiler final : public sim::StepHook {
+ public:
+  /// Category 0 is pre-registered: events nothing marked (queue plumbing,
+  /// coroutine resumptions, daemon ticks).
+  static constexpr int kOther = 0;
+
+  explicit SimProfiler(bool enable_wall_timing = false)
+      : wall_(enable_wall_timing) {
+    names_.push_back("other");
+    event_counts_.push_back(0);
+    model_ns_.push_back(0);
+    wall_ns_.push_back(0);
+  }
+
+  /// Intern a category name (a string literal) and size its counters.
+  /// Pre-run only — allocates.  Re-interning a name returns the same id.
+  int category(const char* name);
+
+  /// Size the per-server heat tables.  Pre-run only — allocates.
+  void set_server_count(std::size_t n) {
+    heat_ops_.assign(n, 0);
+    heat_bytes_.assign(n, 0);
+  }
+
+  /// Attribute the currently running event to `cat`.  First mark per event
+  /// wins.  Hot path: no allocation, single predictable branch when unset.
+  void mark(int cat) {
+    if (!cat_marked_) {
+      current_cat_ = cat;
+      cat_marked_ = true;
+    }
+  }
+
+  /// Record one served operation of `bytes` on `server`.  Hot path.
+  void heat(std::size_t server, std::int64_t bytes) {
+    if (server < heat_ops_.size()) {
+      ++heat_ops_[server];
+      heat_bytes_[server] += bytes;
+    }
+  }
+
+  // sim::StepHook — runs inside the Simulator::step() no-alloc zone.
+  void on_event_begin(sim::SimTime now) override {
+    gap_ns_ = (now - last_now_).ns();
+    last_now_ = now;
+    current_cat_ = kOther;
+    cat_marked_ = false;
+    if (wall_) wall_t0_ = std::chrono::steady_clock::now();
+  }
+
+  void on_event_end(sim::SimTime /*now*/, std::size_t pending) override {
+    const auto cat = static_cast<std::size_t>(current_cat_);
+    ++event_counts_[cat];
+    model_ns_[cat] += gap_ns_;
+    depth_sum_ += pending;
+    ++depth_samples_;
+    if (pending > depth_peak_) depth_peak_ = pending;
+    last_depth_ = pending;
+    if (wall_) {
+      wall_ns_[cat] += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - wall_t0_)
+                           .count();
+    }
+  }
+
+  /// Write `sim.*`, `prof.*`, and `srv<N>.prof.*` rows into the registry.
+  /// Model-derived values only — wall times stay out of the registry (they
+  /// are host noise; read them via wall_ns()).
+  void publish(MetricsRegistry& reg) const;
+
+  // Accessors (tools, benches, tests).
+  std::size_t category_count() const { return names_.size(); }
+  const char* category_name(int cat) const {
+    return names_[static_cast<std::size_t>(cat)];
+  }
+  std::uint64_t events(int cat) const {
+    return event_counts_[static_cast<std::size_t>(cat)];
+  }
+  std::uint64_t events_total() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : event_counts_) n += c;
+    return n;
+  }
+  std::int64_t model_ns(int cat) const {
+    return model_ns_[static_cast<std::size_t>(cat)];
+  }
+  std::int64_t wall_ns(int cat) const {
+    return wall_ns_[static_cast<std::size_t>(cat)];
+  }
+  bool wall_timing_enabled() const { return wall_; }
+  double queue_depth_mean() const {
+    return depth_samples_ != 0
+               ? static_cast<double>(depth_sum_) /
+                     static_cast<double>(depth_samples_)
+               : 0.0;
+  }
+  std::size_t queue_depth_peak() const { return depth_peak_; }
+  std::size_t queue_depth_last() const { return last_depth_; }
+  std::size_t server_count() const { return heat_ops_.size(); }
+  std::uint64_t heat_ops(std::size_t server) const {
+    return heat_ops_[server];
+  }
+  std::int64_t heat_bytes(std::size_t server) const {
+    return heat_bytes_[server];
+  }
+
+ private:
+  bool wall_;
+  std::vector<const char*> names_;          ///< literals; index = category id
+  std::vector<std::uint64_t> event_counts_;
+  std::vector<std::int64_t> model_ns_;
+  std::vector<std::int64_t> wall_ns_;
+  std::vector<std::uint64_t> heat_ops_;
+  std::vector<std::int64_t> heat_bytes_;
+
+  sim::SimTime last_now_ = sim::SimTime::zero();
+  std::int64_t gap_ns_ = 0;
+  int current_cat_ = kOther;
+  bool cat_marked_ = false;
+  std::chrono::steady_clock::time_point wall_t0_{};
+
+  std::uint64_t depth_sum_ = 0;
+  std::uint64_t depth_samples_ = 0;
+  std::size_t depth_peak_ = 0;
+  std::size_t last_depth_ = 0;
+};
+
+}  // namespace ibridge::obs

@@ -16,6 +16,20 @@
 //     a handful of predictable branches and the simulated timeline is
 //     byte-identical.
 //
+// Recording modes:
+//   * Full (default): every span is appended and kept; ids index `spans()`
+//     directly.  Memory grows O(requests) — fine for figure-sized runs.
+//   * Flight recorder (`enable_flight_recorder`): fixed-capacity tail
+//     sampling so tracing can stay on at any scale.  Only the N slowest
+//     requests' complete span trees plus a deterministic 1-in-K sample (by
+//     request id) are retained; everything else is discarded when its
+//     request commits.  Background spans (request 0: device dispatches,
+//     write-back, staging) go to a bounded ring with oldest-half
+//     compaction, as do counter samples.  Retention decisions depend only
+//     on simulated time and request ids, so a flight-recorded run keeps the
+//     byte-identical timeline guarantee and retains the *same* requests on
+//     every run.  Exporters consume either mode through `export_spans()`.
+//
 // Tracks: each span lives on a track — a (process, thread) name pair that
 // maps onto the pid/tid grid of the Chrome trace-event format (see
 // obs/export.hpp).  Spans on one track may overlap (concurrent sub-requests,
@@ -25,6 +39,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -81,6 +96,15 @@ struct CounterSample {
   double value = 0.0;
 };
 
+/// Retention knobs for flight-recorder mode.
+struct FlightConfig {
+  std::size_t keep_slowest = 16;        ///< full trees of N slowest requests
+  std::uint64_t sample_every = 64;      ///< plus every K-th request by id
+  std::size_t sampled_capacity = 256;   ///< FIFO cap on sampled requests
+  std::size_t background_capacity = 2048;  ///< background-span ring size
+  std::size_t counter_capacity = 4096;     ///< counter-sample ring size
+};
+
 /// Collects spans and counter samples for one simulation run.
 ///
 /// Components hold a `TraceSession*` that is null by default; all recording
@@ -90,6 +114,12 @@ class TraceSession {
   explicit TraceSession(sim::Simulator& sim) : sim_(sim) {}
   TraceSession(const TraceSession&) = delete;
   TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Switch to flight-recorder retention (see file comment).  Must be
+  /// called before any span is recorded.
+  void enable_flight_recorder(FlightConfig cfg = {});
+  bool flight_mode() const { return flight_; }
+  const FlightConfig& flight_config() const { return flight_cfg_; }
 
   /// Allocate the id that links all spans of one client request.
   RequestId new_request() { return ++last_request_; }
@@ -105,6 +135,8 @@ class TraceSession {
   SpanId child(SpanId parent, const char* name, const char* cat);
 
   /// Close a span at the current simulated time.  Safe to call with 0.
+  /// In flight mode, closing a request's first span commits the request:
+  /// its tree is retained (slowest-N / sampled) or discarded.
   void end(SpanId id);
 
   /// Record an already-finished span (device dispatches know their service
@@ -113,31 +145,94 @@ class TraceSession {
                   sim::SimTime start, sim::SimTime duration,
                   RequestId request = 0);
 
-  /// Attach an argument to an open or completed span.
+  /// Attach an argument to an open or completed span.  In flight mode args
+  /// reach spans still in the working set (open spans, recently closed
+  /// background spans); later calls are dropped.
   void arg(SpanId id, const char* key, std::int64_t value);
   void arg(SpanId id, const char* key, std::string value);
 
   /// Record one time-series counter sample at the current simulated time.
   void counter(const std::string& name, double value);
 
+  /// Full-mode span store (empty in flight mode — use export_spans()).
   const std::vector<SpanRecord>& spans() const { return spans_; }
   const std::vector<Track>& tracks() const { return tracks_; }
   const std::vector<CounterSample>& counters() const { return counters_; }
   std::uint64_t requests_traced() const { return last_request_; }
   const sim::Simulator& simulator() const { return sim_; }
 
+  /// Total spans ever recorded (both modes — flight mode keeps fewer).
+  std::uint64_t spans_recorded() const { return next_id_; }
+
+  /// Flight mode: requests whose full trees are currently retained, and
+  /// their ids (slowest-N plus the 1-in-K sample), ascending.
+  std::size_t requests_retained() const { return retained_.size(); }
+  std::vector<RequestId> retained_request_ids() const;
+
   /// The record for `id`; id must be a live span id from this session.
+  /// Full mode only (flight mode discards; see export_spans()).
   const SpanRecord& span(SpanId id) const { return spans_[id - 1]; }
 
+  /// A dense, export-ready view of every span the session still holds, in
+  /// either mode.  Ids are renumbered 1..size() in recording order with
+  /// parents remapped (parent 0 when the parent was not retained), so
+  /// exporters can index `all()[id - 1]` exactly as in full mode.  Full
+  /// mode aliases the span store with zero copies.
+  class SpanView {
+   public:
+    const std::vector<SpanRecord>& all() const {
+      return alias_ != nullptr ? *alias_ : owned_;
+    }
+    const SpanRecord& span(SpanId id) const { return all()[id - 1]; }
+
+   private:
+    friend class TraceSession;
+    const std::vector<SpanRecord>* alias_ = nullptr;
+    std::vector<SpanRecord> owned_;
+  };
+  SpanView export_spans() const;
+
  private:
+  /// Flight mode: one retained request's full span tree.
+  struct Retained {
+    std::vector<SpanRecord> spans;  ///< ascending original id
+    bool slow = false;              ///< currently in the slowest-N set
+    bool sampled = false;           ///< kept by the 1-in-K sample
+  };
+  /// Flight mode: a not-yet-committed request.
+  struct Pending {
+    SpanId root = 0;             ///< first span recorded for the request
+    std::vector<SpanId> ids;     ///< every span of the request, ascending
+  };
+
   SpanRecord& mutable_span(SpanId id) { return spans_[id - 1]; }
+  SpanRecord* find_live(SpanId id);
+  void commit_request(RequestId request, sim::SimTime duration);
+  void drop_retained_if_unreferenced(RequestId request);
+  void retire_background(SpanId id);
 
   sim::Simulator& sim_;
-  std::vector<SpanRecord> spans_;      // index = id - 1
+  std::vector<SpanRecord> spans_;      // full mode; index = id - 1
   std::vector<Track> tracks_;
   std::map<std::pair<std::string, std::string>, TrackId> track_index_;
   std::vector<CounterSample> counters_;
   RequestId last_request_ = 0;
+  SpanId next_id_ = 0;
+
+  // --- flight-recorder state (unused in full mode) ---
+  bool flight_ = false;
+  FlightConfig flight_cfg_;
+  std::map<SpanId, SpanRecord> live_;      ///< working set (see file comment)
+  std::map<RequestId, Pending> pending_;   ///< uncommitted requests
+  std::map<RequestId, Retained> retained_;
+  /// (duration ns, request) of the current slowest-N, min first.
+  std::set<std::pair<std::int64_t, RequestId>> slow_index_;
+  std::vector<RequestId> sampled_fifo_;    ///< oldest first
+  std::vector<SpanId> bg_linger_;          ///< closed background spans, FIFO
+  std::vector<SpanRecord> background_;     ///< background ring, oldest first
+  /// Closed background spans linger in live_ this long so immediately
+  /// following arg() calls still land (the device-dispatch pattern).
+  static constexpr std::size_t kBackgroundLinger = 64;
 };
 
 }  // namespace ibridge::obs

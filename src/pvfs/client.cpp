@@ -47,6 +47,7 @@ sim::Task<sim::SimTime> Client::request(int rank, FileHandle fh,
                                         std::span<const std::byte> wdata,
                                         std::span<std::byte> rdata) {
   assert(length > 0);
+  if (profiler_ != nullptr) profiler_->mark(prof_cat_);
   const sim::SimTime t0 = sim_.now();
 
   obs::RequestId rid = 0;
@@ -115,6 +116,7 @@ sim::Task<sim::SimTime> Client::request(int rank, FileHandle fh,
                         rsub, rid, sub_span));
   }
   co_await join.join();
+  if (profiler_ != nullptr) profiler_->mark(prof_cat_);
 
   if (dir == IoDirection::kWrite) f.size = std::max(f.size, offset + length);
   bytes_completed_ += length;

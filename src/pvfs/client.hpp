@@ -14,6 +14,7 @@
 
 #include "core/tagger.hpp"
 #include "net/network.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "pvfs/metadata.hpp"
 #include "pvfs/server.hpp"
@@ -69,6 +70,13 @@ class Client {
   /// each sub linking its net transfers and the server-side spans.
   void set_trace(obs::TraceSession* session) { trace_ = session; }
 
+  /// Attach a SimProfiler (nullptr to detach).  Request issue and join
+  /// events mark their simulator events with `category` ("client").
+  void set_profiler(obs::SimProfiler* profiler, int category) {
+    profiler_ = profiler;
+    prof_cat_ = category;
+  }
+
  private:
   sim::Task<sim::SimTime> request(int rank, FileHandle fh, std::int64_t offset,
                                   std::int64_t length,
@@ -100,6 +108,8 @@ class Client {
   sim::Rng rng_;
   std::int64_t bytes_completed_ = 0;
   obs::TraceSession* trace_ = nullptr;
+  obs::SimProfiler* profiler_ = nullptr;
+  int prof_cat_ = 0;
 };
 
 }  // namespace ibridge::pvfs

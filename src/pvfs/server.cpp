@@ -55,6 +55,21 @@ void DataServer::set_trace(obs::TraceSession* session) {
   }
 }
 
+void DataServer::set_profiler(obs::SimProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler == nullptr) {
+    prof_cat_ = 0;
+    if (cache_) cache_->set_profiler(nullptr, 0);
+    disk_->set_profiler(nullptr, 0);
+    if (ssd_) ssd_->set_profiler(nullptr, 0);
+    return;
+  }
+  prof_cat_ = profiler->category("server");
+  if (cache_) cache_->set_profiler(profiler, profiler->category("cache"));
+  disk_->set_profiler(profiler, profiler->category("disk"));
+  if (ssd_) ssd_->set_profiler(profiler, profiler->category("ssd"));
+}
+
 fsim::FileId DataServer::create_datafile(const std::string& name,
                                          sim::Bytes prealloc) {
   const fsim::FileId id = primary_fs_->create(name, prealloc.count());
@@ -79,6 +94,7 @@ void DataServer::set_offline(bool offline) {
 sim::Task<core::ServeResult> DataServer::io(core::CacheRequest req,
                                             std::span<const std::byte> wdata,
                                             std::span<std::byte> rdata) {
+  if (profiler_ != nullptr) profiler_->mark(prof_cat_);
   const sim::SimTime t0 = sim_.now();
   // Entry gate: while the server is offline (crashed), park until restart.
   // Re-check after resumption — the server may crash again before this
@@ -129,6 +145,7 @@ sim::Task<core::ServeResult> DataServer::io(core::CacheRequest req,
   result.elapsed = sim_.now() - t0;
   service_.add(result.elapsed);
   bytes_served_ += length;
+  if (profiler_ != nullptr) profiler_->heat(id_.index(), length.count());
   --inflight_;
   if (trace_ != nullptr) {
     if (sspan != 0) {

@@ -23,6 +23,7 @@
 #include "core/config.hpp"
 #include "fsim/filesystem.hpp"
 #include "net/network.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
@@ -98,6 +99,12 @@ class DataServer {
   /// traced sub-request, device dispatch spans, in-flight depth counter.
   void set_trace(obs::TraceSession* session);
 
+  /// Attach a SimProfiler (nullptr to detach): request-handling events mark
+  /// the "server" category, devices mark "disk"/"ssd", the cache marks
+  /// "cache", and every completed sub-request bumps this server's heat
+  /// counters.  Wire before the run — category interning allocates.
+  void set_profiler(obs::SimProfiler* profiler);
+
   /// Take the server off the network (crashed) or bring it back.  While
   /// offline, newly arriving io() calls park before touching any server
   /// state and resume — in arrival order — when the server returns; their
@@ -138,6 +145,8 @@ class DataServer {
   sim::Bytes bytes_served_;
   obs::TraceSession* trace_ = nullptr;
   obs::TrackId trace_track_ = obs::kNoTrack;
+  obs::SimProfiler* profiler_ = nullptr;
+  int prof_cat_ = 0;
   std::string trace_prefix_;  ///< "srv<N>", counter-name prefix
   int inflight_ = 0;          ///< requests between io() entry and exit
   bool offline_ = false;

@@ -32,6 +32,18 @@
 
 namespace ibridge::sim {
 
+/// Observer of individual simulator steps (the obs::SimProfiler hook).
+/// Both callbacks run inside Simulator::step(), which is a static no-alloc
+/// zone — implementations must not allocate (pre-size any state up front).
+class StepHook {
+ public:
+  virtual ~StepHook() = default;
+  /// After the clock advanced to the event's time, before its callback.
+  virtual void on_event_begin(SimTime now) = 0;
+  /// After the event's callback ran; `pending` is the queue depth left.
+  virtual void on_event_end(SimTime now, std::size_t pending) = 0;
+};
+
 class Simulator {
  public:
   using Callback = InlineEvent;
@@ -93,6 +105,7 @@ class Simulator {
     }
     assert(key_time(top.key) >= now_);
     now_ = key_time(top.key);
+    if (hook_ != nullptr) hook_->on_event_begin(now_);
     // Move the callable out before invoking: the callback is free to
     // schedule new events, which may reuse this slot immediately.
     Callback fn = std::move(slots_[top.slot]);
@@ -100,8 +113,14 @@ class Simulator {
     free_.push_back(top.slot);
     fn();
     ++executed_;
+    if (hook_ != nullptr) hook_->on_event_end(now_, heap_.size());
     return true;
   }
+
+  /// Attach a per-step observer (null detaches).  The hook runs inside the
+  /// no-alloc step() zone; see StepHook.
+  void set_step_hook(StepHook* hook) { hook_ = hook; }
+  StepHook* step_hook() const { return hook_; }
 
   /// Run until the event queue drains.
   void run() {
@@ -195,6 +214,7 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  StepHook* hook_ = nullptr;
 };
 
 }  // namespace ibridge::sim

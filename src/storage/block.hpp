@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/sync.hpp"
 #include "sim/time.hpp"
@@ -73,6 +74,14 @@ class BlockDevice {
     obs_track_ = track;
   }
 
+  /// Attach a SimProfiler: every dispatch marks the running simulator event
+  /// with `category` ("disk"/"ssd"), so device service events show up in
+  /// the per-subsystem time attribution.  Null detaches.
+  void set_profiler(obs::SimProfiler* profiler, int category) {
+    profiler_ = profiler;
+    prof_cat_ = category;
+  }
+
  protected:
   void account(IoDirection dir, std::int64_t bytes, sim::SimTime service) {
     busy_time_ += service;
@@ -86,6 +95,7 @@ class BlockDevice {
     const std::int64_t bytes = sectors * kSectorBytes;
     trace_.record(now, dir, lbn, sim::Bytes{bytes}, service);
     account(dir, bytes, service);
+    if (profiler_ != nullptr) profiler_->mark(prof_cat_);
     if (obs_trace_ != nullptr) {
       const obs::SpanId s = obs_trace_->complete(
           obs_track_, dir == IoDirection::kRead ? "io.read" : "io.write",
@@ -101,6 +111,8 @@ class BlockDevice {
   std::int64_t bytes_written_ = 0;
   obs::TraceSession* obs_trace_ = nullptr;
   obs::TrackId obs_track_ = obs::kNoTrack;
+  obs::SimProfiler* profiler_ = nullptr;
+  int prof_cat_ = 0;
 };
 
 }  // namespace ibridge::storage

@@ -1,0 +1,11 @@
+// Fixture: constructing an exact stats::Histogram outside src/stats and
+// src/obs must trip the obs-bounded rule (once).
+namespace fixture {
+
+inline double unbounded_tail() {
+  stats::Histogram lat_ms;
+  lat_ms.add(1.0);
+  return lat_ms.percentile(99.0);
+}
+
+}  // namespace fixture

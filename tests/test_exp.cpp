@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +19,8 @@
 #include "exp/cli.hpp"
 #include "exp/gauge.hpp"
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
+#include "sim/rng.hpp"
 
 namespace ibridge::exp {
 namespace {
@@ -84,6 +87,72 @@ TEST(Runner, ReusableAcrossBatches) {
 TEST(Runner, DefaultJobsIsClamped) {
   EXPECT_GE(Runner::default_jobs(), 1);
   EXPECT_LE(Runner::default_jobs(), 16);
+}
+
+TEST(Runner, ProgressSnapshotsArriveOnCallingThread) {
+  for (int jobs : {1, 4}) {
+    Runner r(jobs);
+    const auto caller = std::this_thread::get_id();
+    std::vector<Runner::Progress> seen;
+    bool off_thread = false;
+    r.set_progress(
+        [&](const Runner::Progress& p) {
+          if (std::this_thread::get_id() != caller) off_thread = true;
+          seen.push_back(p);
+        },
+        0.01);
+    r.run(12, [](int) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    });
+
+    ASSERT_FALSE(seen.empty()) << "jobs=" << jobs;
+    EXPECT_FALSE(off_thread) << "progress must run on the calling thread";
+    EXPECT_EQ(seen.back().completed, 12) << "final snapshot sees the batch";
+    EXPECT_EQ(seen.back().total, 12);
+    EXPECT_GE(seen.back().seconds, 0.0);
+    for (std::size_t i = 1; i < seen.size(); ++i) {
+      EXPECT_LE(seen[i - 1].completed, seen[i].completed) << "monotonic";
+    }
+
+    // Detaching stops delivery; the runner keeps working.
+    r.set_progress(nullptr);
+    const std::size_t before = seen.size();
+    EXPECT_EQ(r.map<int>(3, [](int i) { return i; }),
+              (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(seen.size(), before);
+  }
+}
+
+TEST(Runner, SketchMetricOutputIsJobCountInvariant) {
+  // Bounded-memory metrics keep the headline guarantee: a sketch-policy
+  // registry fed per-job deterministic streams produces byte-identical CSV
+  // and digests whatever the worker count.
+  auto build = [](int jobs) {
+    Runner r(jobs);
+    const auto cells = r.map<std::string>(6, [](int i) {
+      obs::MetricsRegistry reg;
+      reg.set_default_histogram_policy(obs::HistogramPolicy::kSketch);
+      sim::Rng rng(0xC0FFEEu + static_cast<std::uint64_t>(i));
+      for (int k = 0; k < 5000; ++k) {
+        reg.histogram("lat_ms").add(0.25 + 40.0 * rng.uniform01());
+        reg.histogram("bytes").add(
+            static_cast<double>(1 + rng.below(1 << 20)));
+      }
+      std::ostringstream os;
+      reg.write_csv(os);
+      return os.str() + "#" + std::to_string(reg.sketch_digest()) + "\n";
+    });
+    std::string all;
+    for (const std::string& s : cells) all += s;
+    return all;
+  };
+  EXPECT_EQ(build(1), build(8));
+}
+
+TEST(Gauge, PeakRssIsMeasurable) {
+  const double mb = peak_rss_mb();
+  EXPECT_GT(mb, 0.0) << "VmHWM should parse on Linux";
+  EXPECT_LT(mb, 1e6) << "sanity: under a terabyte";
 }
 
 // ------------------------------------------- parallel == serial, proven ----

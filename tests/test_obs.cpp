@@ -2,14 +2,18 @@
 // and the zero-cost-when-disabled guarantee at cluster level.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "mpiio/mpi.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace ibridge::obs {
@@ -188,7 +192,7 @@ TEST(MetricsRegistry, FlattenIsSortedAndExpandsHistograms) {
   EXPECT_FALSE(reg.has("cache.read_misses"));
 
   const auto rows = reg.flatten();
-  ASSERT_EQ(rows.size(), 7u);  // 1 counter + 1 gauge + 5 histogram rows
+  ASSERT_EQ(rows.size(), 8u);  // 1 counter + 1 gauge + 6 histogram rows
   for (std::size_t i = 1; i < rows.size(); ++i) {
     EXPECT_LT(rows[i - 1].first, rows[i].first) << "rows sorted by name";
   }
@@ -222,6 +226,208 @@ TEST(TimeSeries, ColumnsGrowByUnion) {
   EXPECT_NE(csv.find("10,1,0\n"), std::string::npos)
       << "cell for a column that did not exist yet reads as 0";
   EXPECT_NE(csv.find("20,1,2\n"), std::string::npos);
+}
+
+TEST(TimeSeries, LateGaugeColumnsBackfillEmptyNotZero) {
+  TimeSeries ts;
+  MetricsRegistry reg;
+  reg.counter("ops") = 1;
+  ts.sample(ms(10), reg);
+  reg.gauge("depth") = 3.5;
+  reg.counter("ops") = 4;
+  ts.sample(ms(20), reg);
+
+  ASSERT_EQ(ts.columns().size(), 2u);
+  ASSERT_EQ(ts.column_kinds().size(), 2u);
+  std::ostringstream os;
+  ts.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time_ms,ops,depth\n"), std::string::npos);
+  EXPECT_NE(csv.find("10,1,\n"), std::string::npos)
+      << "a gauge that did not exist yet is unknown, not zero";
+  EXPECT_NE(csv.find("20,4,3.5\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SketchPolicyBoundsMemoryWithinRelativeError) {
+  MetricsRegistry reg;
+  reg.set_default_histogram_policy(HistogramPolicy::kSketch);
+  stats::Histogram exact;
+  sim::Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = (i % 3 == 0) ? 100.0 + 10.0 * rng.uniform01()
+                                  : 1.0 + rng.uniform01();
+    reg.histogram("lat_ms").add(x);
+    exact.add(x);
+  }
+  const HistogramCell& cell = reg.histogram("lat_ms");
+  EXPECT_EQ(cell.policy(), HistogramPolicy::kSketch);
+  ASSERT_NE(cell.sketch(), nullptr);
+  EXPECT_EQ(cell.exact(), nullptr);
+  const double rel = cell.sketch()->relative_error();
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const double e = exact.percentile(p);
+    EXPECT_NEAR(cell.percentile(p), e, e * rel + 1e-12) << "p" << p;
+  }
+  EXPECT_EQ(cell.count(), 20000u);
+  EXPECT_LE(reg.histogram_memory_bytes(), 64u * 1024u)
+      << "bounded policy must hold the per-metric budget";
+  EXPECT_NE(reg.sketch_digest(), 0u);
+
+  // Flatten still expands sketch-backed cells to the same six rows.
+  const auto rows = reg.flatten();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].first, "lat_ms.count");
+  EXPECT_EQ(rows[5].first, "lat_ms.p99");
+}
+
+TEST(MetricsRegistry, PerMetricPolicyOverrideAndDeterministicDigest) {
+  MetricsRegistry a, b;
+  for (MetricsRegistry* reg : {&a, &b}) {
+    reg->set_histogram_policy("tail_ms", HistogramPolicy::kSketch);
+    reg->set_histogram_policy("sample_ms", HistogramPolicy::kReservoir);
+    for (int i = 0; i < 1000; ++i) {
+      reg->histogram("tail_ms").add(1.0 + (i % 7));
+      reg->histogram("sample_ms").add(2.0 * (i % 5));
+      reg->histogram("exact_ms").add(3.0);
+    }
+  }
+  EXPECT_EQ(a.histogram("tail_ms").policy(), HistogramPolicy::kSketch);
+  EXPECT_EQ(a.histogram("sample_ms").policy(), HistogramPolicy::kReservoir);
+  EXPECT_EQ(a.histogram("exact_ms").policy(), HistogramPolicy::kExact)
+      << "the default stays exact unless overridden";
+  // Identical feeds give identical fingerprints; reservoirs are seeded so
+  // even the sampled cell agrees row for row.
+  EXPECT_EQ(a.sketch_digest(), b.sketch_digest());
+  EXPECT_DOUBLE_EQ(a.histogram("sample_ms").percentile(95.0),
+                   b.histogram("sample_ms").percentile(95.0));
+  a.histogram("tail_ms").add(123456.0);
+  EXPECT_NE(a.sketch_digest(), b.sketch_digest());
+
+  // The component publication path re-feeds exact histograms into bounded
+  // cells sample by sample.
+  stats::Histogram component;
+  for (int i = 1; i <= 100; ++i) component.add(static_cast<double>(i));
+  MetricsRegistry c;
+  c.set_default_histogram_policy(HistogramPolicy::kSketch);
+  c.histogram("merged").merge(component);
+  EXPECT_EQ(c.histogram("merged").count(), 100u);
+  EXPECT_NEAR(c.histogram("merged").percentile(50.0), 50.0, 50.0 * 0.01 + 1e-12);
+}
+
+// ---- flight recorder (unit level) ----
+
+TEST(FlightRecorder, RetainsSlowestAndSampledDeterministically) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  FlightConfig cfg;
+  cfg.keep_slowest = 2;
+  cfg.sample_every = 3;
+  s.enable_flight_recorder(cfg);
+  const TrackId t = s.track("client", "rank0");
+  // Six requests, request i lasting i ms: the slowest two are {5, 6}; the
+  // 1-in-3 sample keeps {1, 4}.
+  for (int i = 1; i <= 6; ++i) {
+    sim.schedule(ms(10 * i), [&s, &sim, t] {
+      const RequestId rid = s.new_request();
+      const SpanId root = s.begin(t, "request", "client", rid);
+      sim.schedule(ms(static_cast<std::int64_t>(rid)),
+                   [&s, root] { s.end(root); });
+    });
+  }
+  sim.run();
+
+  EXPECT_TRUE(s.flight_mode());
+  EXPECT_EQ(s.spans_recorded(), 6u);
+  EXPECT_EQ(s.requests_traced(), 6u);
+  EXPECT_EQ(s.retained_request_ids(), (std::vector<RequestId>{1, 4, 5, 6}));
+  EXPECT_TRUE(s.spans().empty()) << "flight mode bypasses the full store";
+
+  const auto view = s.export_spans();
+  ASSERT_EQ(view.all().size(), 4u);
+  for (std::size_t i = 0; i < view.all().size(); ++i) {
+    EXPECT_EQ(view.all()[i].id, i + 1) << "export ids renumber densely";
+    EXPECT_EQ(view.all()[i].parent, 0u);
+    EXPECT_FALSE(view.all()[i].open);
+  }
+  // The analyzer and exporters run on the view transparently.
+  const auto reqs = analyze(s);
+  ASSERT_EQ(reqs.size(), 4u);
+  EXPECT_EQ(reqs[3].total, ms(6));
+}
+
+TEST(FlightRecorder, BackgroundRingStaysBounded) {
+  sim::Simulator sim;
+  TraceSession s(sim);
+  FlightConfig cfg;
+  cfg.background_capacity = 8;
+  cfg.counter_capacity = 8;
+  s.enable_flight_recorder(cfg);
+  const TrackId t = s.track("srv0", "disk");
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(ms(i), [&s, t, i] {
+      const SpanId id = s.complete(t, "io.read", "device", ms(i), ms(1));
+      s.arg(id, "sectors", std::int64_t{8});
+      s.counter("srv0.inflight", static_cast<double>(i % 4));
+    });
+  }
+  sim.run();
+  EXPECT_EQ(s.spans_recorded(), 1000u);
+  // Retention = the ring plus the short linger window for late arg()
+  // attachment; either way a small constant, nowhere near the 1000 recorded.
+  const auto kept = s.export_spans();
+  EXPECT_LE(kept.all().size(), cfg.background_capacity + 64u);
+  EXPECT_LE(s.counters().size(), cfg.counter_capacity);
+  // The most recent background spans are the ones kept, args intact.
+  ASSERT_FALSE(kept.all().empty());
+  EXPECT_EQ(kept.all().back().start, ms(999));
+  ASSERT_EQ(kept.all().back().args.size(), 1u);
+  EXPECT_EQ(kept.all().back().args[0].ival, 8);
+}
+
+// ---- sim-core profiler (unit level) ----
+
+TEST(SimProfiler, GapAttributionAndFirstMarkWins) {
+  sim::Simulator sim;
+  SimProfiler prof;
+  const int disk = prof.category("disk");
+  const int cache = prof.category("cache");
+  EXPECT_EQ(prof.category("disk"), disk) << "re-interning returns the id";
+  prof.set_server_count(2);
+  sim.set_step_hook(&prof);
+  sim.schedule(ms(2), [&] {
+    prof.mark(disk);
+    prof.mark(cache);  // second mark per event is ignored
+    prof.heat(0, 4096);
+    prof.heat(9, 1);  // out of range: silently dropped
+  });
+  sim.schedule(ms(5), [&] {});  // unmarked -> "other"
+  sim.schedule(ms(6), [&] { prof.mark(cache); });
+  sim.run();
+  sim.set_step_hook(nullptr);
+
+  EXPECT_EQ(prof.events_total(), 3u);
+  EXPECT_EQ(prof.events(disk), 1u);
+  EXPECT_EQ(prof.events(cache), 1u);
+  EXPECT_EQ(prof.events(SimProfiler::kOther), 1u);
+  // Gap attribution: the marked event absorbs the simulated-clock advance
+  // since the previous event; the categories partition the timeline.
+  EXPECT_EQ(prof.model_ns(disk), ms(2).ns());
+  EXPECT_EQ(prof.model_ns(SimProfiler::kOther), ms(3).ns());
+  EXPECT_EQ(prof.model_ns(cache), ms(1).ns());
+  EXPECT_EQ(prof.heat_ops(0), 1u);
+  EXPECT_EQ(prof.heat_bytes(0), 4096);
+  EXPECT_EQ(prof.heat_ops(1), 0u);
+  EXPECT_FALSE(prof.wall_timing_enabled());
+
+  MetricsRegistry reg;
+  prof.publish(reg);
+  EXPECT_EQ(reg.counter("sim.events"), 3);
+  EXPECT_DOUBLE_EQ(reg.gauge("prof.model_ms.disk"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("prof.model_ms.other"), 3.0);
+  EXPECT_EQ(reg.counter("prof.events.cache"), 1);
+  EXPECT_EQ(reg.counter("srv0.prof.heat_ops"), 1);
+  EXPECT_EQ(reg.counter("srv0.prof.heat_bytes"), 4096);
+  EXPECT_TRUE(reg.has("prof.queue_depth.mean"));
 }
 
 // ---- cluster-level behavior ----
@@ -314,6 +520,143 @@ TEST(ClusterTracing, SpanTreeCoversEveryLayer) {
     EXPECT_EQ(b.subs.size(), 2u);
     EXPECT_GT(b.total, sim::SimTime::zero());
   }
+}
+
+/// Everything observable about one flight-recorded unaligned run.
+struct FlightRun {
+  TracedRun run;
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t requests_traced = 0;
+  std::vector<RequestId> retained;
+  std::size_t analyzed = 0;
+  std::string chrome_json;
+};
+
+FlightRun flight_unaligned(const FlightConfig& cfg) {
+  cluster::Cluster c(cluster::ClusterConfig::with_ibridge());
+  TraceSession session(c.sim());
+  session.enable_flight_recorder(cfg);
+  c.set_trace(&session);
+  auto fh = c.create_file("data", 2LL << 30);
+  mpiio::MpiFile file(c.client(), fh);
+  mpiio::MpiEnvironment group(c.sim(), c.client(), 4);
+  group.launch(
+      [&](mpiio::MpiContext ctx) { return reader(ctx, file, 3); });
+  c.sim().run_while_pending([&] { return group.finished(); });
+  FlightRun out;
+  out.run.flushed = c.drain();
+  out.run.served = c.total_bytes_served();
+  out.spans_recorded = session.spans_recorded();
+  out.requests_traced = session.requests_traced();
+  out.retained = session.retained_request_ids();
+  out.analyzed = analyze(session).size();
+  std::ostringstream os;
+  write_chrome_trace(os, session);
+  out.chrome_json = os.str();
+  return out;
+}
+
+TEST(ClusterTracing, FlightRecorderKeepsTimelineAndIsDeterministic) {
+  FlightConfig cfg;
+  cfg.keep_slowest = 4;
+  cfg.sample_every = 5;
+  const TracedRun off = run_unaligned(nullptr);
+  const FlightRun a = flight_unaligned(cfg);
+  const FlightRun b = flight_unaligned(cfg);
+
+  // Flight retention must not perturb the simulation...
+  EXPECT_EQ(off.flushed, a.run.flushed)
+      << "flight tracing must not perturb the simulated timeline";
+  EXPECT_EQ(off.served, a.run.served);
+  // ...and must retain the same requests on every run.
+  EXPECT_EQ(a.run.flushed, b.run.flushed);
+  EXPECT_EQ(a.spans_recorded, b.spans_recorded);
+  EXPECT_EQ(a.retained, b.retained);
+  EXPECT_EQ(a.chrome_json, b.chrome_json);
+
+  // 4 ranks x 3 iterations = 12 requests; retention respects the bounds.
+  EXPECT_EQ(a.requests_traced, 12u);
+  EXPECT_GT(a.spans_recorded, 0u);
+  ASSERT_FALSE(a.retained.empty());
+  EXPECT_LE(a.retained.size(),
+            cfg.keep_slowest + (a.requests_traced + cfg.sample_every - 1) /
+                                   cfg.sample_every);
+  // Retained trees flow through the analyzer and the Chrome exporter.  The
+  // analyzer may see a few extra request roots beyond the retained trees —
+  // late request-tagged spans (post-completion staging) still sit in the
+  // working set — but the count is deterministic.
+  EXPECT_GE(a.analyzed, a.retained.size());
+  EXPECT_EQ(a.analyzed, b.analyzed);
+  EXPECT_NE(a.chrome_json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(a.chrome_json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(ClusterProfiler, AttributionCoversTimelineWithoutPerturbingIt) {
+  const TracedRun off = run_unaligned(nullptr);
+
+  cluster::Cluster c(cluster::ClusterConfig::with_ibridge());
+  SimProfiler prof;
+  c.set_profiler(&prof);
+  auto fh = c.create_file("data", 2LL << 30);
+  mpiio::MpiFile file(c.client(), fh);
+  mpiio::MpiEnvironment group(c.sim(), c.client(), 4);
+  group.launch(
+      [&](mpiio::MpiContext ctx) { return reader(ctx, file, 3); });
+  c.sim().run_while_pending([&] { return group.finished(); });
+  const sim::SimTime flushed = c.drain();
+  const sim::Bytes served = c.total_bytes_served();
+
+  EXPECT_EQ(off.flushed, flushed)
+      << "an attached profiler must not perturb the simulated timeline";
+  EXPECT_EQ(off.served, served);
+
+  // Every layer saw events, and the category gaps partition the timeline.
+  EXPECT_GT(prof.events_total(), 0u);
+  std::int64_t total_ns = 0;
+  bool server_events = false, disk_events = false, client_events = false;
+  for (std::size_t i = 0; i < prof.category_count(); ++i) {
+    const int cat = static_cast<int>(i);
+    total_ns += prof.model_ns(cat);
+    const std::string name = prof.category_name(cat);
+    if (name == "server" && prof.events(cat) > 0) server_events = true;
+    if (name == "disk" && prof.events(cat) > 0) disk_events = true;
+    if (name == "client" && prof.events(cat) > 0) client_events = true;
+  }
+  EXPECT_TRUE(server_events);
+  EXPECT_TRUE(disk_events);
+  EXPECT_TRUE(client_events);
+  EXPECT_GT(total_ns, 0);
+  EXPECT_LE(total_ns, c.sim().now().ns())
+      << "summed category gaps reconstruct (at most) the timeline";
+
+  // Heat counters account for exactly the bytes the servers served.
+  std::int64_t heat_bytes = 0;
+  std::uint64_t heat_ops = 0;
+  for (std::size_t s = 0; s < prof.server_count(); ++s) {
+    heat_bytes += prof.heat_bytes(s);
+    heat_ops += prof.heat_ops(s);
+  }
+  EXPECT_EQ(heat_bytes, served.count());
+  EXPECT_GT(heat_ops, 0u);
+
+  // collect_metrics() publishes the profiler and sketch-backed service
+  // tails alongside the component counters.
+  MetricsRegistry reg;
+  c.collect_metrics(reg);
+  EXPECT_TRUE(reg.has("sim.events"));
+  EXPECT_TRUE(reg.has("prof.queue_depth.mean"));
+  EXPECT_TRUE(reg.has("prof.model_ms.disk"));
+  EXPECT_TRUE(reg.has("srv0.prof.heat_ops"));
+  EXPECT_TRUE(reg.has("srv0.server.service_ms.p50"));
+  EXPECT_TRUE(reg.has("srv0.server.service_ms.p99"));
+  EXPECT_EQ(reg.counter("sim.events"),
+            static_cast<std::int64_t>(prof.events_total()));
+
+  // Detaching restores the never-profiled wiring.
+  c.set_profiler(nullptr);
+  MetricsRegistry bare;
+  c.collect_metrics(bare);
+  EXPECT_FALSE(bare.has("sim.events"));
 }
 
 }  // namespace

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "sim/rng.hpp"
 #include "stats/blocktrace.hpp"
 #include "stats/histogram.hpp"
 #include "stats/meters.hpp"
+#include "stats/sketch.hpp"
 #include "stats/table.hpp"
 
 namespace ibridge::stats {
@@ -242,6 +246,190 @@ TEST(ServiceTimeMeter, AveragesMillis) {
   m.add(sim::SimTime::millis(20));
   EXPECT_DOUBLE_EQ(m.mean_ms(), 15.0);
   EXPECT_EQ(m.count(), 2u);
+}
+
+TEST(ServiceTimeMeter, SketchBackedTailsAreAlwaysOn) {
+  ServiceTimeMeter m;
+  for (int i = 1; i <= 100; ++i) m.add(sim::SimTime::millis(i));
+  EXPECT_NEAR(m.p50_ms(), 50.0, 50.0 * m.sketch().relative_error());
+  EXPECT_NEAR(m.p99_ms(), 99.0, 99.0 * m.sketch().relative_error());
+  EXPECT_EQ(m.sketch().count(), 100u);
+}
+
+// ---- Histogram percentile interpolation ----
+
+TEST(Histogram, LinearInterpolationPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.add(i);
+  // Regression pin: the two conventions answer differently at p50.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);  // nearest-rank (default)
+  EXPECT_DOUBLE_EQ(h.percentile(50.0, Histogram::Interp::kNearestRank), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0, Histogram::Interp::kLinear), 5.5);
+  // Linear is the R-7 convention: h = p/100 * (n-1), interpolate neighbours.
+  EXPECT_DOUBLE_EQ(h.percentile(25.0, Histogram::Interp::kLinear), 3.25);
+  // Both agree at the extremes.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0, Histogram::Interp::kLinear), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0, Histogram::Interp::kLinear), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(Histogram, LinearInterpolationDegenerateSizes) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(50.0, Histogram::Interp::kLinear), 0.0);  // empty
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0, Histogram::Interp::kLinear), 7.0);  // single
+}
+
+// ---- bounded quantile estimators ----
+
+std::vector<double> constant_stream(int n) {
+  return std::vector<double>(static_cast<std::size_t>(n), 42.0);
+}
+
+std::vector<double> bimodal_stream(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    v.push_back(rng.uniform01() < 0.5 ? 1.0 + rng.uniform01()
+                                      : 100.0 + 10.0 * rng.uniform01());
+  }
+  return v;
+}
+
+std::vector<double> heavy_tail_stream(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    v.push_back(std::ldexp(1.0, static_cast<int>(rng.below(20))) *
+                (1.0 + rng.uniform01()));
+  }
+  return v;
+}
+
+TEST(QuantileSketch, WithinRelativeErrorOnAdversarialDistributions) {
+  const std::vector<std::vector<double>> streams = {
+      constant_stream(5000), bimodal_stream(5000, 11),
+      heavy_tail_stream(5000, 12)};
+  for (const auto& stream : streams) {
+    QuantileSketch sk;
+    Histogram exact;
+    for (double x : stream) {
+      sk.add(x);
+      exact.add(x);
+    }
+    for (double p : {50.0, 95.0, 99.0}) {
+      const double e = exact.percentile(p);
+      EXPECT_NEAR(sk.percentile(p), e, e * sk.relative_error() + 1e-12)
+          << "p" << p << " over a " << stream.size() << "-sample stream";
+    }
+    EXPECT_EQ(sk.count(), exact.count());
+    EXPECT_DOUBLE_EQ(sk.min(), exact.min());
+    EXPECT_DOUBLE_EQ(sk.max(), exact.max());
+  }
+}
+
+TEST(QuantileSketch, MergeIsExactAndOrderInsensitive) {
+  const auto stream = heavy_tail_stream(3000, 21);
+  QuantileSketch whole;
+  for (double x : stream) whole.add(x);
+
+  QuantileSketch part[3];
+  for (std::size_t i = 0; i < stream.size(); ++i) part[i % 3].add(stream[i]);
+
+  QuantileSketch ab = part[0];
+  ab.merge(part[1]);
+  ab.merge(part[2]);                     // (a+b)+c
+  QuantileSketch bc = part[1];
+  bc.merge(part[2]);
+  QuantileSketch a_bc = part[0];
+  a_bc.merge(bc);                        // a+(b+c)
+
+  EXPECT_EQ(ab.digest(), whole.digest());
+  EXPECT_EQ(a_bc.digest(), whole.digest());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(ab.percentile(p), whole.percentile(p));
+    EXPECT_DOUBLE_EQ(a_bc.percentile(p), whole.percentile(p));
+  }
+}
+
+TEST(QuantileSketch, DigestIsDeterministicAndDiscriminates) {
+  QuantileSketch a, b, c;
+  for (double x : bimodal_stream(500, 3)) {
+    a.add(x);
+    b.add(x);
+  }
+  for (double x : bimodal_stream(500, 4)) c.add(x);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_NE(a.digest(), QuantileSketch().digest());
+}
+
+TEST(QuantileSketch, MemoryStaysBoundedRegardlessOfSampleCount) {
+  // Torture stream spanning 40 octaves: the bucket table saturates and then
+  // stops growing no matter how many more samples arrive — the O(1) bound.
+  QuantileSketch sk;
+  sim::Rng rng(5);
+  const auto draw = [&] {
+    return std::ldexp(1.0, static_cast<int>(rng.below(40)) - 15) *
+           (1.0 + rng.uniform01());
+  };
+  for (int i = 0; i < 100000; ++i) sk.add(draw());
+  const std::size_t saturated = sk.memory_bytes();
+  for (int i = 0; i < 100000; ++i) sk.add(draw());
+  EXPECT_EQ(sk.count(), 200000u);
+  EXPECT_EQ(sk.memory_bytes(), saturated) << "memory must not grow further";
+  EXPECT_LE(sk.bucket_count(),
+            static_cast<std::size_t>(QuantileSketch::kMaxExp -
+                                     QuantileSketch::kMinExp) *
+                static_cast<std::size_t>(sk.buckets_per_octave()));
+
+  // A realistic latency metric (two modes, ms scale) stays under the
+  // 64 KiB per-metric budget bench_obs --check enforces.
+  QuantileSketch lat;
+  for (double x : bimodal_stream(100000, 9)) lat.add(x);
+  EXPECT_LE(lat.memory_bytes(), 64u * 1024u);
+}
+
+TEST(QuantileSketch, OutOfRangeSamplesKeepExactExtremes) {
+  QuantileSketch sk;
+  sk.add(-5.0);   // below range (underflow)
+  sk.add(0.0);    // not a positive value (underflow)
+  sk.add(1e15);   // above range (overflow)
+  sk.add(3.0);
+  EXPECT_EQ(sk.count(), 4u);
+  EXPECT_DOUBLE_EQ(sk.percentile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(sk.percentile(100.0), 1e15);
+  EXPECT_DOUBLE_EQ(sk.percentile(1.0), -5.0) << "underflow ranks first";
+}
+
+TEST(Reservoir, ExactWhileUnderCapacityAndSeedDeterministic) {
+  Reservoir r(128, /*seed=*/7);
+  Histogram exact;
+  for (int i = 1; i <= 100; ++i) {
+    r.add(i);
+    exact.add(i);
+  }
+  for (double p : {25.0, 50.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(r.percentile(p), exact.percentile(p))
+        << "exact while count <= capacity";
+  }
+
+  Reservoir x(16, 7), y(16, 7), z(16, 8);
+  const auto stream = heavy_tail_stream(2000, 30);
+  for (double v : stream) {
+    x.add(v);
+    y.add(v);
+    z.add(v);
+  }
+  EXPECT_EQ(x.kept(), 16u);
+  EXPECT_DOUBLE_EQ(x.percentile(50.0), y.percentile(50.0))
+      << "same seed, same stream => same sample";
+  EXPECT_EQ(x.count(), 2000u);
+  EXPECT_LE(x.memory_bytes(), sizeof(Reservoir) + 17 * sizeof(double));
+  (void)z;  // different seed may or may not differ; only determinism is pinned
 }
 
 }  // namespace

@@ -11,6 +11,9 @@
 //     --metrics FILE   end-of-run metrics CSV                 (off by default)
 //     --top N          rows in the straggler report           (default 10)
 //     --interval-ms M  metrics sampling cadence, sim time     (default 50)
+//     --flight         bounded flight-recorder retention instead of
+//                      full tracing (keeps the slowest requests plus a
+//                      deterministic 1-in-K sample; same exporters)
 //
 // The workload reproduces the Figure 3 magnification scenario: a 16-process
 // group reads k*64KB+1KB requests (the 1 KB fragment lands on server k)
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
   std::int64_t requests = 8;
   int k = 4;
   bool fragment = true;
+  bool flight = false;
   std::size_t top = 10;
   std::int64_t interval_ms = 50;
 
@@ -107,6 +111,8 @@ int main(int argc, char** argv) {
           exp::require_int("ibridge-trace", "--k", next(), 1, 7));
     } else if (a == "--no-fragment") {
       fragment = false;
+    } else if (a == "--flight") {
+      flight = true;
     } else if (a == "--out") {
       out = next();
     } else if (a == "--csv") {
@@ -122,8 +128,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: ibridge-trace [stock|ibridge|ssd-only] "
-                   "[--requests N] [--k N] [--no-fragment] [--out FILE] "
-                   "[--csv FILE] [--metrics FILE] [--top N] "
+                   "[--requests N] [--k N] [--no-fragment] [--flight] "
+                   "[--out FILE] [--csv FILE] [--metrics FILE] [--top N] "
                    "[--interval-ms M]\n");
       return 2;
     }
@@ -144,6 +150,7 @@ int main(int argc, char** argv) {
 
   cluster::Cluster c(cc);
   obs::TraceSession session(c.sim());
+  if (flight) session.enable_flight_recorder(obs::FlightConfig{});
   c.set_trace(&session);
   obs::TimeSeries series;
   c.start_metrics_sampler(sim::SimTime::millis(interval_ms), &series);
@@ -174,9 +181,18 @@ int main(int argc, char** argv) {
   c.drain();
 
   obs::write_straggler_report(std::cout, session, top);
-  std::printf("\nspans recorded: %zu over %llu traced requests\n",
-              session.spans().size(),
-              static_cast<unsigned long long>(session.requests_traced()));
+  if (flight) {
+    std::printf(
+        "\nflight recorder: %llu spans recorded, %zu requests retained of "
+        "%llu traced\n",
+        static_cast<unsigned long long>(session.spans_recorded()),
+        session.requests_retained(),
+        static_cast<unsigned long long>(session.requests_traced()));
+  } else {
+    std::printf("\nspans recorded: %zu over %llu traced requests\n",
+                session.spans().size(),
+                static_cast<unsigned long long>(session.requests_traced()));
+  }
 
   if (!write_file(out, "chrome trace", [&](std::ostream& os) {
         obs::write_chrome_trace(os, session);
