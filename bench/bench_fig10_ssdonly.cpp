@@ -3,6 +3,7 @@
 // storage because its log-structured cache writes the SSD sequentially,
 // while direct SSD datafiles take the random-write path (140 vs 30 MB/s).
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 
 using namespace ibridge;
 using namespace ibridge::bench;
@@ -22,26 +23,39 @@ double run_case(const Scale& scale, const cluster::ClusterConfig& cc,
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
+  exp::Stopwatch sw;
+  exp::Gauge g("fig10_ssdonly");
   banner("Figure 10", "BTIO: disk-only vs SSD-only vs iBridge");
 
   stats::Table t({"procs", "disk-only (s)", "SSD-only (s)", "iBridge (s)"});
   for (int procs : {9, 16, 64, 100}) {
-    t.add_row({std::to_string(procs),
-               stats::Table::fmt(
-                   "%.2f", run_case(scale, cluster::ClusterConfig::stock(),
-                                    procs)),
-               stats::Table::fmt(
-                   "%.2f", run_case(scale, cluster::ClusterConfig::ssd_only(),
-                                    procs)),
-               stats::Table::fmt(
-                   "%.2f",
-                   run_case(scale, cluster::ClusterConfig::with_ibridge(),
-                            procs))});
+    const double disk =
+        run_case(scale, cluster::ClusterConfig::stock(), procs);
+    const double ssd =
+        run_case(scale, cluster::ClusterConfig::ssd_only(), procs);
+    const double ib =
+        run_case(scale, cluster::ClusterConfig::with_ibridge(), procs);
+    t.add_row({std::to_string(procs), stats::Table::fmt("%.2f", disk),
+               stats::Table::fmt("%.2f", ssd),
+               stats::Table::fmt("%.2f", ib)});
+    // Built stepwise: the one-expression "p" + to_string(procs) form trips
+    // GCC 12's -Werror=restrict false positive at -O3.
+    std::string p = "p";
+    p += std::to_string(procs);
+    g.set("disk." + p + ".elapsed_s", disk);
+    g.set("ssdonly." + p + ".elapsed_s", ssd);
+    g.set("ibridge." + p + ".elapsed_s", ib);
   }
   t.print();
   std::printf("  paper: iBridge < SSD-only < disk-only — the log-structured "
               "cache turns the SSD's\n  random writes into sequential "
               "ones\n");
   footnote();
+
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr,
+                 "warning: could not write BENCH_fig10_ssdonly.json\n");
+  }
   return 0;
 }

@@ -1,12 +1,15 @@
 // Figure 11 — BTIO I/O time as a function of available SSD cache capacity,
 // 8 GB down to 0 GB (effectively disk-only).
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 
 using namespace ibridge;
 using namespace ibridge::bench;
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
+  exp::Stopwatch sw;
+  exp::Gauge g("fig11_ssdcap");
   banner("Figure 11", "BTIO I/O time vs SSD cache capacity");
 
   // Capacities scale with the accessed data volume so the sweep spans
@@ -39,6 +42,12 @@ int main(int argc, char** argv) {
     t.add_row({stats::Table::fmt("%.0f%% of data", frac * 100.0),
                stats::Table::fmt("%.3f", r.io_time.to_seconds()),
                stats::Table::fmt("%.2f", r.elapsed.to_seconds())});
+    // Built stepwise: the one-expression "cap" + to_string(pct) form trips
+    // GCC 12's -Werror=restrict false positive at -O3.
+    std::string cap = "cap";
+    cap += std::to_string(static_cast<int>(frac * 100.0));
+    g.set(cap + ".io_s", r.io_time.to_seconds());
+    g.set(cap + ".exec_s", r.elapsed.to_seconds());
     if (frac == 0.0 && io0 > 0) {
       std::printf("  I/O time ratio 0-capacity vs full: %.1fx (paper: 12x); "
                   "exec time ratio: %.1fx (paper: 2.2x)\n",
@@ -50,5 +59,10 @@ int main(int argc, char** argv) {
   std::printf("  paper: near-linear relation between cached share and I/O "
               "performance\n");
   footnote();
+
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_fig11_ssdcap.json\n");
+  }
   return 0;
 }

@@ -44,7 +44,10 @@ int main(int argc, char** argv) {
                                          stock.elapsed.to_seconds()),
          stats::Table::fmt("%.0f%%", 100.0 * ib.io_time.to_seconds() /
                                          ib.elapsed.to_seconds())});
-    const std::string p = "p" + std::to_string(procs);
+    // Built stepwise: the one-expression "p" + to_string(procs) form trips
+    // GCC 12's -Werror=restrict false positive at -O3.
+    std::string p = "p";
+    p += std::to_string(procs);
     g.set("stock." + p + ".elapsed_s", stock.elapsed.to_seconds());
     g.set("ibridge." + p + ".elapsed_s", ib.elapsed.to_seconds());
     g.set("stock." + p + ".io_s", stock.io_time.to_seconds());

@@ -16,6 +16,15 @@
 // --check exits 1 unless the production engine shows >= 25% ns/event and
 // >= 90% allocs/event reduction (the CI bench-gauge job runs this).  Emits
 // BENCH_simcore.json.
+//
+// A second section exercises the sharded parallel core (sim::ShardGroup):
+// the same event volume spread over 4 shards with cross-shard mailbox
+// traffic, drained by 1 worker vs 4 workers.  The per-run checksum folds
+// every chain's (shard, time, accumulator) history in drain order, so the
+// worker counts must produce bit-identical checksums (enforced under
+// --check always) and the 4-worker run must be >= 1.8x faster (enforced
+// only when the machine has >= 4 hardware threads — wall-clock speedup is
+// meaningless on fewer cores).
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -28,8 +37,11 @@
 #include <utility>
 #include <vector>
 
+#include <thread>
+
 #include "exp/cli.hpp"
 #include "exp/gauge.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 // ------------------------------------------------- allocation counting ----
@@ -180,6 +192,110 @@ Measurement measure(std::int64_t total_events, int chains, int reps) {
   return m;
 }
 
+// ------------------------------------------------ parallel shard section ----
+
+/// Self-rescheduling chains on a sim::ShardGroup: links are shard-local
+/// (1-8 ns apart) except every 8th, which crosses to the next shard through
+/// the mailbox/barrier path.  The 1 us lookahead makes windows thousands of
+/// events wide, so the barrier cost is amortized — the big-run shape the
+/// parallel core is built for.  Terminal links fold into a per-shard cell
+/// in drain order; the mixed checksum therefore depends on every link's
+/// (shard, time, accumulator) history and catches any schedule divergence.
+struct ParWorkload {
+  ibridge::sim::ShardGroup* group = nullptr;
+  std::vector<std::uint64_t> cells;  // one per shard, touched shard-locally
+
+  void link(int s, std::uint64_t id, std::uint64_t remaining,
+            std::uint64_t acc) {
+    ibridge::sim::Simulator& sim = group->shard(s);
+    acc = acc * 6364136223846793005ULL + id +
+          static_cast<std::uint64_t>(sim.now().ns());
+    if (remaining == 0) {
+      std::uint64_t& cell = cells[static_cast<std::size_t>(s)];
+      cell = cell * 0x100000001b3ULL ^ acc;
+      return;
+    }
+    if ((remaining & 7) == 0) {
+      const int dst = (s + 1) % group->shards();
+      group->post(sim, group->shard(dst),
+                  sim.now() + group->lookahead() +
+                      ibridge::sim::SimTime::nanos(
+                          static_cast<std::int64_t>(acc & 63)),
+                  ibridge::sim::InlineEvent([this, dst, id, remaining, acc] {
+                    link(dst, id, remaining - 1, acc);
+                  }));
+      return;
+    }
+    sim.schedule(
+        SimTime::nanos(static_cast<std::int64_t>(1 + (acc & 7))),
+        ibridge::sim::InlineEvent([this, s, id, remaining, acc] {
+          link(s, id, remaining - 1, acc);
+        }));
+  }
+};
+
+struct ParResult {
+  double secs = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t posts = 0;
+};
+
+/// One sharded run: `shards` logical shards drained by `workers` threads.
+/// The schedule — and so checksum/events/windows/posts — must not depend
+/// on `workers`; only `secs` may.
+ParResult measure_par(int shards, int workers, std::int64_t total_events,
+                      int reps) {
+  constexpr int kChainsPerShard = 64;
+  const auto links = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, total_events / (shards * kChainsPerShard)));
+  ParResult r;
+  double best_s = 0;
+  for (int rep = 0; rep <= reps; ++rep) {
+    ibridge::sim::ShardGroup group(shards, SimTime::micros(1), workers);
+    ParWorkload w;
+    w.group = &group;
+    w.cells.assign(static_cast<std::size_t>(shards), 0);
+    for (int s = 0; s < shards; ++s) {
+      group.shard(s).reserve(kChainsPerShard + 64);
+      for (int c = 0; c < kChainsPerShard; ++c) {
+        const auto id = static_cast<std::uint64_t>(s * kChainsPerShard + c);
+        group.shard(s).schedule_at(
+            SimTime::nanos(static_cast<std::int64_t>(1 + id % 97)),
+            ibridge::sim::InlineEvent([&w, s, id, links] {
+              w.link(s, id, links, 0x9E3779B97F4A7C15ULL ^ id);
+            }));
+      }
+    }
+    ibridge::exp::Stopwatch sw;
+    group.run_all();
+    const double s = sw.seconds();
+    std::uint64_t cs = 0;
+    for (std::size_t i = 0; i < w.cells.size(); ++i) {
+      cs = cs * 0x9E3779B97F4A7C15ULL ^ (w.cells[i] + i);
+    }
+    if (rep == 0) {
+      r.checksum = cs;
+      r.events = group.events_executed();
+      r.windows = group.windows_run();
+      r.posts = group.posts_delivered();
+      best_s = s;
+    } else {
+      if (cs != r.checksum) {
+        std::fprintf(stderr,
+                     "bench_simcore: nondeterministic parallel rep "
+                     "(workers=%d)\n",
+                     workers);
+        std::exit(1);
+      }
+      if (s < best_s) best_s = s;
+    }
+  }
+  r.secs = best_s;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,15 +355,43 @@ int main(int argc, char** argv) {
   std::printf("  reduction: %.1f%% ns/event, %.1f%% allocs/event\n", ns_red,
               alloc_red);
 
+  // ---- sharded parallel core: 4 shards, 1 worker vs 4 workers ----------
+  constexpr int kParShards = 4;
+  const ParResult p1 = measure_par(kParShards, 1, events, reps);
+  const ParResult p4 = measure_par(kParShards, 4, events, reps);
+  const bool par_match = p1.checksum == p4.checksum &&
+                         p1.events == p4.events &&
+                         p1.windows == p4.windows && p1.posts == p4.posts;
+  const double speedup = p4.secs > 0 ? p1.secs / p4.secs : 0.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("sharded parallel core, %d shards, %llu events, %llu windows, "
+              "%llu cross-shard posts\n",
+              kParShards, static_cast<unsigned long long>(p1.events),
+              static_cast<unsigned long long>(p1.windows),
+              static_cast<unsigned long long>(p1.posts));
+  std::printf("  %-34s %8.3f s\n", "1 worker", p1.secs);
+  std::printf("  %-34s %8.3f s\n", "4 workers", p4.secs);
+  std::printf("  speedup: %.2fx (%u hardware threads), checksum %s\n",
+              speedup, hw, par_match ? "MATCH" : "MISMATCH");
+
   ibridge::exp::Gauge g("simcore");
   g.set("events", static_cast<double>(fn.events));
   g.set("chains", chains);
   g.set("allocs_per_event.fn", fn.allocs_per_event);
   g.set("allocs_per_event.inline", inl.allocs_per_event);
   g.set("alloc_reduction_pct", alloc_red);
+  g.set("par.shards", kParShards);
+  g.set("par.events", static_cast<double>(p1.events));
+  g.set("par.windows", static_cast<double>(p1.windows));
+  g.set("par.posts", static_cast<double>(p1.posts));
+  g.set("par.checksum_match", par_match ? 1.0 : 0.0);
   g.set_wall("ns_per_event.fn", fn.ns_per_event);
   g.set_wall("ns_per_event.inline", inl.ns_per_event);
   g.set_wall("ns_reduction_pct", ns_red);
+  g.set_wall("par.secs.workers1", p1.secs);
+  g.set_wall("par.secs.workers4", p4.secs);
+  g.set_wall("par.speedup", speedup);
   if (!g.write_file()) {
     std::fprintf(stderr, "warning: could not write BENCH_simcore.json\n");
   }
@@ -257,6 +401,21 @@ int main(int argc, char** argv) {
                  "bench_simcore: FAIL --check thresholds (need >=25%% ns, "
                  ">=90%% allocs; got %.1f%%, %.1f%%)\n",
                  ns_red, alloc_red);
+    return 1;
+  }
+  if (check && !par_match) {
+    std::fprintf(stderr,
+                 "bench_simcore: FAIL parallel determinism (1-worker vs "
+                 "4-worker schedules diverged)\n");
+    return 1;
+  }
+  // The wall-clock gate needs real parallel hardware; the determinism gate
+  // above runs everywhere.
+  if (check && hw >= 4 && speedup < 1.8) {
+    std::fprintf(stderr,
+                 "bench_simcore: FAIL parallel speedup (need >=1.8x at 4 "
+                 "workers, got %.2fx)\n",
+                 speedup);
     return 1;
   }
   return 0;

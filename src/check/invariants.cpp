@@ -277,17 +277,27 @@ std::uint64_t table_digest(const MappingTable& t) {
 
 void InvariantOracle::on_check(const core::IBridgeCache& cache,
                                const char* where) {
+  // Run the (pure, cache-local) audit outside the lock; only the shared
+  // bookkeeping below is serialized.
+  std::vector<std::string> violations = verify_cache(cache);
+  const void* clock = &cache.simulator();
+  const std::int64_t now_ns = cache.simulator().now().ns();
+
+  std::lock_guard<std::mutex> lk(mu_);
   ++checks_;
   if (failures_.size() >= kMaxFailures) return;
 
-  // Monotone simulator time across every observed step.
-  const std::int64_t now_ns = cache.simulator().now().ns();
-  if (now_ns < last_now_ns_) {
-    failures_.push_back(std::string(where) + ": simulator time ran backwards");
+  // Monotone simulator time across every observed step of one clock domain.
+  auto [it, fresh] = last_now_ns_.try_emplace(clock, now_ns);
+  if (!fresh) {
+    if (now_ns < it->second) {
+      failures_.push_back(std::string(where) +
+                          ": simulator time ran backwards");
+    }
+    it->second = now_ns;
   }
-  last_now_ns_ = now_ns;
 
-  for (auto& v : verify_cache(cache)) {
+  for (auto& v : violations) {
     if (failures_.size() >= kMaxFailures) break;
     failures_.push_back(std::string(where) + ": " + std::move(v));
   }

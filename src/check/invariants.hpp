@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,14 @@ std::uint64_t table_digest(const core::MappingTable& t);
 
 /// CacheObserver that audits the cache after every step and records
 /// violations (capped; the first failure is what matters for shrinking).
+///
+/// One oracle is installed on every server's cache, so on a sharded
+/// cluster on_check runs concurrently from worker threads: a mutex
+/// serializes the bookkeeping, and the monotone-time audit is keyed per
+/// simulator (shard clocks advance independently inside a window, so a
+/// global ordering across shards would be a false positive).  On the
+/// classic core every cache shares one simulator — a single key — which
+/// is exactly the old global check.
 class InvariantOracle : public core::CacheObserver {
  public:
   void on_check(const core::IBridgeCache& cache, const char* where) override;
@@ -63,17 +73,22 @@ class InvariantOracle : public core::CacheObserver {
   std::uint64_t checks_run() const { return checks_; }
 
   void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
     failures_.clear();
     checks_ = 0;
-    last_now_ns_ = -1;
+    last_now_ns_.clear();
   }
 
  private:
   static constexpr std::size_t kMaxFailures = 16;
 
+  mutable std::mutex mu_;
   std::vector<std::string> failures_;
   std::uint64_t checks_ = 0;
-  std::int64_t last_now_ns_ = -1;
+  /// Last observed time per simulator (clock domain).  Lookup-only — the
+  /// map is never iterated, so address ordering cannot leak into results.
+  // lint: pointer-key-ok (keyed for point lookups only; never iterated)
+  std::map<const void*, std::int64_t> last_now_ns_;
 };
 
 }  // namespace ibridge::check

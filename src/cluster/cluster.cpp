@@ -42,13 +42,36 @@ storage::SeekProfile profile_disk(const storage::HddParams& params) {
 }
 
 Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
-  // Pre-size the event heap for the steady-state population: every rank can
-  // have a few events in flight (NIC, disk queue, coroutine resume) plus
-  // per-server daemons.  Avoids heap regrowth pauses mid-run.
-  sim_.reserve(static_cast<std::size_t>(cfg.client_nodes) *
-                   static_cast<std::size_t>(cfg.procs_per_node) * 4 +
-               static_cast<std::size_t>(cfg.data_servers) * 64 + 256);
-  net_ = std::make_unique<net::NetworkModel>(sim_, cfg.network);
+  const std::size_t client_events =
+      static_cast<std::size_t>(cfg.client_nodes) *
+          static_cast<std::size_t>(cfg.procs_per_node) * 4 +
+      256;
+  const std::size_t server_events = 64;
+  if (cfg.shards >= 1) {
+    // Sharded core: shard 0 = client + MDS side, shard 1+i = data server i.
+    // The logical structure is fixed by the topology; cfg.shards only caps
+    // the worker-thread count, so any shards >= 1 produces byte-identical
+    // results.  The barrier lookahead is the network wire latency — the
+    // minimum time any cross-shard interaction takes (ShardGroup rejects a
+    // non-positive lookahead, i.e. a zero-latency network).
+    const int logical = 1 + cfg.data_servers;
+    const int workers = cfg.shards < logical ? cfg.shards : logical;
+    group_ = std::make_unique<sim::ShardGroup>(
+        logical, cfg.network.wire_latency(), workers);
+    front_ = &group_->shard(0);
+    front_->reserve(client_events);
+    for (int i = 0; i < cfg.data_servers; ++i) {
+      group_->shard(1 + i).reserve(server_events + 256);
+    }
+  } else {
+    // Pre-size the event heap for the steady-state population: every rank
+    // can have a few events in flight (NIC, disk queue, coroutine resume)
+    // plus per-server daemons.  Avoids heap regrowth pauses mid-run.
+    sim_.reserve(client_events +
+                 static_cast<std::size_t>(cfg.data_servers) * server_events);
+  }
+  net_ = std::make_unique<net::NetworkModel>(*front_, cfg.network);
+  net_->set_shard_group(group_.get());
 
   storage::SeekProfile profile;
   if (cfg.server.ibridge.enabled) {
@@ -58,16 +81,18 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   servers_.reserve(static_cast<std::size_t>(cfg.data_servers));
   std::vector<pvfs::DataServer*> raw;
   for (int i = 0; i < cfg.data_servers; ++i) {
-    net::Nic& nic = net_->add_endpoint("ds" + std::to_string(i));
+    sim::Simulator& ssim = group_ ? group_->shard(1 + i) : sim_;
+    net::Nic& nic = net_->add_endpoint("ds" + std::to_string(i), ssim);
     server_nics_.push_back(&nic);
     servers_.push_back(std::make_unique<pvfs::DataServer>(
-        sim_, sim::ServerId{i}, cfg.server, nic, profile));
+        ssim, sim::ServerId{i}, cfg.server, nic, profile));
     raw.push_back(servers_.back().get());
   }
 
   mds_nic_ = &net_->add_endpoint("mds");
   mds_ = std::make_unique<pvfs::MetadataServer>(
-      sim_, raw, *mds_nic_, cfg.server.ibridge.t_report_interval);
+      *front_, raw, *mds_nic_, cfg.server.ibridge.t_report_interval);
+  mds_->set_shard_group(group_.get());
   mds_->start_board_daemon();
 
   for (int i = 0; i < cfg.client_nodes; ++i) {
@@ -76,7 +101,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
 
   pvfs::ClientConfig cc = cfg.client;
   cc.procs_per_node = cfg.procs_per_node;
-  client_ = std::make_unique<pvfs::Client>(sim_, *mds_, raw, *net_,
+  client_ = std::make_unique<pvfs::Client>(*front_, *mds_, raw, *net_,
                                            client_nics_, cc);
 }
 
@@ -107,12 +132,22 @@ sim::SimTime Cluster::drain() {
   mds_->stop();
   stop_metrics_sampler();
   bool done = false;
+  // Drain one server's cache, ending on shard 0: the JoinSet's completion
+  // counter lives there, so a sharded cluster must hop back before the
+  // wrapper increments it.  (Unsharded, the hop is skipped and the extra
+  // coroutine layer schedules no events — the timeline is unchanged.)
+  auto drain_one = [](Cluster& c, pvfs::DataServer& s) -> sim::Task<> {
+    co_await s.cache()->drain();
+    if (c.shard_group() != nullptr) {
+      co_await c.shard_group()->hop(s.sim(), c.sim());
+    }
+  };
   // Drain every server concurrently — the flushes overlap in simulated
   // time exactly as the real servers' write-back threads would.
-  auto drain_all = [](Cluster& c, bool& flag) -> sim::Task<> {
+  auto drain_all = [&drain_one](Cluster& c, bool& flag) -> sim::Task<> {
     sim::JoinSet join(c.sim());
     for (int i = 0; i < c.server_count(); ++i) {
-      if (c.server(i).cache()) join.add(c.server(i).cache()->drain());
+      if (c.server(i).cache()) join.add(drain_one(c, c.server(i)));
     }
     co_await join.join();
     flag = true;
@@ -122,11 +157,11 @@ sim::SimTime Cluster::drain() {
     if (s->cache()) s->cache()->stop();
   }
   task.start();
-  sim_.run_while_pending([&] { return done; });
-  const sim::SimTime flushed = sim_.now();
+  sim().run_while_pending([&] { return done; });
+  const sim::SimTime flushed = sim().now();
   // Clear the queue (stale daemon wake-ups, in-flight background copies);
   // this may advance the clock past `flushed`, which callers must ignore.
-  sim_.run();
+  sim().run();
   return flushed;
 }
 
@@ -135,20 +170,38 @@ void Cluster::install_observer(core::CacheObserver* obs) {
 }
 
 void Cluster::set_trace(obs::TraceSession* session) {
+  // TraceSession appends to shared rings from every layer; it has no
+  // cross-shard story yet, so tracing requires the classic core.
+  assert(session == nullptr || group_ == nullptr);
   client_->set_trace(session);
   for (auto& s : servers_) s->set_trace(session);
 }
 
 void Cluster::set_profiler(obs::SimProfiler* profiler) {
   profiler_ = profiler;
-  sim_.set_step_hook(profiler);
   if (profiler != nullptr) {
     profiler->set_server_count(servers_.size());
     client_->set_profiler(profiler, profiler->category("client"));
   } else {
     client_->set_profiler(nullptr, 0);
   }
+  // Interns categories — must precede lane creation (lanes size their
+  // counters to the categories known at creation).
   for (auto& s : servers_) s->set_profiler(profiler);
+  if (group_ == nullptr) {
+    sim_.set_step_hook(profiler);
+    return;
+  }
+  // Sharded: every shard gets its own lane hook; the profiler's accessors
+  // fan the lanes back in (see obs/profiler.hpp).
+  if (profiler != nullptr) {
+    profiler->set_lane_count(static_cast<std::size_t>(group_->shards()));
+  }
+  for (int k = 0; k < group_->shards(); ++k) {
+    group_->shard(k).set_step_hook(
+        profiler == nullptr ? nullptr
+                            : profiler->lane_hook(static_cast<std::size_t>(k)));
+  }
 }
 
 void Cluster::collect_metrics(obs::MetricsRegistry& reg) const {
@@ -246,6 +299,9 @@ void Cluster::start_metrics_sampler(sim::SimTime interval,
                                     obs::TimeSeries* out) {
   assert(out != nullptr);
   assert(interval > sim::SimTime::zero());
+  // The sampler's tick reads every server's counters from shard 0 mid-run;
+  // sample after the run (or shard the sampler) before lifting this.
+  assert(group_ == nullptr && "metrics sampler requires the classic core");
   sampler_running_ = true;
   schedule_sample(interval, out, ++sampler_epoch_);
 }

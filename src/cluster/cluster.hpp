@@ -19,6 +19,7 @@
 #include "pvfs/client.hpp"
 #include "pvfs/metadata.hpp"
 #include "pvfs/server.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
 #include "storage/profiler.hpp"
@@ -30,6 +31,16 @@ struct ClusterConfig {
   std::int64_t stripe_unit = 64 * 1024;
   int client_nodes = 12;  ///< NICs on the client side
   int procs_per_node = 48;
+
+  /// 0 (default): classic single-threaded simulator — byte-identical to
+  /// every run before sharding existed.  >= 1: the sharded windowed core
+  /// (sim::ShardGroup): shard 0 runs the client/MDS side and shard 1+i runs
+  /// data server i, with `shards` capping the *worker thread* count.  The
+  /// logical shard structure is fixed by the topology, so results are
+  /// byte-identical across every `shards >= 1` setting; only wall-clock
+  /// speed changes.  Requires positive network latency (the barrier
+  /// lookahead) — the constructor throws std::invalid_argument otherwise.
+  int shards = 0;
   pvfs::DataServerConfig server;
   net::NetworkParams network;
   pvfs::ClientConfig client;
@@ -48,7 +59,15 @@ class Cluster {
   Cluster& operator=(const Cluster&) = delete;
   ~Cluster();
 
-  sim::Simulator& sim() { return sim_; }
+  /// The driver-facing simulator: shard 0 in a sharded cluster (where the
+  /// client, MDS and all run()-family entry points live), the single
+  /// simulator otherwise.  run()/run_while_pending() on it transparently
+  /// drive the whole shard group.
+  sim::Simulator& sim() { return *front_; }
+
+  /// The shard group, or nullptr for a classic single-threaded cluster.
+  sim::ShardGroup* shard_group() { return group_.get(); }
+
   pvfs::Client& client() { return *client_; }
   pvfs::MetadataServer& mds() { return *mds_; }
   pvfs::DataServer& server(int i) { return *servers_[static_cast<size_t>(i)]; }
@@ -113,7 +132,9 @@ class Cluster {
                        std::uint64_t epoch);
 
   ClusterConfig cfg_;
-  sim::Simulator sim_;
+  sim::Simulator sim_;  ///< the classic single simulator (cfg.shards == 0)
+  std::unique_ptr<sim::ShardGroup> group_;  ///< set when cfg.shards >= 1
+  sim::Simulator* front_ = &sim_;           ///< shard 0 or sim_
   bool sampler_running_ = false;
   std::uint64_t sampler_epoch_ = 0;
   std::unique_ptr<net::NetworkModel> net_;

@@ -1,5 +1,6 @@
 #include "fault/engine.hpp"
 
+#include <cassert>
 #include <sstream>
 #include <utility>
 
@@ -84,6 +85,9 @@ void FaultEngine::set_trace(obs::TraceSession* session) {
 void FaultEngine::start() {
   if (started_) return;
   started_ = true;
+  // Sharded actors run on their servers' shards; the TraceSession has no
+  // cross-shard story, so tracing an engine requires the classic core.
+  assert(trace_ == nullptr || cluster_.shard_group() == nullptr);
   for (int i = 0; i < cluster_.server_count(); ++i) {
     SsdFaultModel* m = models_[static_cast<std::size_t>(i)].get();
     if (m == nullptr) continue;
@@ -92,17 +96,28 @@ void FaultEngine::start() {
       ssd->set_fault_hook(m);
     }
   }
+  const bool sharded = cluster_.shard_group() != nullptr;
   for (const CrashSpec& c : schedule_.crashes) {
     if (c.server < 0 || c.server >= cluster_.server_count()) continue;
-    actors_.spawn(crash_actor(c));
+    ActorLane* lane = &shared_;
+    if (sharded) {
+      lanes_.emplace_back();
+      lane = &lanes_.back();
+    }
+    actors_.spawn(crash_actor(c, lane));
   }
 }
 
-sim::Task<> FaultEngine::crash_actor(CrashSpec spec) {
-  sim::Simulator& sim = cluster_.sim();
+sim::Task<> FaultEngine::crash_actor(CrashSpec spec, ActorLane* lane) {
   pvfs::DataServer& server = cluster_.server(spec.server);
   core::IBridgeCache* cache = server.cache();
-  co_await sim::Delay{sim, spec.at};
+  sim::ShardGroup* group = cluster_.shard_group();
+  // Arm the timer on shard 0 (where the actor is spawned), then move to the
+  // crashed server's shard: everything below touches its cache/device state
+  // and schedules on its queue.
+  co_await sim::Delay{cluster_.sim(), spec.at};
+  if (group != nullptr) co_await group->hop(cluster_.sim(), server.sim());
+  sim::Simulator& sim = server.sim();
 
   const obs::SpanId span =
       trace_ != nullptr ? trace_->begin(trace_track_, "fault.crash", "fault")
@@ -113,8 +128,8 @@ sim::Task<> FaultEngine::crash_actor(CrashSpec spec) {
   }
 
   // -- crash: cut write-back, take the server off the network ------------
-  ++counters_.crashes;
-  digest_.update_i64(sim.now().ns());
+  ++lane->stats.crashes;
+  lane->digest.update_i64(sim.now().ns());
   CrashGate gate(spec.phase);
   if (cache != nullptr) {
     cache->set_writeback_gate(&gate);
@@ -147,8 +162,8 @@ sim::Task<> FaultEngine::crash_actor(CrashSpec spec) {
       if (e.dirty) dirty.mark(e.log_off, e.length);
     }
   }
-  digest_.update_i64(dirty.set_count());
-  digest_.update_u64(image.size());
+  lane->digest.update_i64(dirty.set_count());
+  lane->digest.update_u64(image.size());
 
   // -- outage ------------------------------------------------------------
   co_await sim::Delay{sim, spec.outage};
@@ -157,22 +172,22 @@ sim::Task<> FaultEngine::crash_actor(CrashSpec spec) {
   if (cache != nullptr) {
     std::istringstream is(image);
     if (!cache->recover(is)) {
-      if (!failure_.empty()) failure_ += "; ";
-      failure_ += "srv" + std::to_string(spec.server) +
-                  ": mapping-table replay failed";
+      if (!lane->failure.empty()) lane->failure += "; ";
+      lane->failure += "srv" + std::to_string(spec.server) +
+                       ": mapping-table replay failed";
     }
     cache->set_writeback_gate(nullptr);
     cache->start();
   }
   server.set_offline(false);
-  ++counters_.recoveries;
-  digest_.update_i64(sim.now().ns());
+  ++lane->stats.recoveries;
+  lane->digest.update_i64(sim.now().ns());
 
   // -- degraded mode: trickle the recovered dirty backlog home -----------
   while (cache != nullptr && dirty.any()) {
     co_await sim::Delay{sim, spec.drain_interval};
     co_await cache->flush_dirty(sim::Bytes{spec.drain_budget});
-    ++counters_.degraded_flushes;
+    ++lane->stats.degraded_flushes;
     // Positions still dirty now; intersecting clears every pre-crash
     // position whose entry has since been flushed, evicted, or trimmed.
     DirtyBitmap still(cache->log().capacity(), dirty.granule());
@@ -182,22 +197,43 @@ sim::Task<> FaultEngine::crash_actor(CrashSpec spec) {
     }
     dirty.intersect(still);
   }
-  digest_.update_i64(sim.now().ns());
+  lane->digest.update_i64(sim.now().ns());
+  // Return to shard 0 so TaskGroup completion bookkeeping (all_finished)
+  // is mutated only on the driver shard.
+  if (group != nullptr) co_await group->hop(sim, cluster_.sim());
   if (span != 0) trace_->end(span);
 }
 
 std::uint64_t FaultEngine::digest() const {
   FaultDigest d;
   d.update_u64(schedule_digest(schedule_));
-  d.update_u64(digest_.value());
+  d.update_u64(shared_.digest.value());
+  // Spawn order, so the fold is a pure function of the schedule — invariant
+  // under shard/worker counts.
+  for (const ActorLane& lane : lanes_) d.update_u64(lane.digest.value());
   for (const auto& m : models_) {
     d.update_u64(m != nullptr ? m->digest() : 0);
   }
   return d.value();
 }
 
+const std::string& FaultEngine::failure() const {
+  failure_joined_ = shared_.failure;
+  for (const ActorLane& lane : lanes_) {
+    if (lane.failure.empty()) continue;
+    if (!failure_joined_.empty()) failure_joined_ += "; ";
+    failure_joined_ += lane.failure;
+  }
+  return failure_joined_;
+}
+
 FaultEngine::Stats FaultEngine::stats() const {
-  Stats s = counters_;
+  Stats s = shared_.stats;
+  for (const ActorLane& lane : lanes_) {
+    s.crashes += lane.stats.crashes;
+    s.recoveries += lane.stats.recoveries;
+    s.degraded_flushes += lane.stats.degraded_flushes;
+  }
   for (const auto& m : models_) {
     if (m != nullptr) {
       s.gc_pauses += m->gc_pauses();

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,8 +54,9 @@ class FaultEngine {
   /// same-seed same-schedule runs.
   std::uint64_t digest() const;
 
-  /// Non-empty when a recovery replay failed ("; "-joined).
-  const std::string& failure() const { return failure_; }
+  /// Non-empty when a recovery replay failed ("; "-joined).  Driver phase
+  /// only (joins the per-actor lanes into a cached string).
+  const std::string& failure() const;
 
   struct Stats {
     std::uint64_t crashes = 0;
@@ -69,7 +71,21 @@ class FaultEngine {
 
  private:
   class CrashGate;
-  sim::Task<> crash_actor(CrashSpec spec);
+
+  /// Where an actor folds its injected events.  On the classic core every
+  /// actor shares one lane — the counters/digest interleave in event-time
+  /// order, byte-identical to the engine's original single-digest history.
+  /// On a sharded cluster actors run concurrently on their servers' shards,
+  /// so each gets its own lane (deque: stable addresses), folded in spawn
+  /// order by digest()/stats()/failure() — which makes the merged values a
+  /// pure function of the schedule, invariant under the worker count.
+  struct ActorLane {
+    Stats stats;
+    FaultDigest digest;
+    std::string failure;
+  };
+
+  sim::Task<> crash_actor(CrashSpec spec, ActorLane* lane);
 
   cluster::Cluster& cluster_;
   FaultSchedule schedule_;
@@ -78,9 +94,9 @@ class FaultEngine {
   obs::TraceSession* trace_ = nullptr;
   obs::TrackId trace_track_ = obs::kNoTrack;
   bool started_ = false;
-  std::string failure_;
-  Stats counters_;
-  FaultDigest digest_;
+  ActorLane shared_;              ///< the classic core's single lane
+  std::deque<ActorLane> lanes_;   ///< sharded: one per actor, spawn order
+  mutable std::string failure_joined_;
   sim::TaskGroup actors_;
 };
 

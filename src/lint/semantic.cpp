@@ -87,10 +87,25 @@ bool is_write(const std::vector<Token>& t, std::size_t i) {
   return false;
 }
 
+/// Member-function names that mutate the receiver.  A call to one of these
+/// through a shard-owned symbol is a write for ownership purposes: foreign
+/// modules must route such mutations through the owner (for the parallel
+/// core that means a ShardGroup::post into the owner's mailbox, merged at
+/// the window barrier) instead of reaching across shards directly.
+bool is_mutating_method(const std::string& name) {
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "pop_back", "push", "pop",  "emplace",
+      "insert",    "erase",        "clear",    "resize", "assign", "reset",
+      "store",     "exchange",     "fetch_add", "fetch_sub", "swap"};
+  return kMutators.count(name) != 0;
+}
+
 /// shard-ownership: shard-owned(<module>) declares a single writer module.
-/// An empty owner is an error (the missing-ownership fixture), and a write
-/// to the variable's name from any other src/ module is flagged.  Matching
-/// is by name — over-approximate, with shared-ok as the documented escape.
+/// An empty owner is an error (the missing-ownership fixture); flagged as
+/// foreign writes are both direct stores (assignment, ++/--) and mutating
+/// method calls (`owned.push_back(...)`, `owned->reset(...)`) to the
+/// variable's name from any other src/ module.  Matching is by name —
+/// over-approximate, with shared-ok as the documented escape.
 void check_shard_ownership(const std::vector<SourceFile>& files,
                            const Index& idx, std::vector<Diagnostic>& out) {
   struct Owned {
@@ -116,15 +131,34 @@ void check_shard_ownership(const std::vector<SourceFile>& files,
       if (tok.kind != TokKind::kIdent) continue;
       const auto it = owned_by_name.find(tok.text);
       if (it == owned_by_name.end()) continue;
-      if (!is_write(f.tokens, i)) continue;
+
+      // Direct store, or a mutating method call on the symbol:
+      //   name . method (        name - > method (
+      const auto t = [&](std::size_t k, const char* s) {
+        return k < f.tokens.size() && f.tokens[k].kind == TokKind::kPunct &&
+               f.tokens[k].text == s;
+      };
+      const auto meth = [&](std::size_t k) {
+        return k + 1 < f.tokens.size() &&
+               f.tokens[k].kind == TokKind::kIdent &&
+               is_mutating_method(f.tokens[k].text) && t(k + 1, "(");
+      };
+      const bool mutating_call =
+          (t(i + 1, ".") && meth(i + 2)) ||
+          (t(i + 1, "-") && t(i + 2, ">") && meth(i + 3));
+      if (!is_write(f.tokens, i) && !mutating_call) continue;
+
       for (const Owned& o : it->second) {
         if (f.module == o.var->owner) continue;
         // The declaration's own initializer is not a foreign write.
         if (f.rel == o.var->file && tok.line == o.var->line) continue;
         report(out, f.rel, tok.line, "shard-ownership",
-               "write to '" + o.var->qualified() + "' (shard-owned(" +
-                   o.var->owner + ")) from module '" + f.module +
-                   "'; route the mutation through the owning module");
+               std::string(mutating_call ? "mutating call on '"
+                                         : "write to '") +
+                   o.var->qualified() + "' (shard-owned(" + o.var->owner +
+                   ")) from module '" + f.module +
+                   "'; route the mutation through the owning module (post "
+                   "into its shard mailbox)");
       }
     }
   }

@@ -15,21 +15,29 @@ int SimProfiler::category(const char* name) {
   event_counts_.push_back(0);
   model_ns_.push_back(0);
   wall_ns_.push_back(0);
+  // Keep already-created shard lanes in sync so a late interning can never
+  // index past a lane's counters.
+  for (ProfilerLane& lane : lanes_) {
+    lane.event_counts_.push_back(0);
+    lane.model_ns_.push_back(0);
+    lane.wall_ns_.push_back(0);
+  }
   return static_cast<int>(names_.size()) - 1;
 }
 
 void SimProfiler::publish(MetricsRegistry& reg) const {
   reg.counter("sim.events") =
       static_cast<std::int64_t>(events_total());
-  reg.gauge("sim.queue_depth") = static_cast<double>(last_depth_);
+  reg.gauge("sim.queue_depth") = static_cast<double>(queue_depth_last());
   reg.gauge("prof.queue_depth.mean") = queue_depth_mean();
-  reg.gauge("prof.queue_depth.max") = static_cast<double>(depth_peak_);
+  reg.gauge("prof.queue_depth.max") =
+      static_cast<double>(queue_depth_peak());
   for (std::size_t c = 0; c < names_.size(); ++c) {
     const std::string suffix(names_[c]);
-    reg.counter("prof.events." + suffix) =
-        static_cast<std::int64_t>(event_counts_[c]);
+    reg.counter("prof.events." + suffix) = static_cast<std::int64_t>(
+        events(static_cast<int>(c)));
     reg.gauge("prof.model_ms." + suffix) =
-        static_cast<double>(model_ns_[c]) / 1e6;
+        static_cast<double>(model_ns(static_cast<int>(c))) / 1e6;
   }
   for (std::size_t s = 0; s < heat_ops_.size(); ++s) {
     const std::string prefix = "srv" + std::to_string(s) + ".prof.";

@@ -29,10 +29,21 @@
 // The hooks neither allocate nor touch the event queue, so an attached
 // profiler keeps the simulated timeline byte-identical to an unprofiled
 // run.
+//
+// Sharded runs (sim::ShardGroup): one profiler cannot be the step hook of
+// several shards draining on different threads, so set_lane_count() creates
+// one ProfilerLane per shard — each a StepHook owning its own attribution
+// state and counters — and Cluster::set_profiler installs lane k on shard
+// k.  mark() routes through a thread-local active-lane pointer (set by the
+// lane's on_event_begin, cleared by the unsharded hook), so subsystem code
+// is oblivious to sharding.  The accessors and publish() fan the lanes back
+// in; every merged value is a sum/max over per-shard counters, hence
+// worker-count invariant.  See docs/OBSERVABILITY.md.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -41,6 +52,13 @@
 namespace ibridge::obs {
 
 class MetricsRegistry;
+class ProfilerLane;
+
+/// The lane whose event is currently executing on this thread (sharded runs
+/// only; null under the classic single-threaded hook).  Each worker thread
+/// drains one shard at a time, so one slot per thread suffices.
+// lint: shard-owned(obs)
+inline thread_local ProfilerLane* t_active_lane = nullptr;
 
 class SimProfiler final : public sim::StepHook {
  public:
@@ -68,12 +86,17 @@ class SimProfiler final : public sim::StepHook {
 
   /// Attribute the currently running event to `cat`.  First mark per event
   /// wins.  Hot path: no allocation, single predictable branch when unset.
-  void mark(int cat) {
-    if (!cat_marked_) {
-      current_cat_ = cat;
-      cat_marked_ = true;
-    }
-  }
+  /// Routes to the executing shard's lane in sharded runs (defined after
+  /// ProfilerLane below).
+  void mark(int cat);
+
+  /// Create one per-shard lane per shard (sharded runs).  Call after every
+  /// category() interning and before the run — lanes size their counters to
+  /// the categories known here (category() also back-fills existing lanes).
+  void set_lane_count(std::size_t n);
+  std::size_t lane_count() const { return lanes_.size(); }
+  /// The StepHook to install on shard k's simulator.
+  sim::StepHook* lane_hook(std::size_t k);
 
   /// Record one served operation of `bytes` on `server`.  Hot path.
   void heat(std::size_t server, std::int64_t bytes) {
@@ -83,8 +106,11 @@ class SimProfiler final : public sim::StepHook {
     }
   }
 
-  // sim::StepHook — runs inside the Simulator::step() no-alloc zone.
+  // sim::StepHook — runs inside the Simulator::step() no-alloc zone.  This
+  // is the classic single-simulator hook; sharded runs install lane_hook(k)
+  // per shard instead.
   void on_event_begin(sim::SimTime now) override {
+    t_active_lane = nullptr;  // a sharded run may have left a stale lane
     gap_ns_ = (now - last_now_).ns();
     last_now_ = now;
     current_cat_ = kOther;
@@ -112,34 +138,28 @@ class SimProfiler final : public sim::StepHook {
   /// are host noise; read them via wall_ns()).
   void publish(MetricsRegistry& reg) const;
 
-  // Accessors (tools, benches, tests).
+  // Accessors (tools, benches, tests).  All fan in the per-shard lanes, so
+  // callers see one merged view whether the run was sharded or not.
   std::size_t category_count() const { return names_.size(); }
   const char* category_name(int cat) const {
     return names_[static_cast<std::size_t>(cat)];
   }
-  std::uint64_t events(int cat) const {
-    return event_counts_[static_cast<std::size_t>(cat)];
-  }
+  std::uint64_t events(int cat) const;
   std::uint64_t events_total() const {
     std::uint64_t n = 0;
-    for (const std::uint64_t c : event_counts_) n += c;
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      n += events(static_cast<int>(c));
+    }
     return n;
   }
-  std::int64_t model_ns(int cat) const {
-    return model_ns_[static_cast<std::size_t>(cat)];
-  }
-  std::int64_t wall_ns(int cat) const {
-    return wall_ns_[static_cast<std::size_t>(cat)];
-  }
+  std::int64_t model_ns(int cat) const;
+  std::int64_t wall_ns(int cat) const;
   bool wall_timing_enabled() const { return wall_; }
-  double queue_depth_mean() const {
-    return depth_samples_ != 0
-               ? static_cast<double>(depth_sum_) /
-                     static_cast<double>(depth_samples_)
-               : 0.0;
-  }
-  std::size_t queue_depth_peak() const { return depth_peak_; }
-  std::size_t queue_depth_last() const { return last_depth_; }
+  double queue_depth_mean() const;
+  std::size_t queue_depth_peak() const;
+  /// Final queue occupancy: the per-shard sum of each lane's last-seen
+  /// depth in sharded runs.
+  std::size_t queue_depth_last() const;
   std::size_t server_count() const { return heat_ops_.size(); }
   std::uint64_t heat_ops(std::size_t server) const {
     return heat_ops_[server];
@@ -149,11 +169,16 @@ class SimProfiler final : public sim::StepHook {
   }
 
  private:
+  friend class ProfilerLane;
+
   bool wall_;
   std::vector<const char*> names_;          ///< literals; index = category id
   std::vector<std::uint64_t> event_counts_;
   std::vector<std::int64_t> model_ns_;
   std::vector<std::int64_t> wall_ns_;
+  // Heat tables stay unsharded: each server's entries are only written from
+  // that server's shard, so concurrent writers always touch disjoint
+  // elements.
   std::vector<std::uint64_t> heat_ops_;
   std::vector<std::int64_t> heat_bytes_;
 
@@ -167,6 +192,138 @@ class SimProfiler final : public sim::StepHook {
   std::uint64_t depth_samples_ = 0;
   std::size_t depth_peak_ = 0;
   std::size_t last_depth_ = 0;
+
+  std::deque<ProfilerLane> lanes_;  ///< stable addresses; one per shard
 };
+
+/// One shard's step hook: the same attribution state and counters as the
+/// parent profiler, owned exclusively by the worker draining that shard.
+/// Merged back into the parent's accessors after the run.
+class ProfilerLane final : public sim::StepHook {
+ public:
+  explicit ProfilerLane(SimProfiler* parent)
+      : parent_(parent),
+        event_counts_(parent->names_.size(), 0),
+        model_ns_(parent->names_.size(), 0),
+        wall_ns_(parent->names_.size(), 0) {}
+
+  void mark(int cat) {
+    if (!cat_marked_) {
+      current_cat_ = cat;
+      cat_marked_ = true;
+    }
+  }
+
+  // sim::StepHook — same no-alloc contract as the parent's hook.
+  void on_event_begin(sim::SimTime now) override {
+    t_active_lane = this;
+    gap_ns_ = (now - last_now_).ns();
+    last_now_ = now;
+    current_cat_ = SimProfiler::kOther;
+    cat_marked_ = false;
+    if (parent_->wall_) wall_t0_ = std::chrono::steady_clock::now();
+  }
+
+  void on_event_end(sim::SimTime /*now*/, std::size_t pending) override {
+    const auto cat = static_cast<std::size_t>(current_cat_);
+    ++event_counts_[cat];
+    model_ns_[cat] += gap_ns_;
+    depth_sum_ += pending;
+    ++depth_samples_;
+    if (pending > depth_peak_) depth_peak_ = pending;
+    last_depth_ = pending;
+    if (parent_->wall_) {
+      wall_ns_[cat] += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - wall_t0_)
+                           .count();
+    }
+  }
+
+ private:
+  friend class SimProfiler;
+
+  SimProfiler* parent_;
+  std::vector<std::uint64_t> event_counts_;
+  std::vector<std::int64_t> model_ns_;
+  std::vector<std::int64_t> wall_ns_;
+
+  sim::SimTime last_now_ = sim::SimTime::zero();
+  std::int64_t gap_ns_ = 0;
+  int current_cat_ = SimProfiler::kOther;
+  bool cat_marked_ = false;
+  std::chrono::steady_clock::time_point wall_t0_{};
+
+  std::uint64_t depth_sum_ = 0;
+  std::uint64_t depth_samples_ = 0;
+  std::size_t depth_peak_ = 0;
+  std::size_t last_depth_ = 0;
+};
+
+inline void SimProfiler::mark(int cat) {
+  if (ProfilerLane* lane = t_active_lane; lane != nullptr) {
+    lane->mark(cat);
+    return;
+  }
+  if (!cat_marked_) {
+    current_cat_ = cat;
+    cat_marked_ = true;
+  }
+}
+
+inline void SimProfiler::set_lane_count(std::size_t n) {
+  lanes_.clear();
+  for (std::size_t i = 0; i < n; ++i) lanes_.emplace_back(this);
+}
+
+inline sim::StepHook* SimProfiler::lane_hook(std::size_t k) {
+  return &lanes_[k];
+}
+
+inline std::uint64_t SimProfiler::events(int cat) const {
+  const auto c = static_cast<std::size_t>(cat);
+  std::uint64_t n = event_counts_[c];
+  for (const ProfilerLane& lane : lanes_) n += lane.event_counts_[c];
+  return n;
+}
+
+inline std::int64_t SimProfiler::model_ns(int cat) const {
+  const auto c = static_cast<std::size_t>(cat);
+  std::int64_t n = model_ns_[c];
+  for (const ProfilerLane& lane : lanes_) n += lane.model_ns_[c];
+  return n;
+}
+
+inline std::int64_t SimProfiler::wall_ns(int cat) const {
+  const auto c = static_cast<std::size_t>(cat);
+  std::int64_t n = wall_ns_[c];
+  for (const ProfilerLane& lane : lanes_) n += lane.wall_ns_[c];
+  return n;
+}
+
+inline double SimProfiler::queue_depth_mean() const {
+  std::uint64_t sum = depth_sum_;
+  std::uint64_t samples = depth_samples_;
+  for (const ProfilerLane& lane : lanes_) {
+    sum += lane.depth_sum_;
+    samples += lane.depth_samples_;
+  }
+  return samples != 0
+             ? static_cast<double>(sum) / static_cast<double>(samples)
+             : 0.0;
+}
+
+inline std::size_t SimProfiler::queue_depth_peak() const {
+  std::size_t peak = depth_peak_;
+  for (const ProfilerLane& lane : lanes_) {
+    if (lane.depth_peak_ > peak) peak = lane.depth_peak_;
+  }
+  return peak;
+}
+
+inline std::size_t SimProfiler::queue_depth_last() const {
+  std::size_t last = last_depth_;
+  for (const ProfilerLane& lane : lanes_) last += lane.last_depth_;
+  return last;
+}
 
 }  // namespace ibridge::obs

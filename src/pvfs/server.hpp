@@ -69,6 +69,10 @@ class DataServer {
   sim::ServerId id() const { return id_; }
   net::Nic& nic() { return nic_; }
 
+  /// The simulator this server's events run on — its own shard in a
+  /// sharded cluster, the cluster-wide simulator otherwise.
+  sim::Simulator& sim() { return sim_; }
+
   /// Create this server's datafile for a striped logical file.
   fsim::FileId create_datafile(const std::string& name, sim::Bytes prealloc);
 

@@ -1,0 +1,179 @@
+// Sharded parallel simulation: conservative time-windowed barriers.
+//
+// A ShardGroup binds N sim::Simulator instances ("shards") into one logical
+// simulation that can drain its event streams on multiple worker threads
+// while staying *byte-identical* at every worker count.  The intended carve
+// in this codebase (wired by cluster::Cluster): shard 0 owns the client/MPI
+// ranks, the metadata server, and all client-side NICs; shard 1+i owns data
+// server i's HDD/SSD/scheduler/cache event stream.  The network layer is the
+// only cross-shard boundary, which is what makes conservative lookahead
+// available: no message crosses shards faster than the minimum wire latency.
+//
+// Execution model (classic conservative windowing, specialized for a
+// fixed-topology star):
+//
+//   W      = lookahead = minimum cross-shard delivery latency (> 0)
+//   loop:
+//     M    = min over shards of next pending event time
+//     end  = M + W
+//     each shard drains its local events with time < `end`, independently,
+//       on its assigned worker thread (no cross-shard reads or writes);
+//     barrier: buffered cross-shard posts are merged and scheduled.
+//
+// Why this is safe: a cross-shard post made at local time t arrives at
+// t + W.  During the window, t >= M, so every arrival lands at
+// t + W >= M + W = end — never inside the window being drained.  Posts are
+// buffered in per-source-shard FIFO outboxes and merged at the barrier in
+// (arrival time, source shard, send order) order — realized as a stable
+// sort by arrival time over the outboxes concatenated in shard order — then
+// scheduled on the target shard, which assigns fresh local sequence numbers
+// in exactly that order.  The merge is single-threaded and the drain order
+// inside each shard is its own (when, seq) heap order, so the entire
+// schedule is a pure function of the initial events: changing the worker
+// count changes *which thread* drains a shard, never *what* it executes.
+// `ibridge-simcheck --shards 1/2/4` digests prove this end to end.
+//
+// The window boundary is half-open: an event exactly at `end` belongs to
+// the next window (Simulator::drain_window uses a strict bound).  A
+// lookahead of zero would admit same-instant cross-shard cycles, so the
+// constructor rejects it.
+//
+// Driver-phase use (setup/teardown code between run_all calls) runs on the
+// caller's thread with no window active; post() then delivers directly onto
+// the target shard's queue, still deterministically.
+#pragma once
+
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/inline_event.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ibridge::sim {
+
+class ShardGroup {
+ public:
+  /// `shards` logical shards (>= 1), drained by `workers` threads
+  /// (clamped to [1, shards]; the calling thread is worker 0, so
+  /// `workers - 1` pool threads are spawned).  `lookahead` must be
+  /// positive — throws std::invalid_argument otherwise.  The worker count
+  /// affects wall-clock speed only, never the schedule.
+  ShardGroup(int shards, SimTime lookahead, int workers);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int shards() const { return static_cast<int>(sims_.size()); }
+  int workers() const { return workers_; }
+  SimTime lookahead() const { return lookahead_; }
+
+  Simulator& shard(int i) { return sims_[static_cast<std::size_t>(i)]; }
+  const Simulator& shard(int i) const {
+    return sims_[static_cast<std::size_t>(i)];
+  }
+
+  /// Cross-shard send: run `fn` on `to`'s shard at absolute time `when`.
+  /// `from` must be the shard the caller is currently executing on.  Inside
+  /// a window the post is buffered in `from`'s outbox and merged at the
+  /// barrier (`when` must respect the lookahead: when >= from.now() +
+  /// lookahead).  Outside a window it is scheduled directly (clamped to
+  /// `to`'s clock, which driver-phase code may not have advanced).
+  void post(Simulator& from, Simulator& to, SimTime when, InlineEvent fn);
+
+  /// Awaitable that moves the running coroutine from `from`'s shard to
+  /// `to`'s shard, arriving `lookahead` later (a no-op when already there).
+  /// This is how driver coroutines spawned on shard 0 reach a data server's
+  /// shard before touching its state or scheduling on its queue.
+  struct Hop {
+    ShardGroup* group;
+    Simulator* from;
+    Simulator* to;
+    bool await_ready() const noexcept { return from == to; }
+    void await_suspend(std::coroutine_handle<> h) {
+      group->post(*from, *to, from->now() + group->lookahead_,
+                  InlineEvent([h] { h.resume(); }));
+    }
+    void await_resume() const noexcept {}
+  };
+  Hop hop(Simulator& from, Simulator& to) { return Hop{this, &from, &to}; }
+
+  /// Run windows until every shard's queue drains, then advance all shard
+  /// clocks to the global maximum (so driver-phase code sees one time).
+  void run_all();
+
+  /// Run windows until no pending event is <= `deadline`, then advance all
+  /// shard clocks to `deadline`.  Mirrors Simulator::run_until.
+  void run_all_until(SimTime deadline);
+
+  /// Run windows until `done()` returns true (checked at each barrier — the
+  /// only points where cross-shard state is coherent) or the group drains.
+  /// Returns true iff the predicate was satisfied.  The predicate runs on
+  /// the calling thread; state it reads must be written on shard 0, which
+  /// the calling thread itself drains.
+  bool run_all_while_pending(const std::function<bool()>& done);
+
+  /// Group-wide totals; all are invariant under the worker count.
+  std::uint64_t events_executed() const;
+  bool all_empty() const;
+  std::size_t total_pending() const;
+
+  /// Barrier statistics (also worker-count invariant).
+  std::uint64_t windows_run() const { return windows_; }
+  std::uint64_t posts_delivered() const { return posts_; }
+
+ private:
+  struct PostRec {
+    SimTime when;
+    std::uint32_t dst;
+    InlineEvent fn;
+  };
+
+  /// Earliest pending event across shards (SimTime::max() when drained).
+  SimTime next_time() const;
+  /// Drain every shard's events strictly before `end`, in parallel.
+  void run_window(SimTime end);
+  /// Barrier merge: move buffered posts onto their target shards in
+  /// (when, src shard, send order) order.  Single-threaded.
+  void deliver();
+  /// Advance every shard clock that is behind `t` (queues must have no
+  /// event before `t`).
+  void sync_clocks(SimTime t);
+  void worker_loop(int w);
+
+  std::deque<Simulator> sims_;  // deque: stable addresses, non-movable elems
+  SimTime lookahead_;
+  int workers_;
+
+  // Outboxes are written lock-free during a window: outbox_[s] is touched
+  // only by the worker draining shard s.  The barrier (and the pool's mutex
+  // handshake) orders those writes before the merge reads them.
+  std::vector<std::vector<PostRec>> outbox_;  ///< per-source-shard FIFOs
+  std::vector<PostRec> scratch_;              ///< barrier merge buffer
+
+  bool running_ = false;  ///< a window is being drained (set under mu_)
+  std::uint64_t windows_ = 0;
+  std::uint64_t posts_ = 0;
+
+  // Worker pool (exp::Runner-style mutex + condvar handshake).  Worker w
+  // drains shards {s : s % workers_ == w}; worker 0 is the calling thread,
+  // so shard 0 — and any predicate/driver state living there — is always
+  // drained by the caller itself.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  SimTime window_end_ = SimTime::zero();
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ibridge::sim

@@ -81,6 +81,7 @@ const std::vector<FixtureCase>& cases() {
       {"no_alloc_new.cc", "src/core/fixture_na1.cpp", "no-alloc"},
       {"no_alloc_transitive.cc", "src/core/fixture_na2.cpp", "no-alloc"},
       {"missing_ownership.cc", "src/core/fixture_own.cpp", "shard-ownership"},
+      {"shard_mutation.cc", "src/sim/fixture_shardmut.cpp", "shard-ownership"},
       {"include_cycle.cc", "src/core/fixture_cycle.hpp", "include-cycle"},
   };
   return kCases;
@@ -220,6 +221,30 @@ TEST(LintGraph, ResolvesCallEdgesAndPropagatesMayAllocate) {
   // The witness names the root cause, through the chain.
   EXPECT_NE(facts[static_cast<std::size_t>(top)].witness.find("'new'"),
             std::string::npos);
+}
+
+TEST(LintSemantic, FlagsCrossModuleMutatingCallButNotOwnerCalls) {
+  std::vector<SourceFile> fs;
+  fs.push_back(lex_source("src/core/owned_box.hpp",
+                          "namespace ibridge::core {\n"
+                          "struct Box { void reset(); void clear(); };\n"
+                          "// lint: shard-owned (core)\n"
+                          "inline Box g_shard_box;\n"
+                          "inline void local() { g_shard_box.clear(); }\n"
+                          "}  // namespace\n"));
+  fs.push_back(lex_source("src/sim/poker.cpp",
+                          "namespace ibridge::sim {\n"
+                          "inline void poke(core::Box* g_unrelated) {\n"
+                          "  g_shard_box.reset();\n"
+                          "  g_shard_box.size();\n"  // const-ish: not flagged
+                          "}\n"
+                          "}  // namespace\n"));
+  const auto diags = lint_corpus(fs);
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_EQ(diags[0].rule, "shard-ownership");
+  EXPECT_EQ(diags[0].file, "src/sim/poker.cpp");
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("mutating call"), std::string::npos);
 }
 
 TEST(LintSemantic, FlagsCrossModuleWriteToShardOwnedState) {

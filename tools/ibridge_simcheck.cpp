@@ -1,7 +1,7 @@
 // ibridge-simcheck — standalone SimCheck fuzz runner.
 //
-//   ibridge-simcheck [--iters N] [--seed S] [--jobs J] [--determinism]
-//                    [--faults healthy|gc|crash|mixed]
+//   ibridge-simcheck [--iters N] [--seed S] [--jobs J] [--shards K]
+//                    [--determinism] [--faults healthy|gc|crash|mixed]
 //                    [--digests FILE] [--out FILE]
 //
 // Runs N generated cases (seeds S, S+1, ...) through the differential
@@ -15,6 +15,14 @@
 // schedule hits all three policies, so payload equivalence — and, with
 // --digests, byte-identical replay including the fault digest — is enforced
 // under injected failures too.
+//
+// --shards K runs every cluster on the sharded parallel simulation core
+// with up to K worker threads (0, the default, keeps the classic
+// single-queue core).  The sharded core is deterministic by construction —
+// the window schedule and barrier merge order never depend on the worker
+// count — so the --digests file must be byte-identical across every K >= 1,
+// healthy and under --faults alike, which is exactly what the CI
+// shard-digest-identity job asserts.
 //
 // --jobs J fans the independent cases over an exp::Runner thread pool; each
 // job builds its own clusters, so the per-seed results — and the --digests
@@ -55,7 +63,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ibridge-simcheck [--iters N] [--seed S] [--jobs J] "
-               "[--determinism] [--faults healthy|gc|crash|mixed] "
+               "[--shards K] [--determinism] "
+               "[--faults healthy|gc|crash|mixed] "
                "[--digests FILE] [--out FILE]\n");
   return 2;
 }
@@ -81,6 +90,7 @@ int main(int argc, char** argv) {
   int iters = 100;
   std::uint64_t seed0 = 1;
   int jobs = 1;
+  int shards = 0;
   bool determinism = false;
   fault::Scenario scenario = fault::Scenario::kHealthy;
   std::string out;
@@ -95,6 +105,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<int>(
           exp::require_int("ibridge-simcheck", "--jobs", argv[++i], 1, 256));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<int>(
+          exp::require_int("ibridge-simcheck", "--shards", argv[++i], 0, 64));
     } else if (std::strcmp(argv[i], "--determinism") == 0) {
       determinism = true;
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
@@ -129,6 +142,7 @@ int main(int argc, char** argv) {
         CaseResult r;
         r.seed = seed0 + static_cast<std::uint64_t>(i);
         FuzzCase c = generate_case(r.seed);
+        c.base.shards = shards;
         apply_faults(c, scenario);
         r.d = run_differential(c);
         r.failure = r.d.failure;
@@ -182,6 +196,7 @@ int main(int argc, char** argv) {
     std::printf("seed %llu FAILED: %s\n",
                 static_cast<unsigned long long>(r.seed), r.failure.c_str());
     FuzzCase c = generate_case(r.seed);
+    c.base.shards = shards;
     apply_faults(c, scenario);
     std::printf("shrinking (%zu records)...\n", c.trace.size());
     auto fails = [&](const workloads::Trace& t) {
