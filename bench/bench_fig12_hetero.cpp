@@ -3,6 +3,7 @@
 // source, 64 procs).  Compares: stock (no SSD), static 1:1 and 1:2 SSD
 // partitions, and iBridge's dynamic partitioning.
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 #include "mpiio/mpi.hpp"
 
 using namespace ibridge;
@@ -131,20 +132,24 @@ cluster::ClusterConfig static_cfg(double frag_share) {
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
+  exp::Stopwatch sw;
+  exp::Gauge g("fig12_hetero");
   banner("Figure 12",
          "heterogeneous BTIO + mpi-io-test; partitioning policies");
 
   struct Case {
     const char* label;
+    const char* key;  ///< gauge-safe case name
     cluster::ClusterConfig cc;
   };
   core::IBridgeConfig dyn;
   dyn.ssd_cache_bytes = kCachePerServer;
   const Case cases[] = {
-      {"stock (no SSD)", cluster::ClusterConfig::stock()},
-      {"static 1:1", static_cfg(0.5)},
-      {"static 1:2", static_cfg(2.0 / 3.0)},
-      {"dynamic (iBridge)", cluster::ClusterConfig::with_ibridge(dyn)},
+      {"stock (no SSD)", "stock", cluster::ClusterConfig::stock()},
+      {"static 1:1", "static_1to1", static_cfg(0.5)},
+      {"static 1:2", "static_1to2", static_cfg(2.0 / 3.0)},
+      {"dynamic (iBridge)", "dynamic",
+       cluster::ClusterConfig::with_ibridge(dyn)},
   };
 
   stats::Table t({"system", "mpi-io-test", "BTIO", "aggregate"});
@@ -154,6 +159,10 @@ int main(int argc, char** argv) {
     t.add_row({k.label, stats::Table::fmt("%.1f", r.mpiio_mbps),
                stats::Table::fmt("%.1f", r.btio_mbps),
                stats::Table::fmt("%.1f", r.aggregate())});
+    std::string key = k.key;
+    g.set(key + ".mpiio_mbps", r.mpiio_mbps);
+    g.set(key + ".btio_mbps", r.btio_mbps);
+    g.set(key + ".aggregate_mbps", r.aggregate());
     if (std::string(k.label) == "stock (no SSD)") stock_agg = r.aggregate();
     if (std::string(k.label) == "dynamic (iBridge)") dyn_agg = r.aggregate();
   }
@@ -162,7 +171,12 @@ int main(int argc, char** argv) {
     std::printf("  dynamic vs stock: %+.0f%% (paper: +53%%, 84 MB/s "
                 "aggregate; dynamic beats 1:1 by 13%% and 1:2 by 5%%)\n",
                 100.0 * (dyn_agg / stock_agg - 1.0));
+    g.set("dynamic_vs_stock_pct", 100.0 * (dyn_agg / stock_agg - 1.0));
   }
   footnote();
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_fig12_hetero.json\n");
+  }
   return 0;
 }

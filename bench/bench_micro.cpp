@@ -88,8 +88,8 @@ void BM_ReturnEstimate(benchmark::State& state) {
   model.observe_disk(0, sim::Bytes{65536}, storage::IoDirection::kRead, 128);
   core::ReturnEstimator est(true);
   core::TBoard board{1.0, 2.0, 3.0, 4.0};
-  const std::vector<sim::ServerId> siblings{sim::ServerId{1}, sim::ServerId{2},
-                                            sim::ServerId{3}};
+  // Self is piece 0 of a 4-piece parent: siblings enumerate servers 1..3.
+  const core::SiblingSet siblings{sim::ServerId{0}, 4, 4, 0};
   sim::Rng rng(4);
   for (auto _ : state) {
     benchmark::DoNotOptimize(est.estimate(

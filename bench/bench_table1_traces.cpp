@@ -5,12 +5,15 @@
 // streams whose classification statistics match the published percentages,
 // and this bench verifies the classifier reproduces the table from them.
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 
 using namespace ibridge;
 using namespace ibridge::bench;
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
+  exp::Stopwatch sw;
+  exp::Gauge g("table1_traces");
   banner("Table I", "unaligned / random request percentages (64 KB unit)");
 
   struct Row {
@@ -37,8 +40,17 @@ int main(int argc, char** argv) {
                    stats::Table::fmt("%.1f", s.total_pct),
                    stats::Table::fmt("%.1f", row.paper_unaligned),
                    stats::Table::fmt("%.1f", row.paper_random)});
+    std::string key = row.profile.name;
+    key += ".";
+    g.set(key + "unaligned_pct", s.unaligned_pct);
+    g.set(key + "random_pct", s.random_pct);
+    g.set(key + "total_pct", s.total_pct);
   }
   table.print();
   footnote();
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_table1_traces.json\n");
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 // the paper's published numbers (which exceed what a 7200 RPM disk can do
 // without cache effects) — the *ordering* and read/write asymmetry match.
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 #include "sim/rng.hpp"
 #include "storage/calibration.hpp"
 #include "storage/hdd.hpp"
@@ -54,12 +55,14 @@ std::vector<storage::BlockRequest> random4k(storage::IoDirection dir,
 
 int main(int argc, char** argv) {
   (void)Scale::parse(argc, argv);
+  exp::Stopwatch sw;
+  exp::Gauge g("table2_devices");
   banner("Table II", "device microbenchmarks (4 KB random, 1 MB streaming)");
 
   stats::Table t({"", "SSD model", "SSD paper", "HDD model", "HDD paper"});
 
-  auto row = [&](const char* label, storage::IoDirection dir, bool seq,
-                 double ssd_paper, double hdd_paper) {
+  auto row = [&](const char* label, const char* key, storage::IoDirection dir,
+                 bool seq, double ssd_paper, double hdd_paper) {
     double ssd_v, hdd_v;
     {
       sim::Simulator sim;
@@ -81,12 +84,17 @@ int main(int argc, char** argv) {
                stats::Table::fmt("%.0f MB/s", ssd_paper),
                stats::Table::fmt("%.1f MB/s", hdd_v),
                stats::Table::fmt("%.0f MB/s", hdd_paper)});
+    std::string k = key;
+    g.set(k + ".ssd_mbps", ssd_v);
+    g.set(k + ".hdd_mbps", hdd_v);
   };
 
-  row("Sequential Read", storage::IoDirection::kRead, true, 160, 85);
-  row("Random Read", storage::IoDirection::kRead, false, 60, 15);
-  row("Sequential Write", storage::IoDirection::kWrite, true, 140, 80);
-  row("Random Write", storage::IoDirection::kWrite, false, 30, 5);
+  row("Sequential Read", "seq_read", storage::IoDirection::kRead, true, 160,
+      85);
+  row("Random Read", "rand_read", storage::IoDirection::kRead, false, 60, 15);
+  row("Sequential Write", "seq_write", storage::IoDirection::kWrite, true, 140,
+      80);
+  row("Random Write", "rand_write", storage::IoDirection::kWrite, false, 30, 5);
   t.print();
   std::printf(
       "  note: the paper's HDD random 4 KB rates (15/5 MB/s = 3750/1250 "
@@ -94,5 +102,9 @@ int main(int argc, char** argv) {
       "ordering and\n  the ~3x read/write asymmetry at physically consistent "
       "magnitudes.\n");
   footnote();
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_table2_devices.json\n");
+  }
   return 0;
 }

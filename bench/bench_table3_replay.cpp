@@ -1,12 +1,15 @@
 // Table III — single-process replay of the ALEGRA / CTH / S3D traces:
 // average request service time, stock vs iBridge.
 #include "bench/bench_common.hpp"
+#include "exp/gauge.hpp"
 
 using namespace ibridge;
 using namespace ibridge::bench;
 
 int main(int argc, char** argv) {
   const Scale scale = Scale::parse(argc, argv);
+  exp::Stopwatch sw;
+  exp::Gauge g("table3_replay");
   banner("Table III", "trace replay: average request service time (ms)");
 
   struct Row {
@@ -43,11 +46,20 @@ int main(int argc, char** argv) {
                stats::Table::fmt("%.1f%%", 100.0 * (1.0 - ib_ms / stock_ms)),
                stats::Table::fmt("%.1fms", row.paper_stock),
                stats::Table::fmt("%.1fms", row.paper_ibridge)});
+    std::string key = row.profile.name;
+    key += ".";
+    g.set(key + "stock_ms", stock_ms);
+    g.set(key + "ibridge_ms", ib_ms);
+    g.set(key + "reduction_pct", 100.0 * (1.0 - ib_ms / stock_ms));
   }
   t.print();
   std::printf("  paper reductions: 13.9%% / 18.7%% / 25.9%% / 29.8%%; CTH "
               "and S3D gain most\n  (more random/unaligned requests); S3D's "
               "larger requests double its service time\n");
   footnote();
+  g.set_wall("seconds", sw.seconds());
+  if (!g.write_file()) {
+    std::fprintf(stderr, "warning: could not write BENCH_table3_replay.json\n");
+  }
   return 0;
 }

@@ -47,21 +47,34 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
           static_cast<std::size_t>(cfg.procs_per_node) * 4 +
       256;
   const std::size_t server_events = 64;
+  const int group_size = cfg.shard_group_size < 1 ? 1 : cfg.shard_group_size;
   if (cfg.shards >= 1) {
-    // Sharded core: shard 0 = client + MDS side, shard 1+i = data server i.
-    // The logical structure is fixed by the topology; cfg.shards only caps
-    // the worker-thread count, so any shards >= 1 produces byte-identical
-    // results.  The barrier lookahead is the network wire latency — the
-    // minimum time any cross-shard interaction takes (ShardGroup rejects a
-    // non-positive lookahead, i.e. a zero-latency network).
-    const int logical = 1 + cfg.data_servers;
+    // Sharded core: shard 0 = client + MDS side, shard 1 + i / group_size
+    // = data server i.  The logical structure is fixed by the topology and
+    // the grouping; cfg.shards only caps the worker-thread count, so any
+    // shards >= 1 produces byte-identical results for a fixed grouping.
+    // The barrier lookahead is the network wire latency — the minimum time
+    // any cross-shard interaction takes (ShardGroup rejects a non-positive
+    // lookahead, i.e. a zero-latency network).
+    const int groups =
+        cfg.data_servers == 0 ? 0 : (cfg.data_servers - 1) / group_size + 1;
+    const int logical = 1 + groups;
     const int workers = cfg.shards < logical ? cfg.shards : logical;
     group_ = std::make_unique<sim::ShardGroup>(
         logical, cfg.network.wire_latency(), workers);
+    if (cfg.adaptive_window_us > 0.0) {
+      group_->set_adaptive_window(
+          sim::SimTime::from_seconds(cfg.adaptive_window_us / 1e6));
+    }
     front_ = &group_->shard(0);
     front_->reserve(client_events);
-    for (int i = 0; i < cfg.data_servers; ++i) {
-      group_->shard(1 + i).reserve(server_events + 256);
+    for (int g = 0; g < groups; ++g) {
+      // Each group shard hosts up to `group_size` servers' event streams.
+      const int members = g == groups - 1
+                              ? cfg.data_servers - g * group_size
+                              : group_size;
+      group_->shard(1 + g).reserve(
+          static_cast<std::size_t>(members) * server_events + 256);
     }
   } else {
     // Pre-size the event heap for the steady-state population: every rank
@@ -81,7 +94,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   servers_.reserve(static_cast<std::size_t>(cfg.data_servers));
   std::vector<pvfs::DataServer*> raw;
   for (int i = 0; i < cfg.data_servers; ++i) {
-    sim::Simulator& ssim = group_ ? group_->shard(1 + i) : sim_;
+    sim::Simulator& ssim = group_ ? group_->shard(1 + i / group_size) : sim_;
     net::Nic& nic = net_->add_endpoint("ds" + std::to_string(i), ssim);
     server_nics_.push_back(&nic);
     servers_.push_back(std::make_unique<pvfs::DataServer>(
@@ -299,16 +312,34 @@ void Cluster::start_metrics_sampler(sim::SimTime interval,
                                     obs::TimeSeries* out) {
   assert(out != nullptr);
   assert(interval > sim::SimTime::zero());
-  // The sampler's tick reads every server's counters from shard 0 mid-run;
-  // sample after the run (or shard the sampler) before lifting this.
-  assert(group_ == nullptr && "metrics sampler requires the classic core");
   sampler_running_ = true;
-  schedule_sample(interval, out, ++sampler_epoch_);
+  const std::uint64_t epoch = ++sampler_epoch_;
+  if (group_ == nullptr) {
+    schedule_sample(interval, out, epoch);
+    return;
+  }
+  // Sharded: the sampler cannot schedule a tick that reads every server's
+  // counters mid-window (cross-shard reads race with the workers).  Instead
+  // it rides the barrier hook, where all workers are idle and every event
+  // before the horizon has executed: each grid point is emitted, with its
+  // grid timestamp, once the horizon passes it.  The horizon is a pure
+  // function of the schedule, so the samples are worker-count invariant.
+  sampler_next_ = front_->now() + interval;
+  group_->set_barrier_hook([this, interval, out, epoch](sim::SimTime horizon) {
+    if (!sampler_running_ || epoch != sampler_epoch_) return;
+    while (sampler_next_ < horizon) {
+      obs::MetricsRegistry reg;
+      collect_metrics(reg);
+      out->sample(sampler_next_, reg);
+      sampler_next_ += interval;
+    }
+  });
 }
 
 void Cluster::stop_metrics_sampler() {
   sampler_running_ = false;
   ++sampler_epoch_;
+  if (group_ != nullptr) group_->set_barrier_hook(nullptr);
 }
 
 void Cluster::schedule_sample(sim::SimTime interval, obs::TimeSeries* out,

@@ -34,13 +34,30 @@ struct ClusterConfig {
 
   /// 0 (default): classic single-threaded simulator — byte-identical to
   /// every run before sharding existed.  >= 1: the sharded windowed core
-  /// (sim::ShardGroup): shard 0 runs the client/MDS side and shard 1+i runs
-  /// data server i, with `shards` capping the *worker thread* count.  The
-  /// logical shard structure is fixed by the topology, so results are
-  /// byte-identical across every `shards >= 1` setting; only wall-clock
-  /// speed changes.  Requires positive network latency (the barrier
-  /// lookahead) — the constructor throws std::invalid_argument otherwise.
+  /// (sim::ShardGroup): shard 0 runs the client/MDS side and shard
+  /// 1 + i / shard_group_size runs data server i, with `shards` capping the
+  /// *worker thread* count.  The logical shard structure is fixed by the
+  /// topology and grouping, so results are byte-identical across every
+  /// `shards >= 1` setting; only wall-clock speed changes.  Requires
+  /// positive network latency (the barrier lookahead) — the constructor
+  /// throws std::invalid_argument otherwise.
   int shards = 0;
+
+  /// Data servers per logical shard when sharded (clamped to >= 1).  With
+  /// G > 1 hundreds of servers map onto a handful of shards — the scale
+  /// tier's memory/thread lever.  Grouping is part of the *configuration*
+  /// (like the stripe unit): a fixed grouping is byte-identical across
+  /// worker counts, but different groupings batch cross-shard merges
+  /// differently and may legitimately order same-tick ties differently.
+  int shard_group_size = 1;
+
+  /// Adaptive barrier-window cap in microseconds (0 = off).  When positive
+  /// it must be >= the network wire latency; windows then widen up to this
+  /// bound while other shards are idle or far in the future — fewer
+  /// barriers on sparse timelines.  See sim::ShardGroup::set_adaptive_window
+  /// for the safety argument.  Also part of the configuration: deterministic
+  /// across worker counts at any fixed setting.
+  double adaptive_window_us = 0.0;
   pvfs::DataServerConfig server;
   net::NetworkParams network;
   pvfs::ClientConfig client;
@@ -117,7 +134,13 @@ class Cluster {
   void collect_metrics(obs::MetricsRegistry& reg) const;
 
   /// Snapshot collect_metrics() into `out` every `interval` of simulated
-  /// time until drain() (or stop_metrics_sampler()) is called.
+  /// time until drain() (or stop_metrics_sampler()) is called.  On the
+  /// classic core samples are exact simulated-time ticks.  On a sharded
+  /// cluster the sampler rides the ShardGroup barrier hook: each sample is
+  /// emitted at its grid timestamp once the barrier horizon passes it, so
+  /// counter values are those visible at that barrier (they may include up
+  /// to one window of events past the grid point).  Both modes are
+  /// deterministic — the sharded one is invariant across worker counts.
   void start_metrics_sampler(sim::SimTime interval, obs::TimeSeries* out);
   void stop_metrics_sampler();
 
@@ -137,6 +160,7 @@ class Cluster {
   sim::Simulator* front_ = &sim_;           ///< shard 0 or sim_
   bool sampler_running_ = false;
   std::uint64_t sampler_epoch_ = 0;
+  sim::SimTime sampler_next_ = sim::SimTime::zero();  ///< sharded grid cursor
   std::unique_ptr<net::NetworkModel> net_;
   std::vector<net::Nic*> server_nics_;
   std::vector<net::Nic*> client_nics_;

@@ -26,6 +26,9 @@ IBridgeCache::IBridgeCache(sim::Simulator& sim, IBridgeConfig cfg,
   log_file_ = ssd_fs_.create("ibridge.log",
                              cfg.ssd_cache_bytes + (1 << 20));
   assert(log_file_ != fsim::kInvalidFile && "SSD too small for cache log");
+  if (cfg_.mapping_reserve_entries > 0) {
+    table_.reserve(static_cast<std::size_t>(cfg_.mapping_reserve_entries));
+  }
 }
 
 void IBridgeCache::set_trace(obs::TraceSession* session) {

@@ -45,7 +45,7 @@ struct CacheRequest {
   Offset offset;                           ///< within the datafile
   Bytes length;
   bool fragment = false;
-  std::vector<ServerId> siblings;  ///< servers of sibling sub-requests
+  SiblingSet siblings;  ///< sibling sub-requests' servers, O(1) descriptor
   int tag = 0;                     ///< issuing process (scheduler anticipation)
   obs::RequestId trace_request = 0;  ///< owning traced client request (0 = off)
   obs::SpanId trace_parent = 0;      ///< span to nest server-side spans under

@@ -15,6 +15,12 @@ MappingTable::MappingTable()
       by_file_(ByFileMap::key_compare{}, ByFileMap::allocator_type{arena_}),
       by_log_(ByLogMap::key_compare{}, ByLogMap::allocator_type{arena_}) {}
 
+void MappingTable::reserve(std::size_t entries) {
+  slab_.reserve(entries);
+  entries_.reserve(entries);
+  dirty_scratch_.reserve(entries);
+}
+
 std::uint32_t MappingTable::slot_of(EntryId id) const {
   auto it = entries_.find(id);
   assert(it != entries_.end());

@@ -83,6 +83,13 @@ class MappingTable {
   MappingTable(const MappingTable&) = delete;
   MappingTable& operator=(const MappingTable&) = delete;
 
+  /// Pre-size the slab, hash index, and dirty scratch for `entries` live
+  /// entries so steady-state insert/erase churn below that mark never grows
+  /// them.  (The ordered range indexes already recycle nodes through the
+  /// table's ChunkPool arena.)  Callers size this from the SSD log capacity:
+  /// capacity / smallest admitted range is a hard ceiling on live entries.
+  void reserve(std::size_t entries);
+
   /// Insert a new entry covering a range with NO existing overlap (callers
   /// invalidate first).  Returns its id.
   EntryId insert(CacheEntry e);

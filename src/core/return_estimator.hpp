@@ -20,10 +20,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "core/service_time.hpp"
+#include "core/siblings.hpp"
 #include "sim/units.hpp"
 
 namespace ibridge::core {
@@ -51,13 +51,18 @@ class ReturnEstimator {
     return model.t_if_disk(lbn, bytes, dir) - model.t_if_ssd();
   }
 
-  /// Full estimate.  `self` is this server's id; `siblings` are the servers
-  /// holding the fragment's sibling sub-requests (empty for non-fragments).
+  /// Full estimate.  `self` is this server's id; `siblings` describes the
+  /// servers holding the fragment's sibling sub-requests (empty for
+  /// non-fragments).  The descriptor enumerates the same servers in the
+  /// same order as the materialized list it replaced, so the arithmetic —
+  /// including the skip of entries equal to `self` and n = sibling count —
+  /// is unchanged.
+  // lint: no-alloc
   ReturnEstimate estimate(const ServiceTimeModel& model,
                           std::int64_t lbn,  // lint: units-ok (LBN)
                           Bytes bytes, storage::IoDirection dir,
                           bool is_fragment, ServerId self,
-                          std::span<const ServerId> siblings,
+                          const SiblingSet& siblings,
                           const TBoard& board) const {
     ReturnEstimate e;
     e.ret_ms = base_return(model, lbn, bytes, dir);
@@ -69,8 +74,8 @@ class ReturnEstimator {
     double t_max = t_self;
     double t_sec = 0.0;
     bool self_is_max = true;
-    for (ServerId s : siblings) {
-      if (s == self) continue;
+    siblings.for_each_sibling([&](ServerId s) {
+      if (s == self) return;
       const double t = s.index() >= 0 && std::cmp_less(s.index(), board.size())
                            ? board[static_cast<std::size_t>(s.index())]
                            : 0.0;
@@ -81,7 +86,7 @@ class ReturnEstimator {
       } else {
         t_sec = std::max(t_sec, t);
       }
-    }
+    });
     if (!self_is_max) return e;  // bottleneck is elsewhere: no bonus
 
     const auto n = static_cast<double>(siblings.size());

@@ -1,0 +1,51 @@
+// Compact sibling descriptor for fragment sub-requests.
+//
+// The paper attaches, to every fragment, the identities of the servers
+// holding its sibling sub-requests (the Equation (3) inputs).  A materialized
+// server list costs one heap allocation per fragment and O(servers) bytes on
+// every client->server message — both walls at the scale tier.  But PVFS2's
+// round-robin striping makes the list pure arithmetic: decompose() emits a
+// multi-server parent's pieces in stripe order, so piece j lives on server
+// (first + j) mod ring.  Four integers therefore reproduce the full sibling
+// list — same values, same order, including the duplicate entries a parent
+// spanning more than `ring` units produces — with no allocation and O(1)
+// space at any cluster size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/units.hpp"
+
+namespace ibridge::core {
+
+struct SiblingSet {
+  sim::ServerId first{0};       ///< server of the parent's first piece
+  std::uint32_t ring = 0;       ///< server count (the round-robin modulus)
+  std::uint32_t count = 0;      ///< total pieces of the parent (0 = no set)
+  std::uint32_t self_index = 0; ///< this piece's position in stripe order
+
+  /// Number of siblings (the other pieces), matching the old materialized
+  /// list's size().
+  std::size_t size() const {
+    return count > 0 ? static_cast<std::size_t>(count) - 1 : 0;
+  }
+  bool empty() const { return count <= 1; }
+
+  sim::ServerId server_of_piece(std::uint32_t j) const {
+    return sim::ServerId{static_cast<int>(
+        (static_cast<std::uint32_t>(first.index()) + j) % ring)};
+  }
+
+  /// Visit every sibling's server in stripe order — exactly the iteration
+  /// order of the old materialized list.  Duplicate servers (parents wider
+  /// than one full stripe round) are visited once per piece, as before.
+  template <typename Fn>
+  void for_each_sibling(Fn&& fn) const {
+    for (std::uint32_t j = 0; j < count; ++j) {
+      if (j != self_index) fn(server_of_piece(j));
+    }
+  }
+};
+
+}  // namespace ibridge::core

@@ -8,10 +8,12 @@
 // Equation (3) return boost.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/siblings.hpp"
 #include "sim/units.hpp"
 
 namespace ibridge::core {
@@ -24,8 +26,8 @@ struct TaggedSubRequest {
   sim::Offset server_offset;
   sim::Bytes length;
   bool fragment = false;
-  /// Servers of the other sub-requests.
-  std::vector<sim::ServerId> sibling_servers;
+  /// The parent's sibling descriptor (set only on fragments).
+  SiblingSet siblings;
 };
 
 class FragmentTagger {
@@ -33,27 +35,49 @@ class FragmentTagger {
   explicit FragmentTagger(sim::Bytes fragment_threshold)
       : threshold_(fragment_threshold) {}
 
-  /// Annotate the pieces of one parent request.  `pieces` is the per-piece
-  /// decomposition: (server, server_offset, length) triples in stripe order.
+  /// Annotate the pieces of one parent request into `out` (cleared first —
+  /// pass a pooled vector for an allocation-free steady state).  `pieces` is
+  /// the per-piece decomposition: (server, server_offset, length) triples in
+  /// stripe order; `ring` is the striping server count, the modulus the
+  /// SiblingSet enumerates siblings with.
   template <typename Piece>
-  std::vector<TaggedSubRequest> tag(const std::vector<Piece>& pieces) const {
-    std::vector<TaggedSubRequest> out;
+  // lint: no-alloc
+  void tag_into(const std::vector<Piece>& pieces, int ring,
+                std::vector<TaggedSubRequest>& out) const {
+    out.clear();
+    // lint: alloc-ok (amortized: pooled/reused vector keeps its capacity)
     out.reserve(pieces.size());
     bool multi_server = false;
     for (const auto& p : pieces) {
       if (!out.empty() && p.server != out.front().server) multi_server = true;
+      // lint: alloc-ok (within the reserve above; pooled vector keeps capacity)
       out.push_back({p.server, p.server_offset, p.length, false, {}});
     }
-    if (!multi_server) return out;  // single-server parent: no fragments
+    if (!multi_server) return;  // single-server parent: no fragments
 
+    const auto count = static_cast<std::uint32_t>(out.size());
+    const sim::ServerId first = out.front().server;
     for (std::size_t i = 0; i < out.size(); ++i) {
+      // A multi-server parent's pieces follow the round-robin ring — the
+      // invariant that lets four integers stand in for the sibling list.
+      assert(out[i].server.index() ==
+                 static_cast<int>(
+                     (static_cast<std::uint32_t>(first.index()) + i) %
+                     static_cast<std::uint32_t>(ring)) &&
+             "pieces must be in stripe order over the striping ring");
       if (out[i].length >= threshold_) continue;
       out[i].fragment = true;
-      out[i].sibling_servers.reserve(out.size() - 1);
-      for (std::size_t j = 0; j < out.size(); ++j) {
-        if (j != i) out[i].sibling_servers.push_back(out[j].server);
-      }
+      out[i].siblings = SiblingSet{first, static_cast<std::uint32_t>(ring),
+                                   count, static_cast<std::uint32_t>(i)};
     }
+  }
+
+  /// Convenience wrapper returning a fresh vector (tests, cold paths).
+  template <typename Piece>
+  std::vector<TaggedSubRequest> tag(const std::vector<Piece>& pieces,
+                                    int ring) const {
+    std::vector<TaggedSubRequest> out;
+    tag_into(pieces, ring, out);
     return out;
   }
 

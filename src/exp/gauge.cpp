@@ -4,6 +4,10 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace ibridge::exp {
 
 void Gauge::add_metrics(const obs::MetricsRegistry& reg,
@@ -62,19 +66,35 @@ void Gauge::write_json(std::ostream& os, bool include_wall) const {
   os << json(include_wall);
 }
 
+double peak_rss_mb_rusage() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / 1e6;  // bytes on Darwin
+#else
+  return static_cast<double>(ru.ru_maxrss) * 1e3 / 1e6;  // KB on Linux
+#endif
+#else
+  return 0.0;
+#endif
+}
+
 double peak_rss_mb() {
   std::ifstream status("/proc/self/status");
-  if (!status) return 0.0;
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) != 0) continue;
-    // "VmHWM:    12345 kB"
-    std::istringstream fields(line.substr(6));
-    double kb = 0.0;
-    fields >> kb;
-    return kb * 1e3 / 1e6;
+  if (status) {
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("VmHWM:", 0) != 0) continue;
+      // "VmHWM:    12345 kB"
+      std::istringstream fields(line.substr(6));
+      double kb = 0.0;
+      fields >> kb;
+      return kb * 1e3 / 1e6;
+    }
   }
-  return 0.0;
+  // No procfs (non-Linux hosts, hardened mounts): fall back to getrusage.
+  return peak_rss_mb_rusage();
 }
 
 bool Gauge::write_file(const std::string& dir) const {

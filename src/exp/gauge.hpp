@@ -71,6 +71,11 @@ class Gauge {
 /// model metric.
 double peak_rss_mb();
 
+/// The getrusage(RUSAGE_SELF) path peak_rss_mb() falls back to when
+/// /proc/self/status is unavailable.  Exposed so tests can pin the fallback
+/// independently of procfs; 0.0 only on non-POSIX hosts.
+double peak_rss_mb_rusage();
+
 /// Minimal wall timer for gauge "wall" entries.  steady_clock, so it never
 /// jumps; never used for model time (the lint wall-clock rule still bans
 /// calendar clocks in model code).

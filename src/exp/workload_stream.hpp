@@ -1,0 +1,105 @@
+// Streaming workload generation for scale campaigns.
+//
+// The Table I synthesizer (workloads::TraceSynthesizer) materializes a
+// whole Trace vector before replay — fine at 10^4 requests, hopeless at a
+// million-rank campaign where the request list alone would dwarf the
+// simulated cluster.  WorkloadStream is the same generator turned inside
+// out: an O(1)-state iterator (one Rng + one cursor) that yields records on
+// demand.  TraceSynthesizer::generate() delegates to it record-for-record,
+// so for a given (profile, unit, file_bytes, seed) the streamed sequence is
+// digest-identical to the materialized one — the equivalence the scale
+// benches and the stream tests pin down.
+//
+// Lives in exp (sim-only dependencies) so both workloads/ and bench/ can
+// reach it without a layering cycle; workloads adapts its TraceProfile /
+// TraceRecord types at the call site.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace ibridge::exp {
+
+/// One generated request (mirrors workloads::TraceRecord, which workloads
+/// converts to — exp cannot depend on workloads).
+struct StreamRecord {
+  bool write = false;
+  std::int64_t offset = 0;
+  std::int64_t size = 0;
+};
+
+/// Distributional parameters (mirrors workloads::TraceProfile minus the
+/// display name).
+struct StreamProfile {
+  double unaligned_frac = 0.0;  ///< requests larger than the unit, unaligned
+  double random_frac = 0.0;     ///< requests below the random threshold
+  std::int64_t large_size = 0;  ///< typical size of large requests (bytes)
+  std::int64_t small_size = 0;  ///< typical size of random requests (bytes)
+  double write_frac = 0.7;      ///< checkpoint-style traces are write-heavy
+};
+
+/// Seeded, allocation-free request generator.  State is one Rng and a
+/// sequential cursor; next() is the loop body of the classic synthesizer,
+/// drawing from the Rng in exactly the same order.
+class WorkloadStream {
+ public:
+  WorkloadStream(const StreamProfile& profile, std::int64_t stripe_unit,
+                 std::int64_t file_bytes, std::uint64_t seed)
+      : profile_(profile),
+        unit_(stripe_unit),
+        file_bytes_(file_bytes),
+        aligned_large_frac_(std::max(
+            0.0, 1.0 - profile.unaligned_frac - profile.random_frac)),
+        rng_(seed) {}
+
+  /// The next record of the stream.  Never allocates — a million-rank
+  /// campaign calls this from the steady-state serve path.
+  // lint: no-alloc
+  StreamRecord next() {
+    StreamRecord r;
+    r.write = rng_.chance(profile_.write_frac);
+    const double u = rng_.uniform01();
+    if (u < profile_.random_frac) {
+      // Regular random request: small, anywhere in the file.
+      r.size = std::max<std::int64_t>(
+          512,
+          profile_.small_size / 2 + rng_.uniform(0, profile_.small_size));
+      r.offset =
+          rng_.uniform(0, std::max<std::int64_t>(1, file_bytes_ - r.size));
+    } else if (u < profile_.random_frac + aligned_large_frac_) {
+      // Aligned large request: unit-multiple size at a unit boundary.
+      const std::int64_t units =
+          std::max<std::int64_t>(1, profile_.large_size / unit_);
+      r.size = units * unit_;
+      cursor_ = (cursor_ / unit_) * unit_;
+      if (cursor_ + r.size > file_bytes_) cursor_ = 0;
+      r.offset = cursor_;
+      cursor_ += r.size;
+    } else {
+      // Unaligned large request: bigger than a unit, odd size or offset.
+      r.size = profile_.large_size +
+               rng_.uniform(1, std::max<std::int64_t>(2, unit_ / 2));
+      if (cursor_ + r.size > file_bytes_) cursor_ = 0;
+      r.offset = cursor_;
+      cursor_ += r.size;
+    }
+    ++generated_;
+    return r;
+  }
+
+  std::int64_t file_bytes() const { return file_bytes_; }
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  StreamProfile profile_;
+  std::int64_t unit_;
+  std::int64_t file_bytes_;
+  double aligned_large_frac_;
+  sim::Rng rng_;
+  std::int64_t cursor_ = 0;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace ibridge::exp

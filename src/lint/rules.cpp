@@ -46,7 +46,7 @@ const std::map<std::string, std::set<std::string>>& layer_allowlist() {
         "mpiio"}},
       {"workloads",
        {"sim", "stats", "net", "storage", "fsim", "core", "pvfs", "cluster",
-        "mpiio"}},
+        "mpiio", "exp"}},
       {"check",
        {"sim", "stats", "net", "obs", "storage", "fsim", "core", "pvfs",
         "cluster", "fault", "mpiio", "plfs", "workloads"}},

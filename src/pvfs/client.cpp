@@ -76,44 +76,56 @@ sim::Task<sim::SimTime> Client::request(int rank, FileHandle fh,
 
   LogicalFile& f = mds_.file(fh);
 
-  // Decompose (io_datafile_setup_msgpairs) and tag fragments client-side.
-  auto pieces = f.layout.decompose(sim::Offset{offset}, sim::Bytes{length});
-  std::vector<core::TaggedSubRequest> tagged;
-  if (cfg_.tag_fragments) {
-    tagged = tagger_.tag(pieces);
-  } else {
-    tagged.reserve(pieces.size());
-    for (const auto& p : pieces)
-      tagged.push_back({p.server, p.server_offset, p.length, false, {}});
-  }
-
-  // Issue every sub-request concurrently; the parent completes when the
-  // slowest sub-request does.
+  // Decompose (io_datafile_setup_msgpairs) and tag fragments client-side
+  // into pooled scratch.  The leases live only inside this suspension-free
+  // block (join.add runs each child to its first co_await, which copies the
+  // piece into the child's frame), so however many ranks are mid-request,
+  // at most one per shard holds the buffers at any instant — steady state
+  // recycles the same two, allocation-free at any scale.
   sim::JoinSet join(sim_);
-  std::int64_t consumed = 0;
-  for (std::size_t i = 0; i < tagged.size(); ++i) {
-    const std::int64_t piece_off = consumed;
-    consumed += tagged[i].length.count();
-    std::span<const std::byte> wsub;
-    std::span<std::byte> rsub;
-    if (!wdata.empty()) {
-      wsub = wdata.subspan(static_cast<std::size_t>(piece_off),
-                           static_cast<std::size_t>(tagged[i].length.count()));
+  std::size_t subs = 0;
+  {
+    sim::VectorPool<SubRequestSpec>::Lease pieces = piece_pool_.acquire();
+    f.layout.decompose_into(sim::Offset{offset}, sim::Bytes{length}, *pieces);
+    sim::VectorPool<core::TaggedSubRequest>::Lease tagged =
+        tagged_pool_.acquire();
+    if (cfg_.tag_fragments) {
+      tagger_.tag_into(*pieces, static_cast<int>(servers_.size()), *tagged);
+    } else {
+      tagged->reserve(pieces->size());
+      for (const auto& p : *pieces)
+        tagged->push_back({p.server, p.server_offset, p.length, false, {}});
     }
-    if (!rdata.empty()) {
-      rsub = rdata.subspan(static_cast<std::size_t>(piece_off),
-                           static_cast<std::size_t>(tagged[i].length.count()));
+    subs = tagged->size();
+
+    // Issue every sub-request concurrently; the parent completes when the
+    // slowest sub-request does.
+    std::int64_t consumed = 0;
+    for (std::size_t i = 0; i < tagged->size(); ++i) {
+      const core::TaggedSubRequest& sub = (*tagged)[i];
+      const std::int64_t piece_off = consumed;
+      consumed += sub.length.count();
+      std::span<const std::byte> wsub;
+      std::span<std::byte> rsub;
+      if (!wdata.empty()) {
+        wsub = wdata.subspan(static_cast<std::size_t>(piece_off),
+                             static_cast<std::size_t>(sub.length.count()));
+      }
+      if (!rdata.empty()) {
+        rsub = rdata.subspan(static_cast<std::size_t>(piece_off),
+                             static_cast<std::size_t>(sub.length.count()));
+      }
+      obs::SpanId sub_span = 0;
+      if (root != 0) {
+        sub_span = trace_->child(root, "sub", "client");
+        trace_->arg(sub_span, "server", sub.server.index());
+        trace_->arg(sub_span, "fragment", sub.fragment ? 1 : 0);
+        trace_->arg(sub_span, "length", sub.length.count());
+        trace_->arg(sub_span, "index", static_cast<std::int64_t>(i));
+      }
+      join.add(
+          subrequest(rank, f, sub, offset, dir, wsub, rsub, rid, sub_span));
     }
-    obs::SpanId sub_span = 0;
-    if (root != 0) {
-      sub_span = trace_->child(root, "sub", "client");
-      trace_->arg(sub_span, "server", tagged[i].server.index());
-      trace_->arg(sub_span, "fragment", tagged[i].fragment ? 1 : 0);
-      trace_->arg(sub_span, "length", tagged[i].length.count());
-      trace_->arg(sub_span, "index", static_cast<std::int64_t>(i));
-    }
-    join.add(subrequest(rank, f, std::move(tagged[i]), offset, dir, wsub,
-                        rsub, rid, sub_span));
   }
   co_await join.join();
   if (profiler_ != nullptr) profiler_->mark(prof_cat_);
@@ -121,7 +133,7 @@ sim::Task<sim::SimTime> Client::request(int rank, FileHandle fh,
   if (dir == IoDirection::kWrite) f.size = std::max(f.size, offset + length);
   bytes_completed_ += length;
   if (root != 0) {
-    trace_->arg(root, "subs", static_cast<std::int64_t>(tagged.size()));
+    trace_->arg(root, "subs", static_cast<std::int64_t>(subs));
     trace_->end(root);
   }
   co_return sim_.now() - t0;
@@ -153,7 +165,7 @@ sim::Task<> Client::subrequest(int rank, const LogicalFile& f,
   req.offset = sub.server_offset;
   req.length = sub.length;
   req.fragment = sub.fragment;
-  req.siblings = std::move(sub.sibling_servers);
+  req.siblings = sub.siblings;
   req.tag = rank;
   req.trace_request = request_id;
   req.trace_parent = sub_span;

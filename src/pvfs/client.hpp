@@ -16,8 +16,10 @@
 #include "net/network.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
+#include "pvfs/layout.hpp"
 #include "pvfs/metadata.hpp"
 #include "pvfs/server.hpp"
+#include "sim/buffer_pool.hpp"
 #include "sim/rng.hpp"
 #include "sim/sync.hpp"
 
@@ -105,6 +107,11 @@ class Client {
   std::vector<net::Nic*> node_nics_;
   ClientConfig cfg_;
   core::FragmentTagger tagger_;
+  // Decompose/tag scratch.  The leases live only inside request()'s
+  // suspension-free setup section, so at most one request per shard holds
+  // one at a time: two warm buffers serve any number of in-flight ranks.
+  sim::VectorPool<SubRequestSpec> piece_pool_;
+  sim::VectorPool<core::TaggedSubRequest> tagged_pool_;
   sim::Rng rng_;
   std::int64_t bytes_completed_ = 0;
   obs::TraceSession* trace_ = nullptr;

@@ -24,8 +24,16 @@ Bytes StripingLayout::server_share(Bytes file_size, ServerId server) const {
 
 std::vector<SubRequestSpec> StripingLayout::decompose(Offset offset,
                                                       Bytes length) const {
-  assert(offset >= Offset::zero() && length > Bytes::zero());
   std::vector<SubRequestSpec> out;
+  decompose_into(offset, length, out);
+  return out;
+}
+
+// lint: no-alloc
+void StripingLayout::decompose_into(Offset offset, Bytes length,
+                                    std::vector<SubRequestSpec>& out) const {
+  assert(offset >= Offset::zero() && length > Bytes::zero());
+  out.clear();
   Offset pos = offset;
   Bytes remaining = length;
   while (remaining > Bytes::zero()) {
@@ -43,12 +51,12 @@ std::vector<SubRequestSpec> StripingLayout::decompose(Offset offset,
         out.back().logical_offset + out.back().length == s.logical_offset) {
       out.back().length += take;
     } else {
+      // lint: alloc-ok (amortized: pooled/reused vector keeps its capacity)
       out.push_back(s);
     }
     pos += take;
     remaining -= take;
   }
-  return out;
 }
 
 std::vector<SubRequestSpec> StripingLayout::decompose_per_server(

@@ -69,6 +69,12 @@ class StripingLayout {
   /// one entry per touched server in stripe order.
   std::vector<SubRequestSpec> decompose(Offset offset, Bytes length) const;
 
+  /// decompose() into a caller-supplied vector (cleared first).  The hot
+  /// request path passes a pooled vector so steady state stays
+  /// allocation-free.
+  void decompose_into(Offset offset, Bytes length,
+                      std::vector<SubRequestSpec>& out) const;
+
   /// Like decompose(), but merges multiple pieces of the same parent landing
   /// on the same server into that server's I/O list entry (contiguous or
   /// not, PVFS2 ships one request list per server pair).  Each element is a

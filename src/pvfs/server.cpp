@@ -9,6 +9,11 @@ DataServer::DataServer(sim::Simulator& sim, sim::ServerId id,
                        const DataServerConfig& cfg, net::Nic& nic,
                        storage::SeekProfile profile)
     : sim_(sim), id_(id), nic_(nic), io_slots_(sim, cfg.io_concurrency) {
+  // Every client request funnels through io_slots_, so its waiter ring is
+  // on the serve path: pre-size it for a burst of 1024 blocked requests
+  // (8 KB) so a waiter high-water mark reached mid-run never reallocates —
+  // the zero-allocs-per-request steady-state gate counts that as churn.
+  io_slots_.reserve(1024);
   disk_ = std::make_unique<storage::HddModel>(sim, cfg.hdd);
   disk_fs_ =
       std::make_unique<fsim::LocalFileSystem>(sim, *disk_, cfg.data_mode);

@@ -34,8 +34,12 @@ class ChunkPool {
   /// frames in this codebase run 80-600 bytes; map/set nodes 48-80.
   static constexpr std::size_t kStep = 64;
   static constexpr std::size_t kMaxChunk = 4096;
-  /// Idle chunks kept per bucket; beyond this, frees go to the allocator.
-  static constexpr std::size_t kMaxIdlePerBucket = 256;
+  /// Idle BYTES kept per bucket; beyond that, frees go to the allocator.  A
+  /// byte cap (rather than a chunk count) keeps the absorbable burst roughly
+  /// constant across size classes: a scale-campaign window oscillates
+  /// thousands of small coroutine frames between ticks, and a flat 256-chunk
+  /// cap made every oscillation beyond it churn the global allocator.
+  static constexpr std::size_t kMaxIdleBytesPerBucket = 1u << 20;
 
   ChunkPool() = default;
   ChunkPool(const ChunkPool&) = delete;
@@ -68,7 +72,8 @@ class ChunkPool {
   /// `n` must be the size passed to the matching allocate().
   void deallocate(void* p, std::size_t n) noexcept {
     const std::size_t b = bucket_of(n);
-    if (b >= kBuckets || idle_[b] >= kMaxIdlePerBucket) {
+    if (b >= kBuckets ||
+        idle_[b] >= kMaxIdleBytesPerBucket / ((b + 1) * kStep)) {
       ::operator delete(p);
       return;
     }
@@ -76,6 +81,25 @@ class ChunkPool {
     node->next = free_[b];
     free_[b] = node;
     ++idle_[b];
+  }
+
+  /// Pre-fill the free list serving `n`-byte requests with up to `count`
+  /// chunks (clipped to the idle-byte cap).  Lets a component that knows its
+  /// steady-state node size warm the pool at construction, so a high-water
+  /// mark first reached mid-run never takes a fresh-chunk miss — the same
+  /// pre-sizing contract as MappingTable::reserve.  No-op for unpooled sizes.
+  void prime(std::size_t n, std::size_t count) {
+    const std::size_t b = bucket_of(n);
+    if (b >= kBuckets) return;
+    const std::uint32_t cap = static_cast<std::uint32_t>(
+        kMaxIdleBytesPerBucket / ((b + 1) * kStep));
+    for (std::size_t i = 0; i < count && idle_[b] < cap; ++i) {
+      FreeNode* node =
+          static_cast<FreeNode*>(::operator new((b + 1) * kStep));
+      node->next = free_[b];
+      free_[b] = node;
+      ++idle_[b];
+    }
   }
 
   /// Chunks served by ::operator new (pool misses).

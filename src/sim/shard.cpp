@@ -19,6 +19,7 @@ ShardGroup::ShardGroup(int shards, SimTime lookahead, int workers)
   }
   workers_ = workers < 1 ? 1 : (workers > shards ? shards : workers);
   outbox_.resize(static_cast<std::size_t>(shards));
+  ends_.resize(static_cast<std::size_t>(shards), SimTime::zero());
   for (int i = 0; i < shards; ++i) {
     Simulator& s = sims_.emplace_back();
     s.group_ = this;
@@ -63,7 +64,62 @@ SimTime ShardGroup::next_time() const {
   return m;
 }
 
-void ShardGroup::run_window(SimTime end) {
+void ShardGroup::set_adaptive_window(SimTime max_window) {
+  assert(!running_ && "set_adaptive_window is driver-phase only");
+  if (max_window == SimTime::zero()) {
+    adaptive_ = SimTime::zero();
+    return;
+  }
+  if (max_window < lookahead_) {
+    throw std::invalid_argument(
+        "ShardGroup: adaptive window must be >= lookahead");
+  }
+  adaptive_ = max_window;
+}
+
+void ShardGroup::set_barrier_hook(std::function<void(SimTime)> hook) {
+  assert(!running_ && "set_barrier_hook is driver-phase only");
+  barrier_hook_ = std::move(hook);
+}
+
+void ShardGroup::place_windows(SimTime m, SimTime cap) {
+  const std::size_t n = sims_.size();
+  const SimTime base = m + lookahead_;
+  if (adaptive_ == SimTime::zero()) {
+    const SimTime e = base < cap ? base : cap;
+    for (std::size_t s = 0; s < n; ++s) ends_[s] = e;
+    return;
+  }
+  // Two smallest next-event times over all shards: shard s's bound depends
+  // on the minimum over the *other* shards, which is min2 when s itself is
+  // the argmin and min1 otherwise.  O(shards), single-threaded, and a pure
+  // function of worker-invariant state.
+  SimTime t1 = SimTime::max();
+  SimTime t2 = SimTime::max();
+  std::size_t arg1 = n;
+  for (std::size_t s = 0; s < n; ++s) {
+    const SimTime t = sims_[s].next_event_time();
+    if (t < t1) {
+      t2 = t1;
+      t1 = t;
+      arg1 = s;
+    } else if (t < t2) {
+      t2 = t;
+    }
+  }
+  const SimTime wide = m + adaptive_;
+  for (std::size_t s = 0; s < n; ++s) {
+    const SimTime other = s == arg1 ? t2 : t1;
+    SimTime e = wide;
+    if (other != SimTime::max() && other + lookahead_ < e) {
+      e = other + lookahead_;
+    }
+    if (e < base) e = base;  // never narrower than the classic window
+    ends_[s] = e < cap ? e : cap;
+  }
+}
+
+void ShardGroup::run_window() {
   const int n = shards();
   if (workers_ == 1) {
     // Same code path semantically as the threaded branch: running_ must be
@@ -71,7 +127,8 @@ void ShardGroup::run_window(SimTime end) {
     // what keeps one worker byte-identical to many.
     running_ = true;
     for (int s = 0; s < n; ++s) {
-      sims_[static_cast<std::size_t>(s)].drain_window(end);
+      const std::size_t i = static_cast<std::size_t>(s);
+      sims_[i].drain_window(ends_[i]);
     }
     running_ = false;
     return;
@@ -79,13 +136,13 @@ void ShardGroup::run_window(SimTime end) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     running_ = true;
-    window_end_ = end;
     active_ = workers_ - 1;
     ++epoch_;
   }
   cv_work_.notify_all();
   for (int s = 0; s < n; s += workers_) {
-    sims_[static_cast<std::size_t>(s)].drain_window(end);
+    const std::size_t i = static_cast<std::size_t>(s);
+    sims_[i].drain_window(ends_[i]);
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -97,17 +154,16 @@ void ShardGroup::run_window(SimTime end) {
 void ShardGroup::worker_loop(int w) {
   std::uint64_t seen = 0;
   for (;;) {
-    SimTime end = SimTime::zero();
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [this, seen] { return stop_ || epoch_ != seen; });
       if (stop_) return;
       seen = epoch_;
-      end = window_end_;
     }
     const int n = shards();
     for (int s = w; s < n; s += workers_) {
-      sims_[static_cast<std::size_t>(s)].drain_window(end);
+      const std::size_t i = static_cast<std::size_t>(s);
+      sims_[i].drain_window(ends_[i]);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -148,7 +204,11 @@ void ShardGroup::run_all() {
   for (;;) {
     const SimTime m = next_time();
     if (m == SimTime::max()) break;
-    run_window(m + lookahead_);
+    // At this point every event strictly before `m` has executed on every
+    // shard and no worker is running: the coherent horizon for the hook.
+    if (barrier_hook_) barrier_hook_(m);
+    place_windows(m, SimTime::max());
+    run_window();
     deliver();
     ++windows_;
   }
@@ -168,8 +228,9 @@ void ShardGroup::run_all_until(SimTime deadline) {
   for (;;) {
     const SimTime m = next_time();
     if (m > deadline) break;
-    const SimTime end = m + lookahead_;
-    run_window(end < stop ? end : stop);
+    if (barrier_hook_) barrier_hook_(m);
+    place_windows(m, stop);
+    run_window();
     deliver();
     ++windows_;
   }
@@ -188,7 +249,9 @@ bool ShardGroup::run_all_while_pending(const std::function<bool()>& done) {
       sync_clocks(latest);
       return done();
     }
-    run_window(m + lookahead_);
+    if (barrier_hook_) barrier_hook_(m);
+    place_windows(m, SimTime::max());
+    run_window();
     deliver();
     ++windows_;
     if (done()) return true;

@@ -38,6 +38,28 @@
 // lookahead of zero would admit same-instant cross-shard cycles, so the
 // constructor rejects it.
 //
+// Adaptive lookahead (set_adaptive_window) widens windows past the minimum
+// `M + W` when other shards are idle or far in the future.  Window ends are
+// *static per-shard bounds* computed single-threaded at each barrier:
+//
+//   E_d = clamp( min over s != d of (T_s + W),  M + W,  M + A_max )
+//
+// where T_s is shard s's next pending event time and A_max is the adaptive
+// cap.  Safety: cross-shard posts are delivered only at barriers, so during
+// a window shard s's emissions are triggered solely by its own local events,
+// all at t >= T_s; every post from s therefore arrives at >= T_s + W >= E_d
+// for every d != s.  If every other shard is empty it cannot post at all, so
+// E_d may stretch to M + A_max.  The bounds are a pure function of the
+// worker-invariant T_s values, so the schedule stays byte-identical at any
+// worker count.  Wider windows do change how many posts meet at one barrier
+// merge, so an adaptive run's same-tick tie-breaks (and digests) may differ
+// from a non-adaptive run of the same model — identity is per configuration,
+// across worker counts, exactly as for the base scheme.
+//
+// Shard *groups* (cluster::Cluster maps many data servers onto one shard)
+// need no support here beyond what post()/Hop already provide: shards are
+// anonymous event streams, and grouping only changes how many of them exist.
+//
 // Driver-phase use (setup/teardown code between run_all calls) runs on the
 // caller's thread with no window active; post() then delivers directly onto
 // the target shard's queue, still deterministically.
@@ -74,6 +96,22 @@ class ShardGroup {
   int shards() const { return static_cast<int>(sims_.size()); }
   int workers() const { return workers_; }
   SimTime lookahead() const { return lookahead_; }
+
+  /// Enable adaptive lookahead with windows capped at `max_window` past the
+  /// global minimum (see the header comment for the per-shard bound and its
+  /// safety argument).  Zero disables (the default); otherwise `max_window`
+  /// must be >= lookahead() — throws std::invalid_argument if not.  Driver
+  /// phase only.
+  void set_adaptive_window(SimTime max_window);
+  SimTime adaptive_window() const { return adaptive_; }
+
+  /// Install a hook invoked single-threaded at every barrier, passing the
+  /// horizon time T: every event strictly before T has executed on every
+  /// shard and no worker is running, so the hook may read cross-shard state
+  /// coherently.  T is worker-count invariant, which keeps anything derived
+  /// from it (e.g. the cluster metrics sampler) deterministic.  Pass nullptr
+  /// to uninstall.  Driver phase only.
+  void set_barrier_hook(std::function<void(SimTime)> hook);
 
   Simulator& shard(int i) { return sims_[static_cast<std::size_t>(i)]; }
   const Simulator& shard(int i) const {
@@ -138,8 +176,12 @@ class ShardGroup {
 
   /// Earliest pending event across shards (SimTime::max() when drained).
   SimTime next_time() const;
-  /// Drain every shard's events strictly before `end`, in parallel.
-  void run_window(SimTime end);
+  /// Compute per-shard window ends into `ends_` for a window starting at
+  /// global minimum `m`, each clamped to `cap`.  Single-threaded.
+  void place_windows(SimTime m, SimTime cap);
+  /// Drain every shard's events strictly before its `ends_` bound, in
+  /// parallel.
+  void run_window();
   /// Barrier merge: move buffered posts onto their target shards in
   /// (when, src shard, send order) order.  Single-threaded.
   void deliver();
@@ -150,7 +192,10 @@ class ShardGroup {
 
   std::deque<Simulator> sims_;  // deque: stable addresses, non-movable elems
   SimTime lookahead_;
+  SimTime adaptive_ = SimTime::zero();  ///< max window width; zero = off
   int workers_;
+  std::vector<SimTime> ends_;  ///< per-shard window ends for this window
+  std::function<void(SimTime)> barrier_hook_;
 
   // Outboxes are written lock-free during a window: outbox_[s] is touched
   // only by the worker draining shard s.  The barrier (and the pool's mutex
@@ -165,12 +210,12 @@ class ShardGroup {
   // Worker pool (exp::Runner-style mutex + condvar handshake).  Worker w
   // drains shards {s : s % workers_ == w}; worker 0 is the calling thread,
   // so shard 0 — and any predicate/driver state living there — is always
-  // drained by the caller itself.
+  // drained by the caller itself.  Workers read the per-shard bounds from
+  // `ends_`, which the caller fills before bumping the epoch under mu_.
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   std::uint64_t epoch_ = 0;
-  SimTime window_end_ = SimTime::zero();
   int active_ = 0;
   bool stop_ = false;
   std::vector<std::thread> threads_;

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/mem_pool.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 
@@ -32,6 +33,66 @@ struct Delay {
 };
 
 namespace detail {
+
+/// Vector-backed FIFO ring of coroutine handles.  std::deque allocates and
+/// frees 512-byte nodes as elements cross chunk boundaries, so a FIFO that
+/// churns under steady load keeps hitting the allocator; the ring doubles a
+/// flat buffer instead and reaches a steady state with zero allocations.
+class HandleRing {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  // lint: no-alloc
+  void push(std::coroutine_handle<> h) {
+    if (count_ == buf_.size()) grow();
+    std::size_t j = head_ + count_;
+    if (j >= buf_.size()) j -= buf_.size();
+    buf_[j] = h;
+    ++count_;
+  }
+
+  std::coroutine_handle<> pop() {
+    assert(count_ > 0);
+    const std::coroutine_handle<> h = buf_[head_];
+    head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    --count_;
+    return h;
+  }
+
+  /// Ensure capacity for at least `n` queued handles, so a waiter high-water
+  /// mark first reached mid-run never reallocates the ring.
+  void reserve(std::size_t n) {
+    if (buf_.size() >= n) return;
+    std::size_t cap = buf_.empty() ? 16 : buf_.size();
+    while (cap < n) cap *= 2;
+    std::vector<std::coroutine_handle<>> nb(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      std::size_t j = head_ + i;
+      if (j >= buf_.size()) j -= buf_.size();
+      nb[i] = buf_[j];
+    }
+    buf_ = std::move(nb);
+    head_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t old = buf_.size();
+    std::vector<std::coroutine_handle<>> nb(old == 0 ? 16 : old * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      std::size_t j = head_ + i;
+      if (j >= old) j -= old;
+      nb[i] = buf_[j];
+    }
+    buf_ = std::move(nb);
+    head_ = 0;
+  }
+
+  std::vector<std::coroutine_handle<>> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
 
 /// Shared one-shot state for SimFuture/SimPromise.
 template <typename T>
@@ -92,8 +153,15 @@ class SimFuture {
 template <typename T>
 class SimPromise {
  public:
+  // The one-shot shared state rides the thread's coroutine-frame pool: a
+  // promise/future pair lives exactly as long as one request, so the node
+  // freed at completion is recycled by the next submit and steady-state
+  // request churn never touches the global allocator.  Thread-locality holds
+  // for the same reason it does for Task frames: shards are statically
+  // pinned to workers, so a state is freed on the thread that allocated it.
   explicit SimPromise(Simulator& sim)
-      : state_(std::make_shared<detail::FutureState<T>>()) {
+      : state_(std::allocate_shared<detail::FutureState<T>>(
+            PoolAllocator<detail::FutureState<T>>(frame_pool()))) {
     state_->sim = &sim;
   }
 
@@ -159,7 +227,7 @@ class Semaphore {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) { s.waiters_.push(h); }
     void await_resume() const noexcept {}
   };
 
@@ -167,8 +235,7 @@ class Semaphore {
 
   void release() {
     if (!waiters_.empty()) {
-      auto h = waiters_.front();
-      waiters_.pop_front();
+      auto h = waiters_.pop();
       sim_.defer([h] { h.resume(); });
     } else {
       ++count_;
@@ -177,11 +244,15 @@ class Semaphore {
 
   int available() const { return count_; }
 
+  /// Pre-size the waiter ring for `n` concurrent blocked acquirers (see
+  /// HandleRing::reserve).
+  void reserve(std::size_t n) { waiters_.reserve(n); }
+
  private:
   friend struct Awaiter;
   Simulator& sim_;
   int count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::HandleRing waiters_;  ///< FIFO; ring, so contention never allocates
 };
 
 /// Unbounded SPSC/MPSC channel: producers push, one consumer awaits pop.
@@ -262,7 +333,10 @@ class TaskGroup {
 ///   co_await js.join();            // resumes when every child finished
 ///
 /// The JoinSet must outlive its children (keep it on the awaiting coroutine's
-/// frame and always co_await join() before returning).
+/// frame and always co_await join() before returning).  Each child rides a
+/// DetachedTask wrapper whose pooled frame owns the child and frees itself on
+/// completion, so a fork/join costs no container allocation — the property
+/// the allocation-free client request path depends on.
 class JoinSet {
  public:
   explicit JoinSet(Simulator& sim) : sim_(sim) {}
@@ -270,10 +344,11 @@ class JoinSet {
   JoinSet& operator=(const JoinSet&) = delete;
 
   /// Add and immediately start a child task.
+  // lint: no-alloc
   void add(Task<> t) {
     ++total_;
-    wrappers_.push_back(wrap(std::move(t)));
-    wrappers_.back().start();
+    // lint: alloc-ok (pooled wrapper frame; completion defer queue is reserved)
+    wrap(std::move(t));  // eager: runs until the child's first suspension
   }
 
   struct Awaiter {
@@ -292,7 +367,7 @@ class JoinSet {
   std::size_t pending() const { return total_ - done_; }
 
  private:
-  Task<> wrap(Task<> t) {
+  DetachedTask wrap(Task<> t) {
     co_await t;
     ++done_;
     if (waiter_ && done_ == total_) {
@@ -302,7 +377,6 @@ class JoinSet {
   }
 
   Simulator& sim_;
-  std::deque<Task<>> wrappers_;
   std::size_t total_ = 0;
   std::size_t done_ = 0;
   std::coroutine_handle<> waiter_ = nullptr;

@@ -21,6 +21,8 @@ namespace ibridge::sim {
 template <typename T = void>
 class Task;
 
+struct DetachedTask;
+
 namespace detail {
 
 struct PromiseBase {
@@ -57,6 +59,22 @@ struct PromiseBase {
 };
 
 }  // namespace detail
+
+/// A fire-and-forget coroutine: starts eagerly when called and frees its own
+/// frame the moment it completes (final_suspend never suspends), so nothing
+/// needs to own or store it.  Frames come from the same thread-local pool as
+/// Task frames.  Used for completion-counting wrappers (sim::JoinSet) where
+/// keeping a container of finished wrappers alive would cost a heap
+/// allocation per fork/join.  The coroutine must not outlive state it
+/// references — completion ordering is the caller's contract.
+struct DetachedTask {
+  struct promise_type : detail::PromiseBase {
+    DetachedTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+  };
+};
 
 /// A lazily-started coroutine yielding a value of type T on completion.
 /// The Task object owns the coroutine frame.

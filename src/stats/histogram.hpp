@@ -131,17 +131,37 @@ class Histogram {
   Summary moments_;
 };
 
-/// Exact histogram over integer keys (sparse).  Used for block-request size
+/// Exact histogram over integer keys.  Used for block-request size
 /// distributions where the key is the request size in 512 B sectors.
+///
+/// Keys in [0, kDenseKeys) — every realistic sector count; the schedulers
+/// merge to at most 1024 sectors — live in a flat array sized once on first
+/// use, so the per-dispatch add() on the device hot path never allocates in
+/// steady state (a sparse map would insert a fresh tree node for every new
+/// distinct size, which the scale campaign's zero-allocs-per-request gate
+/// flagged).  Outlier keys fall back to the sparse map, keeping the
+/// histogram exact for arbitrary inputs.
 class IntHistogram {
  public:
+  static constexpr std::int64_t kDenseKeys = 2048;
+
   void add(std::int64_t key, std::uint64_t weight = 1) {
-    bins_[key] += weight;
+    if (key >= 0 && key < kDenseKeys) {
+      if (dense_.empty()) dense_.resize(static_cast<std::size_t>(kDenseKeys));
+      dense_[static_cast<std::size_t>(key)] += weight;
+    } else {
+      bins_[key] += weight;
+    }
     total_ += weight;
   }
 
   std::uint64_t total() const { return total_; }
   std::uint64_t count(std::int64_t key) const {
+    if (key >= 0 && key < kDenseKeys) {
+      return static_cast<std::size_t>(key) < dense_.size()
+                 ? dense_[static_cast<std::size_t>(key)]
+                 : 0;
+    }
     auto it = bins_.find(key);
     return it == bins_.end() ? 0 : it->second;
   }
@@ -151,11 +171,17 @@ class IntHistogram {
                   : 0.0;
   }
 
-  /// Keys sorted ascending.
+  /// Keys sorted ascending.  The sparse map holds only keys outside
+  /// [0, kDenseKeys), so negatives come first, the dense lane next, and
+  /// oversize keys last — each range already sorted.
   std::vector<std::int64_t> keys() const {
     std::vector<std::int64_t> ks;
-    ks.reserve(bins_.size());
-    for (const auto& [k, _] : bins_) ks.push_back(k);
+    auto it = bins_.begin();
+    for (; it != bins_.end() && it->first < 0; ++it) ks.push_back(it->first);
+    for (std::size_t k = 0; k < dense_.size(); ++k) {
+      if (dense_[k] != 0) ks.push_back(static_cast<std::int64_t>(k));
+    }
+    for (; it != bins_.end(); ++it) ks.push_back(it->first);
     return ks;
   }
 
@@ -163,6 +189,9 @@ class IntHistogram {
   std::vector<std::pair<std::int64_t, std::uint64_t>> top(std::size_t n) const {
     std::vector<std::pair<std::int64_t, std::uint64_t>> v(bins_.begin(),
                                                           bins_.end());
+    for (std::size_t k = 0; k < dense_.size(); ++k) {
+      if (dense_[k] != 0) v.emplace_back(static_cast<std::int64_t>(k), dense_[k]);
+    }
     std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
       if (a.second != b.second) return a.second > b.second;
       return a.first < b.first;
@@ -177,18 +206,20 @@ class IntHistogram {
     double s = 0.0;
     for (const auto& [k, c] : bins_)
       s += static_cast<double>(k) * static_cast<double>(c);
+    for (std::size_t k = 0; k < dense_.size(); ++k)
+      s += static_cast<double>(k) * static_cast<double>(dense_[k]);
     return s / static_cast<double>(total_);
   }
 
   void clear() {
     bins_.clear();
+    dense_.clear();
     total_ = 0;
   }
 
-  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
-
  private:
   std::map<std::int64_t, std::uint64_t> bins_;
+  std::vector<std::uint64_t> dense_;  // lane for keys in [0, kDenseKeys)
   std::uint64_t total_ = 0;
 };
 

@@ -54,6 +54,12 @@ class ThroughputMeter {
 /// always on at O(1) memory per server regardless of request count.
 class ServiceTimeMeter {
  public:
+  // The meter sits on the serve path of every request, so its sketch takes
+  // the worst-case preallocation: a new latency magnitude discovered mid-run
+  // must not reallocate the bucket vector (the zero-allocs-per-request
+  // steady-state gate counts that as serve-path churn).
+  ServiceTimeMeter() { sketch_.reserve_full(); }
+
   void add(sim::SimTime t) {
     const double ms = t.to_millis();
     ms_.add(ms);

@@ -127,6 +127,16 @@ class QuantileSketch {
     moments_ = {};
   }
 
+  /// Preallocate the worst-case bucket footprint — (kMaxExp - kMinExp) *
+  /// buckets_per_octave entries — so add() never reallocates, no matter
+  /// which indices the stream discovers.  Opted into by always-on hot-path
+  /// meters (the scale campaign's zero-allocs-per-request serve gate);
+  /// registry metrics stay lazily sized at a few hundred bytes.
+  void reserve_full() {
+    buckets_.reserve(static_cast<std::size_t>(kMaxExp - kMinExp) *
+                     static_cast<std::size_t>(per_octave_));
+  }
+
   std::size_t bucket_count() const { return buckets_.size(); }
 
   /// Bytes held beyond sizeof(*this) — the O(1) bound bench_obs asserts.

@@ -17,12 +17,28 @@ bool can_merge(const DispatchBatch& b, const BlockRequest& r,
 
 }  // namespace
 
+void CfqScheduler::rr_push(int tag) {
+  // Same allocation-free FIFO idiom as NoopScheduler's queue: reclaim the
+  // popped prefix instead of letting the buffer crawl forward.
+  if (rr_head_ == rr_.size()) {
+    rr_.clear();
+    rr_head_ = 0;
+  } else if (rr_head_ > 64 && rr_head_ * 2 > rr_.size()) {
+    rr_.erase(rr_.begin(), rr_.begin() + static_cast<std::ptrdiff_t>(rr_head_));
+    rr_head_ = 0;
+  }
+  rr_.push_back(tag);
+}
+
 void CfqScheduler::add(PendingRequest p) {
   const int tag = p.req.tag;
-  auto [it, inserted] = queues_.try_emplace(tag);
-  if (inserted || it->second.empty()) {
+  auto it = queues_.find(tag);
+  if (it == queues_.end()) {
+    it = queues_.emplace(tag, StreamQueue(QueueAlloc(pool_))).first;
+  }
+  if (it->second.empty()) {
     // Stream transitions idle -> pending: enter the round-robin.
-    rr_.push_back(tag);
+    rr_push(tag);
   }
   it->second.emplace(Key{p.req.lbn, seq_++}, std::move(p));
   ++size_;
@@ -39,18 +55,25 @@ const PendingRequest* CfqScheduler::pick(const StreamQueue& q,
 }
 
 void CfqScheduler::note_stream_drained(int tag) {
+  // Erase the drained stream's entry: an empty StreamQueue already behaved
+  // exactly like an absent one everywhere (pop_next, peek, and the rr_ skip
+  // all test for emptiness), and with pooled nodes re-creating it on the
+  // stream's next arrival is a pool-recycled insert, not an allocation.
+  // Keeping entries forever would let a million-rank sweep pin one node per
+  // tag per disk.  Drop from round-robin lazily: rr_ entries for drained
+  // streams are skipped in pop_next.
   auto it = queues_.find(tag);
-  if (it != queues_.end() && it->second.empty()) {
-    // Leave the map entry (streams are long-lived); drop from round-robin
-    // lazily: rr_ entries for empty streams are skipped in pop_next.
-    (void)tag;
-  }
+  if (it != queues_.end() && it->second.empty()) queues_.erase(it);
 }
 
 bool CfqScheduler::absorb_contiguous(DispatchBatch& batch) {
   // Search every stream for a request contiguous with the batch (the
-  // kernel's cross-queue back/front merge).  Returns true on progress.
-  for (auto& [tag, q] : queues_) {
+  // kernel's cross-queue back/front merge).  Returns true on progress.  A
+  // stream drained by the merge loses its map entry (unless it is the
+  // active one, whose queue pop_next may still touch — note_stream_drained
+  // reaps that after the merge loop).
+  for (auto qit = queues_.begin(); qit != queues_.end(); ++qit) {
+    StreamQueue& q = qit->second;
     if (q.empty()) continue;
     // Back merge: request starting exactly at batch end.
     auto it = q.lower_bound(Key{batch.end(), 0});
@@ -60,6 +83,7 @@ bool CfqScheduler::absorb_contiguous(DispatchBatch& batch) {
       batch.members.push_back(std::move(it->second));
       q.erase(it);
       --size_;
+      if (q.empty() && qit->first != active_) queues_.erase(qit);
       return true;
     }
     // Front merge: request ending exactly at batch start.
@@ -73,6 +97,7 @@ bool CfqScheduler::absorb_contiguous(DispatchBatch& batch) {
         batch.members.push_back(std::move(it->second));
         q.erase(it);
         --size_;
+        if (q.empty() && qit->first != active_) queues_.erase(qit);
         return true;
       }
       if (it->second.req.end() < batch.lbn) break;
@@ -81,9 +106,9 @@ bool CfqScheduler::absorb_contiguous(DispatchBatch& batch) {
   return false;
 }
 
-DispatchBatch CfqScheduler::pop_next(std::int64_t head_lbn) {
-  DispatchBatch batch;
-  if (size_ == 0) return batch;
+void CfqScheduler::pop_next(std::int64_t head_lbn, DispatchBatch& batch) {
+  batch.reset();
+  if (size_ == 0) return;
 
   // Keep the active stream while it has requests and budget; otherwise
   // rotate to the next stream with pending work.
@@ -96,13 +121,12 @@ DispatchBatch CfqScheduler::pop_next(std::int64_t head_lbn) {
     if (active_ >= 0) {
       auto it = queues_.find(active_);
       if (it != queues_.end() && !it->second.empty()) {
-        rr_.push_back(active_);  // budget exhausted, still pending
+        rr_push(active_);  // budget exhausted, still pending
       }
     }
     active_ = -1;
-    while (!rr_.empty()) {
-      const int tag = rr_.front();
-      rr_.pop_front();
+    while (rr_head_ < rr_.size()) {
+      const int tag = rr_[rr_head_++];
       auto it = queues_.find(tag);
       if (it != queues_.end() && !it->second.empty()) {
         active_ = tag;
@@ -110,10 +134,10 @@ DispatchBatch CfqScheduler::pop_next(std::int64_t head_lbn) {
         break;
       }
     }
-    if (active_ < 0) return batch;  // rr_ was stale; size_ said otherwise
+    if (active_ < 0) return;  // rr_ was stale; size_ said otherwise
   }
 
-  StreamQueue& q = queues_[active_];
+  StreamQueue& q = queues_.find(active_)->second;
   const PendingRequest* chosen = pick(q, head_lbn);
   const Key key{chosen->req.lbn, 0};
   auto it = q.lower_bound(key);
@@ -136,7 +160,6 @@ DispatchBatch CfqScheduler::pop_next(std::int64_t head_lbn) {
   while (absorb_contiguous(batch)) {
   }
   note_stream_drained(active_);
-  return batch;
 }
 
 std::optional<PeekInfo> CfqScheduler::peek(std::int64_t head_lbn) const {
@@ -150,7 +173,8 @@ std::optional<PeekInfo> CfqScheduler::peek(std::int64_t head_lbn) const {
       return PeekInfo{std::llabs(r->req.lbn - head_lbn), r->req.tag};
     }
   }
-  for (int tag : rr_) {
+  for (std::size_t i = rr_head_; i < rr_.size(); ++i) {
+    const int tag = rr_[i];
     auto it = queues_.find(tag);
     if (it != queues_.end() && !it->second.empty()) {
       const PendingRequest* r = pick(it->second, head_lbn);

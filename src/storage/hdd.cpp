@@ -122,35 +122,37 @@ void HddModel::unplug() {
 }
 
 void HddModel::dispatch() {
-  DispatchBatch batch = sched_->pop_next(head_);
-  if (batch.empty()) {
+  sched_->pop_next(head_, inflight_);
+  if (inflight_.empty()) {
     state_ = State::kIdle;
     return;
   }
   state_ = State::kServing;
-  last_tag_ = batch.members.front().req.tag;
-  last_dir_ = batch.dir;
+  last_tag_ = inflight_.members.front().req.tag;
+  last_dir_ = inflight_.dir;
 
   const bool after_idle =
       last_completion_ >= sim::SimTime::zero() &&
       (sim_.now() - last_completion_) >
           sim::SimTime::from_seconds(params_.idle_gap_us / 1e6);
   const sim::SimTime service =
-      service_time(batch.dir, batch.lbn, batch.sectors, after_idle);
-  record_dispatch(sim_.now(), batch.dir, batch.lbn, batch.sectors, service);
+      service_time(inflight_.dir, inflight_.lbn, inflight_.sectors, after_idle);
+  record_dispatch(sim_.now(), inflight_.dir, inflight_.lbn, inflight_.sectors,
+                  service);
 
-  sim_.schedule(service,
-                [this, b = std::make_shared<DispatchBatch>(std::move(batch)),
-                 service]() mutable { complete(std::move(*b), service); });
+  // The batch stays in inflight_ (one dispatch at a time), so the closure
+  // fits the inline event and steady-state dispatch never allocates.
+  sim_.schedule(service, [this, service] { complete(service); });
 }
 
-void HddModel::complete(DispatchBatch batch, sim::SimTime service) {
-  head_ = batch.end();
+void HddModel::complete(sim::SimTime service) {
+  head_ = inflight_.end();
   last_completion_ = sim_.now();
   const sim::SimTime now = sim_.now();
-  for (auto& p : batch.members) {
+  for (auto& p : inflight_.members) {
     p.promise.set_value(BlockCompletion{now, now - p.submitted, service});
   }
+  inflight_.reset();
   state_ = State::kIdle;
   maybe_start();
 }

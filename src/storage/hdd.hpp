@@ -139,11 +139,15 @@ class HddModel final : public BlockDevice {
   void maybe_start();
   void unplug();
   void dispatch();
-  void complete(DispatchBatch batch, sim::SimTime service);
+  void complete(sim::SimTime service);
 
   sim::Simulator& sim_;
   HddParams params_;
   std::unique_ptr<IoScheduler> sched_;
+  // The disk serves one dispatch at a time (the state machine below), so
+  // the in-flight batch lives here and is recycled — members capacity and
+  // all — instead of being heap-shipped through the completion closure.
+  DispatchBatch inflight_;
   State state_ = State::kIdle;
   std::int64_t head_ = 0;
   int last_tag_ = -1;              // stream served by the last dispatch

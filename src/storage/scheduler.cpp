@@ -25,39 +25,56 @@ void absorb(DispatchBatch& b, PendingRequest p) {
 
 // ---------------------------------------------------------------- Noop ----
 
-void NoopScheduler::add(PendingRequest p) { queue_.push_back(std::move(p)); }
+void NoopScheduler::add(PendingRequest p) {
+  // Reclaim the dead prefix left by popped heads before growing the tail:
+  // when it dominates the buffer, shift the live range down in place.  The
+  // buffer's capacity is reused forever, so a steady-state queue never
+  // allocates.
+  if (head_ == queue_.size()) {
+    queue_.clear();
+    head_ = 0;
+  } else if (head_ > 64 && head_ * 2 > queue_.size()) {
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  queue_.push_back(std::move(p));
+}
 
-DispatchBatch NoopScheduler::pop_next(std::int64_t /*head_lbn*/) {
-  DispatchBatch batch;
-  if (queue_.empty()) return batch;
+void NoopScheduler::pop_next(std::int64_t /*head_lbn*/, DispatchBatch& out) {
+  out.reset();
+  if (head_ == queue_.size()) return;
 
-  batch.dir = queue_.front().req.dir;
-  batch.lbn = queue_.front().req.lbn;
-  batch.sectors = queue_.front().req.sectors;
-  batch.members.push_back(std::move(queue_.front()));
-  queue_.pop_front();
+  PendingRequest& front = queue_[head_];
+  out.dir = front.req.dir;
+  out.lbn = front.req.lbn;
+  out.sectors = front.req.sectors;
+  out.members.push_back(std::move(front));
+  ++head_;
 
   // Scan the rest of the queue for front-/back-mergeable requests.  A merge
   // can enable another one, so repeat until a pass makes no progress.
   bool progress = true;
   while (progress) {
     progress = false;
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (mergeable(batch, it->req, max_sectors_)) {
-        absorb(batch, std::move(*it));
-        queue_.erase(it);
+    for (std::size_t i = head_; i < queue_.size(); ++i) {
+      if (mergeable(out, queue_[i].req, max_sectors_)) {
+        absorb(out, std::move(queue_[i]));
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
         progress = true;
         break;
       }
     }
   }
-  return batch;
+  if (head_ == queue_.size()) {
+    queue_.clear();
+    head_ = 0;
+  }
 }
 
 std::optional<PeekInfo> NoopScheduler::peek(std::int64_t head_lbn) const {
-  if (queue_.empty()) return std::nullopt;
-  return PeekInfo{std::llabs(queue_.front().req.lbn - head_lbn),
-                  queue_.front().req.tag};
+  if (head_ == queue_.size()) return std::nullopt;
+  return PeekInfo{std::llabs(queue_[head_].req.lbn - head_lbn),
+                  queue_[head_].req.tag};
 }
 
 // ------------------------------------------------------------ Elevator ----
@@ -80,32 +97,31 @@ std::size_t ElevatorScheduler::pick_index(std::int64_t head_lbn) const {
   return static_cast<std::size_t>(it - sorted_.begin());
 }
 
-DispatchBatch ElevatorScheduler::pop_next(std::int64_t head_lbn) {
-  DispatchBatch batch;
-  if (sorted_.empty()) return batch;
+void ElevatorScheduler::pop_next(std::int64_t head_lbn, DispatchBatch& out) {
+  out.reset();
+  if (sorted_.empty()) return;
 
   std::size_t i = pick_index(head_lbn);
-  batch.dir = sorted_[i].req.dir;
-  batch.lbn = sorted_[i].req.lbn;
-  batch.sectors = sorted_[i].req.sectors;
-  batch.members.push_back(std::move(sorted_[i]));
+  out.dir = sorted_[i].req.dir;
+  out.lbn = sorted_[i].req.lbn;
+  out.sectors = sorted_[i].req.sectors;
+  out.members.push_back(std::move(sorted_[i]));
   sorted_.erase(sorted_.begin() + static_cast<std::ptrdiff_t>(i));
 
   // Absorb queued requests contiguous with the batch tail (ascending merge;
   // the vector is sorted so contiguous successors sit right at `i`).
-  while (i < sorted_.size() && mergeable(batch, sorted_[i].req, max_sectors_) &&
-         sorted_[i].req.lbn == batch.end()) {
-    absorb(batch, std::move(sorted_[i]));
+  while (i < sorted_.size() && mergeable(out, sorted_[i].req, max_sectors_) &&
+         sorted_[i].req.lbn == out.end()) {
+    absorb(out, std::move(sorted_[i]));
     sorted_.erase(sorted_.begin() + static_cast<std::ptrdiff_t>(i));
   }
   // And any front-contiguous predecessor (rare, but keeps parity with noop).
-  while (i > 0 && mergeable(batch, sorted_[i - 1].req, max_sectors_) &&
-         sorted_[i - 1].req.end() == batch.lbn) {
-    absorb(batch, std::move(sorted_[i - 1]));
+  while (i > 0 && mergeable(out, sorted_[i - 1].req, max_sectors_) &&
+         sorted_[i - 1].req.end() == out.lbn) {
+    absorb(out, std::move(sorted_[i - 1]));
     sorted_.erase(sorted_.begin() + static_cast<std::ptrdiff_t>(i - 1));
     --i;
   }
-  return batch;
 }
 
 std::optional<PeekInfo> ElevatorScheduler::peek(std::int64_t head_lbn) const {

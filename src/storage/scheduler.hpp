@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "sim/mem_pool.hpp"
 #include "sim/sync.hpp"
 #include "storage/block.hpp"
 
@@ -36,6 +38,16 @@ struct DispatchBatch {
   bool empty() const { return members.empty(); }
   std::int64_t end() const { return lbn + sectors; }
   std::int64_t bytes() const { return sectors * kSectorBytes; }
+
+  /// Clear for reuse, keeping the members vector's capacity.  The devices
+  /// recycle their in-flight batches through this, so steady-state dispatch
+  /// never allocates.
+  void reset() {
+    dir = IoDirection::kRead;
+    lbn = 0;
+    sectors = 0;
+    members.clear();
+  }
 };
 
 /// What pop_next would dispatch, without removing it.
@@ -51,9 +63,17 @@ class IoScheduler {
 
   virtual void add(PendingRequest p) = 0;
 
-  /// Remove and return the next batch to dispatch given the current head
-  /// position.  Returns an empty batch when the queue is empty.
-  virtual DispatchBatch pop_next(std::int64_t head_lbn) = 0;
+  /// Remove the next batch to dispatch given the current head position into
+  /// `out` (reset()s it first; its members capacity survives reuse).  `out`
+  /// stays empty when the queue is.
+  virtual void pop_next(std::int64_t head_lbn, DispatchBatch& out) = 0;
+
+  /// Value-returning convenience for tests and tools.
+  DispatchBatch pop_next(std::int64_t head_lbn) {
+    DispatchBatch out;
+    pop_next(head_lbn, out);
+    return out;
+  }
 
   virtual bool empty() const = 0;
   virtual std::size_t depth() const = 0;
@@ -71,15 +91,21 @@ class NoopScheduler final : public IoScheduler {
   explicit NoopScheduler(std::int64_t max_merge_sectors = 1024)
       : max_sectors_(max_merge_sectors) {}
 
+  using IoScheduler::pop_next;
   void add(PendingRequest p) override;
-  DispatchBatch pop_next(std::int64_t head_lbn) override;
-  bool empty() const override { return queue_.empty(); }
-  std::size_t depth() const override { return queue_.size(); }
+  void pop_next(std::int64_t head_lbn, DispatchBatch& out) override;
+  bool empty() const override { return head_ == queue_.size(); }
+  std::size_t depth() const override { return queue_.size() - head_; }
   std::optional<PeekInfo> peek(std::int64_t head_lbn) const override;
 
  private:
   std::int64_t max_sectors_;
-  std::deque<PendingRequest> queue_;
+  // FIFO as a vector with an advancing head: pop_front is ++head_ and add()
+  // periodically compacts the live tail down in place, so a steady-state
+  // queue reuses one buffer forever (std::deque would churn a 512-byte
+  // chunk through the allocator every few dozen requests).
+  std::vector<PendingRequest> queue_;
+  std::size_t head_ = 0;
 };
 
 /// CFQ-like scheduler: one queue per issuing stream (BlockRequest::tag),
@@ -93,10 +119,22 @@ class NoopScheduler final : public IoScheduler {
 class CfqScheduler final : public IoScheduler {
  public:
   explicit CfqScheduler(int quantum = 8, std::int64_t max_merge_sectors = 1024)
-      : quantum_(quantum), max_sectors_(max_merge_sectors) {}
+      : quantum_(quantum), max_sectors_(max_merge_sectors) {
+    // Pre-warm the node pool and the round-robin ring for a queue-depth
+    // high-water mark of kPrimeDepth requests.  Both rb-tree node types
+    // (outer tag entry, inner per-stream entry) land in the 128-byte size
+    // class on LP64; a depth record first set mid-run then costs a recycled
+    // chunk, not a fresh one — same pre-sizing contract as
+    // MappingTable::reserve, covered by bench_scale --check's zero-alloc
+    // steady-state gate.
+    pool_.prime(128, kPrimeDepth);
+    pool_.prime(192, kPrimeDepth);
+    rr_.reserve(kPrimeDepth);
+  }
 
+  using IoScheduler::pop_next;
   void add(PendingRequest p) override;
-  DispatchBatch pop_next(std::int64_t head_lbn) override;
+  void pop_next(std::int64_t head_lbn, DispatchBatch& out) override;
   bool empty() const override { return size_ == 0; }
   std::size_t depth() const override { return size_; }
   std::optional<PeekInfo> peek(std::int64_t head_lbn) const override;
@@ -105,19 +143,36 @@ class CfqScheduler final : public IoScheduler {
   /// CFQ-style anticipation: an arrival from this tag ends idling).
   int last_tag() const { return last_tag_; }
 
+  /// Queue depth (pending requests per disk) the constructor pre-warms node
+  /// pools for; ~80 KB per scheduler.  Deeper queues still work — they just
+  /// pay a one-time pool miss per chunk of extra depth.
+  static constexpr std::size_t kPrimeDepth = 256;
+
  private:
-  // Per-stream queue sorted by (lbn, arrival seq).
+  // Per-stream queue sorted by (lbn, arrival seq).  Both map levels allocate
+  // their nodes from the scheduler's own ChunkPool: nodes freed by a
+  // dispatch are recycled by the next add(), so steady-state queue churn
+  // never touches the global allocator (the million-rank campaign's
+  // zero-allocs-per-request gate covers this path via bench_scale --check).
   using Key = std::pair<std::int64_t, std::uint64_t>;
-  using StreamQueue = std::map<Key, PendingRequest>;
+  using QueueAlloc = sim::PoolAllocator<std::pair<const Key, PendingRequest>>;
+  using StreamQueue = std::map<Key, PendingRequest, std::less<Key>, QueueAlloc>;
+  using TagAlloc = sim::PoolAllocator<std::pair<const int, StreamQueue>>;
 
   const PendingRequest* pick(const StreamQueue& q, std::int64_t head) const;
   bool absorb_contiguous(DispatchBatch& batch);
   void note_stream_drained(int tag);
+  void rr_push(int tag);
 
   int quantum_;
   std::int64_t max_sectors_;
-  std::map<int, StreamQueue> queues_;
-  std::deque<int> rr_;  // round-robin order of streams with pending work
+  // Declared before the maps: the pool must outlive every node they hold.
+  sim::ChunkPool pool_;
+  std::map<int, StreamQueue, std::less<int>, TagAlloc> queues_{TagAlloc(pool_)};
+  // Round-robin order of streams with pending work, as a vector with an
+  // advancing head (same allocation-free FIFO idiom as NoopScheduler).
+  std::vector<int> rr_;
+  std::size_t rr_head_ = 0;
   int active_ = -1;
   int budget_ = 0;
   int last_tag_ = -1;
@@ -134,8 +189,9 @@ class ElevatorScheduler final : public IoScheduler {
   explicit ElevatorScheduler(std::int64_t max_merge_sectors = 1024)
       : max_sectors_(max_merge_sectors) {}
 
+  using IoScheduler::pop_next;
   void add(PendingRequest p) override;
-  DispatchBatch pop_next(std::int64_t head_lbn) override;
+  void pop_next(std::int64_t head_lbn, DispatchBatch& out) override;
   bool empty() const override { return sorted_.empty(); }
   std::size_t depth() const override { return sorted_.size(); }
   std::optional<PeekInfo> peek(std::int64_t head_lbn) const override;

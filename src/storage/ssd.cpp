@@ -43,7 +43,17 @@ sim::SimFuture<BlockCompletion> SsdModel::submit(BlockRequest req) {
 
 void SsdModel::maybe_start() {
   while (in_flight_ < params_.channels && !sched_->empty()) {
-    DispatchBatch batch = sched_->pop_next(/*head_lbn=*/0);
+    int slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<int>(slots_.size());
+      slots_.emplace_back();
+      free_slots_.reserve(slots_.size());  // complete() pushes alloc-free
+    }
+    DispatchBatch& batch = slots_[static_cast<std::size_t>(slot)];
+    sched_->pop_next(/*head_lbn=*/0, batch);
     assert(!batch.empty());
 
     sim::SimTime service = service_time(batch.dir, batch.lbn, batch.sectors);
@@ -62,17 +72,18 @@ void SsdModel::maybe_start() {
     record_dispatch(sim_.now(), batch.dir, batch.lbn, batch.sectors, service);
 
     ++in_flight_;
-    sim_.schedule(service,
-                  [this, b = std::make_shared<DispatchBatch>(std::move(batch)),
-                   service]() mutable { complete(std::move(*b), service); });
+    sim_.schedule(service, [this, slot, service] { complete(slot, service); });
   }
 }
 
-void SsdModel::complete(DispatchBatch batch, sim::SimTime service) {
+void SsdModel::complete(int slot, sim::SimTime service) {
+  DispatchBatch& batch = slots_[static_cast<std::size_t>(slot)];
   const sim::SimTime now = sim_.now();
   for (auto& p : batch.members) {
     p.promise.set_value(BlockCompletion{now, now - p.submitted, service});
   }
+  batch.reset();
+  free_slots_.push_back(slot);
   --in_flight_;
   maybe_start();
 }

@@ -12,8 +12,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "storage/block.hpp"
@@ -92,11 +92,16 @@ class SsdModel final : public BlockDevice {
 
  private:
   void maybe_start();
-  void complete(DispatchBatch batch, sim::SimTime service);
+  void complete(int slot, sim::SimTime service);
 
   sim::Simulator& sim_;
   SsdParams params_;
   std::unique_ptr<IoScheduler> sched_;
+  // One in-flight batch per busy channel.  Slots (and their members
+  // capacity) are recycled through free_slots_, so steady-state dispatch
+  // never allocates and the completion closure is just (this, slot, time).
+  std::vector<DispatchBatch> slots_;
+  std::vector<int> free_slots_;
   int in_flight_ = 0;
   // Expected next LBN per direction for sequential-continuation detection.
   std::int64_t next_read_lbn_ = -1;

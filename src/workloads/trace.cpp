@@ -43,23 +43,22 @@ Trace read_trace(std::istream& is) {
 
 // ----------------------------------------------------------- classifier ----
 
-AccessStats AccessClassifier::classify(const Trace& trace) const {
+AccessStats AccessClassifier::finish(const Accumulator& acc) const {
   AccessStats s;
-  if (trace.empty()) return s;
-  std::uint64_t unaligned = 0, random = 0;
-  double size_sum = 0.0;
-  for (const auto& r : trace) {
-    if (is_unaligned(r)) ++unaligned;
-    if (is_random(r)) ++random;
-    size_sum += static_cast<double>(r.size);
-  }
-  const auto n = static_cast<double>(trace.size());
-  s.requests = trace.size();
-  s.unaligned_pct = 100.0 * static_cast<double>(unaligned) / n;
-  s.random_pct = 100.0 * static_cast<double>(random) / n;
+  if (acc.requests == 0) return s;
+  const auto n = static_cast<double>(acc.requests);
+  s.requests = acc.requests;
+  s.unaligned_pct = 100.0 * static_cast<double>(acc.unaligned) / n;
+  s.random_pct = 100.0 * static_cast<double>(acc.random) / n;
   s.total_pct = s.unaligned_pct + s.random_pct;
-  s.avg_size = size_sum / n;
+  s.avg_size = acc.size_sum / n;
   return s;
+}
+
+AccessStats AccessClassifier::classify(const Trace& trace) const {
+  Accumulator acc;
+  for (const auto& r : trace) add(acc, r);
+  return finish(acc);
 }
 
 // ---------------------------------------------------------- synthesizer ----
@@ -81,43 +80,17 @@ TraceProfile s3d_profile() {
 
 Trace TraceSynthesizer::generate(std::size_t n, std::int64_t file_bytes,
                                  std::uint64_t seed) const {
-  sim::Rng rng(seed);
+  // The generator proper lives in exp::WorkloadStream (a sequential cursor
+  // models checkpoint-style forward progress; random small requests and
+  // occasional jumps model header updates and restarts).  Materializing is
+  // just draining the stream — the two paths are digest-equivalent.
+  exp::WorkloadStream s = stream(file_bytes, seed);
   Trace out;
   out.reserve(n);
-  // A sequential cursor models checkpoint-style forward progress; random
-  // small requests and occasional jumps model header updates and restarts.
-  std::int64_t cursor = 0;
-  const double aligned_large_frac =
-      std::max(0.0, 1.0 - profile_.unaligned_frac - profile_.random_frac);
   for (std::size_t i = 0; i < n; ++i) {
-    TraceRecord r;
-    r.write = rng.chance(profile_.write_frac);
-    const double u = rng.uniform01();
-    if (u < profile_.random_frac) {
-      // Regular random request: small, anywhere in the file.
-      r.size = std::max<std::int64_t>(
-          512, profile_.small_size / 2 +
-                   rng.uniform(0, profile_.small_size));
-      r.offset = rng.uniform(0, std::max<std::int64_t>(1, file_bytes - r.size));
-    } else if (u < profile_.random_frac + aligned_large_frac) {
-      // Aligned large request: unit-multiple size at a unit boundary.
-      const std::int64_t units =
-          std::max<std::int64_t>(1, profile_.large_size / unit_);
-      r.size = units * unit_;
-      cursor = (cursor / unit_) * unit_;
-      if (cursor + r.size > file_bytes) cursor = 0;
-      r.offset = cursor;
-      cursor += r.size;
-    } else {
-      // Unaligned large request: bigger than a unit, odd size or offset.
-      r.size = profile_.large_size +
-               rng.uniform(1, std::max<std::int64_t>(2, unit_ / 2));
-      if (cursor + r.size > file_bytes) cursor = 0;
-      r.offset = cursor;
-      cursor += r.size;
-    }
+    const exp::StreamRecord r = s.next();
     assert(r.offset + r.size <= file_bytes || r.offset == 0);
-    out.push_back(r);
+    out.push_back({r.write, r.offset, r.size});
   }
   return out;
 }
@@ -126,22 +99,62 @@ Trace TraceSynthesizer::generate(std::size_t n, std::int64_t file_bytes,
 
 namespace {
 
+sim::Task<> replay_one(mpiio::MpiContext& ctx, mpiio::MpiFile& file,
+                       TraceRecord rec, std::int64_t file_bytes,
+                       stats::Summary* request_ms, std::int64_t* bytes) {
+  std::int64_t off = rec.offset;
+  std::int64_t size = std::min<std::int64_t>(rec.size, file_bytes);
+  if (off + size > file_bytes) off = file_bytes - size;
+  sim::SimTime t;
+  if (rec.write) {
+    t = co_await file.write_at(ctx.rank(), off, size);
+  } else {
+    t = co_await file.read_at(ctx.rank(), off, size);
+  }
+  request_ms->add(t.to_millis());
+  *bytes += size;
+}
+
 sim::Task<> replay_body(mpiio::MpiContext ctx, mpiio::MpiFile file,
                         const Trace* trace, std::int64_t file_bytes,
                         stats::Summary* request_ms, std::int64_t* bytes) {
   for (const auto& rec : *trace) {
-    std::int64_t off = rec.offset;
-    std::int64_t size = std::min<std::int64_t>(rec.size, file_bytes);
-    if (off + size > file_bytes) off = file_bytes - size;
-    sim::SimTime t;
-    if (rec.write) {
-      t = co_await file.write_at(ctx.rank(), off, size);
-    } else {
-      t = co_await file.read_at(ctx.rank(), off, size);
-    }
-    request_ms->add(t.to_millis());
-    *bytes += size;
+    co_await replay_one(ctx, file, rec, file_bytes, request_ms, bytes);
   }
+}
+
+sim::Task<> replay_stream_body(mpiio::MpiContext ctx, mpiio::MpiFile file,
+                               exp::WorkloadStream* stream, std::size_t n,
+                               std::int64_t file_bytes,
+                               stats::Summary* request_ms,
+                               std::int64_t* bytes) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const exp::StreamRecord r = stream->next();
+    co_await replay_one(ctx, file, TraceRecord{r.write, r.offset, r.size},
+                        file_bytes, request_ms, bytes);
+  }
+}
+
+/// Shared driver around the per-record loop: spawn the replaying rank, run
+/// the cluster until it finishes, drain the write-back daemons.
+template <typename LaunchBody>
+WorkloadResult drive_replay(cluster::Cluster& cluster,
+                            stats::Summary& request_ms, std::int64_t& bytes,
+                            LaunchBody&& body) {
+  mpiio::MpiEnvironment env(cluster.sim(), cluster.client(), 1);
+  const sim::SimTime t0 = cluster.sim().now();
+  env.launch(body);
+  cluster.sim().run_while_pending([&] { return env.finished(); });
+  const sim::SimTime io_done = cluster.sim().now();
+  const sim::SimTime flushed = cluster.drain();
+
+  WorkloadResult r;
+  r.io_elapsed = io_done - t0;
+  r.elapsed = flushed - t0;
+  r.bytes = bytes;
+  r.requests = request_ms.count();
+  r.avg_request_ms = request_ms.mean();
+  return r;
 }
 
 }  // namespace
@@ -154,23 +167,28 @@ WorkloadResult replay_trace(cluster::Cluster& cluster, const Trace& trace,
 
   stats::Summary request_ms;
   std::int64_t bytes = 0;
-  mpiio::MpiEnvironment env(cluster.sim(), cluster.client(), 1);
-  const sim::SimTime t0 = cluster.sim().now();
-  env.launch([&](mpiio::MpiContext ctx) {
-    return replay_body(ctx, file, &trace, cfg.file_bytes, &request_ms,
-                       &bytes);
-  });
-  cluster.sim().run_while_pending([&] { return env.finished(); });
-  const sim::SimTime io_done = cluster.sim().now();
-  const sim::SimTime flushed = cluster.drain();
+  return drive_replay(cluster, request_ms, bytes,
+                      [&](mpiio::MpiContext ctx) {
+                        return replay_body(ctx, file, &trace, cfg.file_bytes,
+                                           &request_ms, &bytes);
+                      });
+}
 
-  WorkloadResult r;
-  r.io_elapsed = io_done - t0;
-  r.elapsed = flushed - t0;
-  r.bytes = bytes;
-  r.requests = request_ms.count();
-  r.avg_request_ms = request_ms.mean();
-  return r;
+WorkloadResult replay_stream(cluster::Cluster& cluster,
+                             exp::WorkloadStream& stream, std::size_t n,
+                             const ReplayConfig& cfg) {
+  cluster.restart_daemons();
+  auto fh = cluster.create_file(cfg.file_name, cfg.file_bytes);
+  mpiio::MpiFile file(cluster.client(), fh);
+
+  stats::Summary request_ms;
+  std::int64_t bytes = 0;
+  return drive_replay(cluster, request_ms, bytes,
+                      [&](mpiio::MpiContext ctx) {
+                        return replay_stream_body(ctx, file, &stream, n,
+                                                  cfg.file_bytes, &request_ms,
+                                                  &bytes);
+                      });
 }
 
 }  // namespace ibridge::workloads

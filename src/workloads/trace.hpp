@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/workload_stream.hpp"
 #include "sim/rng.hpp"
 #include "workloads/common.hpp"
 
@@ -57,6 +58,25 @@ class AccessClassifier {
   }
   bool is_random(const TraceRecord& r) const { return r.size < random_; }
 
+  /// Incremental classification state for streamed workloads: feed records
+  /// one at a time with add(), read the stats with finish() — no
+  /// materialized Trace needed.  classify() is add() over a vector.
+  struct Accumulator {
+    std::uint64_t unaligned = 0;
+    std::uint64_t random = 0;
+    std::uint64_t requests = 0;
+    double size_sum = 0.0;
+  };
+
+  // lint: no-alloc
+  void add(Accumulator& acc, const TraceRecord& r) const {
+    if (is_unaligned(r)) ++acc.unaligned;
+    if (is_random(r)) ++acc.random;
+    ++acc.requests;
+    acc.size_sum += static_cast<double>(r.size);
+  }
+
+  AccessStats finish(const Accumulator& acc) const;
   AccessStats classify(const Trace& trace) const;
 
  private:
@@ -88,9 +108,21 @@ class TraceSynthesizer {
   TraceSynthesizer(TraceProfile profile, std::int64_t stripe_unit = 64 * 1024)
       : profile_(std::move(profile)), unit_(stripe_unit) {}
 
-  /// Generate `n` requests over a file of `file_bytes`.
+  /// Generate `n` requests over a file of `file_bytes`.  Delegates to
+  /// stream(): the materialized trace and the streamed sequence are
+  /// record-for-record identical for the same seed.
   Trace generate(std::size_t n, std::int64_t file_bytes,
                  std::uint64_t seed) const;
+
+  /// The same generator as an O(1)-state on-demand stream (scale runs that
+  /// cannot afford a materialized Trace).
+  exp::WorkloadStream stream(std::int64_t file_bytes,
+                             std::uint64_t seed) const {
+    return exp::WorkloadStream(
+        {profile_.unaligned_frac, profile_.random_frac, profile_.large_size,
+         profile_.small_size, profile_.write_frac},
+        unit_, file_bytes, seed);
+  }
 
  private:
   TraceProfile profile_;
@@ -109,5 +141,14 @@ struct ReplayConfig {
 /// avg_request_ms is the Table III metric.
 WorkloadResult replay_trace(cluster::Cluster& cluster, const Trace& trace,
                             const ReplayConfig& cfg = {});
+
+/// Replay `n` records pulled from a stream on demand — no materialized
+/// Trace, bounded memory at any n.  For a stream built from the same
+/// (profile, unit, file_bytes, seed), the issued requests (and therefore
+/// the simulated schedule) are identical to replay_trace() over
+/// TraceSynthesizer::generate(n, ...).
+WorkloadResult replay_stream(cluster::Cluster& cluster,
+                             exp::WorkloadStream& stream, std::size_t n,
+                             const ReplayConfig& cfg = {});
 
 }  // namespace ibridge::workloads

@@ -65,14 +65,14 @@ struct CacheFixture : ::testing::Test {
   ServeResult do_io(IoDirection dir, std::int64_t off, std::int64_t len,
                     std::span<const std::byte> wdata = {},
                     std::span<std::byte> rdata = {}, bool fragment = false,
-                    std::vector<ServerId> siblings = {}) {
+                    core::SiblingSet siblings = {}) {
     CacheRequest r;
     r.dir = dir;
     r.file = file;
     r.offset = Offset{off};
     r.length = Bytes{len};
     r.fragment = fragment;
-    r.siblings = std::move(siblings);
+    r.siblings = siblings;
     ServeResult out;
     bool done = false;
     auto t = [](IBridgeCache& c, CacheRequest req,
@@ -87,11 +87,10 @@ struct CacheFixture : ::testing::Test {
   }
 
   ServeResult write(std::int64_t off, std::span<const std::byte> data,
-                    bool fragment = false,
-                    std::vector<ServerId> siblings = {}) {
+                    bool fragment = false, core::SiblingSet siblings = {}) {
     return do_io(IoDirection::kWrite, off,
                  static_cast<std::int64_t>(data.size()), data, {}, fragment,
-                 std::move(siblings));
+                 siblings);
   }
 
   std::pair<ServeResult, std::vector<std::byte>> read(std::int64_t off,
@@ -255,8 +254,10 @@ TEST_F(CacheFixture, FragmentBoostCountsWhenSelfSlowest) {
   warm_t();
   cache->set_board({10.0, 0.1, 0.1});  // placeholder: self=0 uses live T
   const auto data = pattern(4096, 12);
+  // Descriptor for a 3-piece parent whose first piece is this server (0):
+  // siblings enumerate as servers 1 and 2.
   write(9'000'000, data, /*fragment=*/true,
-        /*siblings=*/{ServerId{1}, ServerId{2}});
+        /*siblings=*/core::SiblingSet{ServerId{0}, 3, 3, 0});
   EXPECT_GE(cache->stats().boosts, 1u);
 }
 

@@ -3,6 +3,10 @@
 // deterministic.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <tuple>
+
 #include "check/differential.hpp"
 #include "check/generator.hpp"
 #include "check/invariants.hpp"
@@ -134,6 +138,55 @@ TEST(Cluster, ServerCountIsConfigurable) {
   EXPECT_EQ(c.server_count(), 3);
   auto fh = c.create_file("f", 10 << 20);
   EXPECT_EQ(c.mds().file(fh).layout.servers(), 3);
+}
+
+// Shard groups at the cluster level: many servers fold onto a handful of
+// shards, adaptive lookahead widens the barrier windows, and the result is
+// still a pure function of the configuration — byte-identical across
+// worker counts.
+TEST(Cluster, ShardGroupsAreWorkerCountInvariant) {
+  auto cfg = quick(65 * 1024, true);
+  cfg.access_bytes = 16 << 20;
+  auto run = [&](int workers) {
+    auto cc = ClusterConfig::with_ibridge();
+    cc.data_servers = 8;
+    cc.shards = workers;
+    cc.shard_group_size = 3;  // 8 servers -> 3 server shards + front shard
+    cc.adaptive_window_us = 50.0;
+    Cluster c(cc);
+    const auto r = run_mpi_io_test(c, cfg);
+    return std::tuple{r.elapsed.ns(), r.bytes,
+                      c.server(0).cache()->stats().write_admits};
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(4), base);
+}
+
+// The sharded metrics sampler rides the barrier hook: it must emit rows at
+// the grid cadence with grid timestamps, and the whole series must be
+// worker-count invariant (the CSV is compared byte-for-byte).
+TEST(Cluster, ShardedMetricsSamplerIsWorkerCountInvariant) {
+  auto cfg = quick(65 * 1024, true);
+  cfg.access_bytes = 16 << 20;
+  auto run_csv = [&](int workers) {
+    auto cc = ClusterConfig::with_ibridge();
+    cc.data_servers = 6;
+    cc.shards = workers;
+    cc.shard_group_size = 2;
+    Cluster c(cc);
+    obs::TimeSeries series;
+    c.start_metrics_sampler(sim::SimTime::millis(5), &series);
+    run_mpi_io_test(c, cfg);
+    c.stop_metrics_sampler();
+    EXPECT_GT(series.rows(), 0u) << "workers=" << workers;
+    std::ostringstream csv;
+    series.write_csv(csv);
+    return csv.str();
+  };
+  const std::string base = run_csv(1);
+  EXPECT_NE(base.find("cluster.bytes_served"), std::string::npos);
+  EXPECT_EQ(run_csv(3), base);
 }
 
 TEST(Cluster, AggregateMetricsAccumulate) {

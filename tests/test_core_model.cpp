@@ -117,7 +117,8 @@ TEST(ReturnEstimator, BoostAppliesOnlyWhenSelfIsSlowest) {
   ASSERT_GT(t_self, 0.0);
 
   ReturnEstimator est(true);
-  const std::vector<ServerId> siblings{ServerId{1}, ServerId{2}};
+  // 3-piece parent, first piece on this server (0): siblings are 1 and 2.
+  const SiblingSet siblings{ServerId{0}, 3, 3, 0};
 
   // Case 1: peers are slower -> no boost.
   TBoard slow_peers{0.0, t_self + 5.0, t_self + 3.0};
@@ -139,7 +140,7 @@ TEST(ReturnEstimator, NonFragmentsNeverBoost) {
   ServiceTimeModel m(synthetic_profile(), kW);
   m.observe_disk(0, Bytes{0}, IoDirection::kRead, 0);
   ReturnEstimator est(true);
-  const std::vector<ServerId> siblings{ServerId{1}};
+  const SiblingSet siblings{ServerId{0}, 2, 2, 0};  // one sibling: server 1
   TBoard board{0.0, 0.0};
   auto e = est.estimate(m, 500'000, Bytes{4096}, IoDirection::kRead,
                         /*is_fragment=*/false, ServerId{0}, siblings, board);
@@ -150,7 +151,7 @@ TEST(ReturnEstimator, BoostDisabledByConfig) {
   ServiceTimeModel m(synthetic_profile(), kW);
   m.observe_disk(700'000, Bytes{65536}, IoDirection::kRead, 700'128);
   ReturnEstimator est(false);
-  const std::vector<ServerId> siblings{ServerId{1}};
+  const SiblingSet siblings{ServerId{0}, 2, 2, 0};  // one sibling: server 1
   TBoard board{0.0, 0.0};
   auto e = est.estimate(m, 500'000, Bytes{4096}, IoDirection::kRead, true, ServerId{0},
                         siblings, board);
@@ -161,7 +162,9 @@ TEST(ReturnEstimator, MissingBoardEntriesCountAsZero) {
   ServiceTimeModel m(synthetic_profile(), kW);
   m.observe_disk(700'000, Bytes{65536}, IoDirection::kRead, 700'128);
   ReturnEstimator est(true);
-  const std::vector<ServerId> siblings{ServerId{5}};  // beyond board size
+  // 2-piece parent starting on server 4: the (sole) sibling is server 5,
+  // which is beyond the board's size.
+  const SiblingSet siblings{ServerId{4}, 8, 2, 0};
   TBoard board{0.0};
   auto e = est.estimate(m, 500'000, Bytes{4096}, IoDirection::kRead, true, ServerId{0},
                         siblings, board);
@@ -170,38 +173,47 @@ TEST(ReturnEstimator, MissingBoardEntriesCountAsZero) {
 
 // -------------------------------------------------------- FragmentTagger ----
 
+constexpr int kRing = 8;  ///< striping server count used by these tests
+
 std::vector<pvfs::SubRequestSpec> decompose(std::int64_t off,
                                             std::int64_t len) {
-  return pvfs::StripingLayout(8, Bytes{64 * 1024})
+  return pvfs::StripingLayout(kRing, Bytes{64 * 1024})
       .decompose(sim::Offset{off}, Bytes{len});
+}
+
+/// Materialize a SiblingSet back into the explicit server list it encodes.
+std::vector<ServerId> servers_of(const SiblingSet& s) {
+  std::vector<ServerId> out;
+  s.for_each_sibling([&](ServerId id) { out.push_back(id); });
+  return out;
 }
 
 TEST(FragmentTagger, SingleServerParentHasNoFragments) {
   FragmentTagger tagger(Bytes{20 * 1024});
-  auto tagged = tagger.tag(decompose(0, 64 * 1024));
+  auto tagged = tagger.tag(decompose(0, 64 * 1024), kRing);
   ASSERT_EQ(tagged.size(), 1u);
   EXPECT_FALSE(tagged[0].fragment);
 }
 
 TEST(FragmentTagger, SmallTailOfMultiServerParentIsFragment) {
   FragmentTagger tagger(Bytes{20 * 1024});
-  auto tagged = tagger.tag(decompose(0, 65 * 1024));  // 64 KB + 1 KB
+  auto tagged = tagger.tag(decompose(0, 65 * 1024), kRing);  // 64 KB + 1 KB
   ASSERT_EQ(tagged.size(), 2u);
   EXPECT_FALSE(tagged[0].fragment);
   EXPECT_TRUE(tagged[1].fragment);
-  ASSERT_EQ(tagged[1].sibling_servers.size(), 1u);
-  EXPECT_EQ(tagged[1].sibling_servers[0], tagged[0].server);
+  ASSERT_EQ(tagged[1].siblings.size(), 1u);
+  EXPECT_EQ(servers_of(tagged[1].siblings)[0], tagged[0].server);
 }
 
 TEST(FragmentTagger, ThresholdBoundaryIsExclusive) {
   FragmentTagger tagger(Bytes{20 * 1024});
   // Head piece exactly 20 KB: NOT a fragment (must be strictly smaller).
-  auto tagged = tagger.tag(decompose(44 * 1024, 64 * 1024));
+  auto tagged = tagger.tag(decompose(44 * 1024, 64 * 1024), kRing);
   ASSERT_EQ(tagged.size(), 2u);
   EXPECT_EQ(tagged[0].length, Bytes{20 * 1024});
   EXPECT_FALSE(tagged[0].fragment);
   // One byte less: fragment.
-  auto tagged2 = tagger.tag(decompose(44 * 1024 + 1, 64 * 1024));
+  auto tagged2 = tagger.tag(decompose(44 * 1024 + 1, 64 * 1024), kRing);
   EXPECT_EQ(tagged2[0].length, Bytes{20 * 1024 - 1});
   EXPECT_TRUE(tagged2[0].fragment);
 }
@@ -209,23 +221,49 @@ TEST(FragmentTagger, ThresholdBoundaryIsExclusive) {
 TEST(FragmentTagger, BothEndsCanBeFragments) {
   FragmentTagger tagger(Bytes{20 * 1024});
   // 1 KB head + 64 KB middle + 1 KB tail.
-  auto tagged = tagger.tag(decompose(63 * 1024, 66 * 1024));
+  auto tagged = tagger.tag(decompose(63 * 1024, 66 * 1024), kRing);
   ASSERT_EQ(tagged.size(), 3u);
   EXPECT_TRUE(tagged[0].fragment);
   EXPECT_FALSE(tagged[1].fragment);
   EXPECT_TRUE(tagged[2].fragment);
-  EXPECT_EQ(tagged[0].sibling_servers.size(), 2u);
+  EXPECT_EQ(tagged[0].siblings.size(), 2u);
 }
 
 TEST(FragmentTagger, SiblingsExcludeSelfAndPreserveOrder) {
   FragmentTagger tagger(Bytes{20 * 1024});
-  auto tagged = tagger.tag(decompose(63 * 1024, 130 * 1024));
+  auto tagged = tagger.tag(decompose(63 * 1024, 130 * 1024), kRing);
   ASSERT_GE(tagged.size(), 3u);
-  for (const auto& t : tagged) {
+  for (std::size_t i = 0; i < tagged.size(); ++i) {
+    const auto& t = tagged[i];
     if (!t.fragment) continue;
-    EXPECT_EQ(t.sibling_servers.size(), tagged.size() - 1);
-    for (ServerId s : t.sibling_servers) EXPECT_NE(s, t.server);
+    EXPECT_EQ(t.siblings.size(), tagged.size() - 1);
+    // The descriptor must enumerate exactly the other pieces' servers, in
+    // stripe order — the list the old materialized vector carried.
+    std::vector<ServerId> expect;
+    for (std::size_t j = 0; j < tagged.size(); ++j) {
+      if (j != i) expect.push_back(tagged[j].server);
+    }
+    EXPECT_EQ(servers_of(t.siblings), expect);
+    for (ServerId s : servers_of(t.siblings)) EXPECT_NE(s, t.server);
   }
+}
+
+TEST(FragmentTagger, WideParentDescriptorWrapsTheRing) {
+  FragmentTagger tagger(Bytes{20 * 1024});
+  // 10 pieces over an 8-server ring: the parent wraps, so two pieces land
+  // on servers 0 and 1 twice.  The descriptor must reproduce the duplicate
+  // entries exactly as the materialized list did.
+  auto tagged = tagger.tag(decompose(0, 9 * 64 * 1024 + 1024), kRing);
+  ASSERT_EQ(tagged.size(), 10u);
+  const auto& frag = tagged[9];  // 1 KB tail on server 1
+  ASSERT_TRUE(frag.fragment);
+  const auto sibs = servers_of(frag.siblings);
+  ASSERT_EQ(sibs.size(), 9u);
+  std::vector<ServerId> expect;
+  for (std::size_t j = 0; j + 1 < tagged.size(); ++j) {
+    expect.push_back(tagged[j].server);
+  }
+  EXPECT_EQ(sibs, expect);
 }
 
 }  // namespace

@@ -155,6 +155,18 @@ TEST(Gauge, PeakRssIsMeasurable) {
   EXPECT_LT(mb, 1e6) << "sanity: under a terabyte";
 }
 
+TEST(Gauge, PeakRssRusageFallbackIsMeasurable) {
+  // The getrusage path must stand on its own (it is what peak_rss_mb()
+  // returns on hosts without procfs) and agree with VmHWM to within a
+  // factor — both measure the same high-water mark, in different units.
+  const double mb = peak_rss_mb_rusage();
+  EXPECT_GT(mb, 0.0) << "getrusage(RUSAGE_SELF) should work on POSIX";
+  EXPECT_LT(mb, 1e6);
+  const double vmhwm = peak_rss_mb();
+  EXPECT_GT(mb, vmhwm * 0.5);
+  EXPECT_LT(mb, vmhwm * 2.0 + 1.0);
+}
+
 // ------------------------------------------- parallel == serial, proven ----
 
 struct CaseDigests {

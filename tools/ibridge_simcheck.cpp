@@ -1,6 +1,7 @@
 // ibridge-simcheck — standalone SimCheck fuzz runner.
 //
 //   ibridge-simcheck [--iters N] [--seed S] [--jobs J] [--shards K]
+//                    [--group-size G] [--adaptive US]
 //                    [--determinism] [--faults healthy|gc|crash|mixed]
 //                    [--digests FILE] [--out FILE]
 //
@@ -23,6 +24,13 @@
 // count — so the --digests file must be byte-identical across every K >= 1,
 // healthy and under --faults alike, which is exactly what the CI
 // shard-digest-identity job asserts.
+//
+// --group-size G maps G data servers onto each logical shard and
+// --adaptive US caps the adaptive barrier window at US microseconds (the
+// scale-campaign configuration).  Both are part of the *configuration*: at
+// any fixed (G, US) the digests stay byte-identical across every K >= 1,
+// so CI repeats the identity sweep with them set.  They only apply when
+// --shards K >= 1.
 //
 // --jobs J fans the independent cases over an exp::Runner thread pool; each
 // job builds its own clusters, so the per-seed results — and the --digests
@@ -63,8 +71,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ibridge-simcheck [--iters N] [--seed S] [--jobs J] "
-               "[--shards K] [--determinism] "
-               "[--faults healthy|gc|crash|mixed] "
+               "[--shards K] [--group-size G] [--adaptive US] "
+               "[--determinism] [--faults healthy|gc|crash|mixed] "
                "[--digests FILE] [--out FILE]\n");
   return 2;
 }
@@ -91,6 +99,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed0 = 1;
   int jobs = 1;
   int shards = 0;
+  int group_size = 1;
+  double adaptive_us = 0.0;
   bool determinism = false;
   fault::Scenario scenario = fault::Scenario::kHealthy;
   std::string out;
@@ -108,6 +118,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<int>(
           exp::require_int("ibridge-simcheck", "--shards", argv[++i], 0, 64));
+    } else if (std::strcmp(argv[i], "--group-size") == 0 && i + 1 < argc) {
+      group_size = static_cast<int>(exp::require_int(
+          "ibridge-simcheck", "--group-size", argv[++i], 1, 4096));
+    } else if (std::strcmp(argv[i], "--adaptive") == 0 && i + 1 < argc) {
+      adaptive_us = static_cast<double>(exp::require_int(
+          "ibridge-simcheck", "--adaptive", argv[++i], 0, 1000000));
     } else if (std::strcmp(argv[i], "--determinism") == 0) {
       determinism = true;
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
@@ -143,6 +159,8 @@ int main(int argc, char** argv) {
         r.seed = seed0 + static_cast<std::uint64_t>(i);
         FuzzCase c = generate_case(r.seed);
         c.base.shards = shards;
+        c.base.shard_group_size = group_size;
+        c.base.adaptive_window_us = adaptive_us;
         apply_faults(c, scenario);
         r.d = run_differential(c);
         r.failure = r.d.failure;
@@ -197,6 +215,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.seed), r.failure.c_str());
     FuzzCase c = generate_case(r.seed);
     c.base.shards = shards;
+    c.base.shard_group_size = group_size;
+    c.base.adaptive_window_us = adaptive_us;
     apply_faults(c, scenario);
     std::printf("shrinking (%zu records)...\n", c.trace.size());
     auto fails = [&](const workloads::Trace& t) {
